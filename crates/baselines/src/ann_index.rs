@@ -1,0 +1,49 @@
+//! The common interface every competitor (and PM-LSH itself) implements, so
+//! the benchmark harness can sweep algorithms uniformly.
+
+use pm_lsh_core::PmLsh;
+use pm_lsh_metric::Neighbor;
+
+/// Result of a `(c, k)`-ANN query through the common interface.
+#[derive(Clone, Debug)]
+pub struct AnnResult {
+    /// Up to `k` neighbors sorted by ascending original distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Number of candidates whose original-space distance was computed.
+    pub candidates_verified: usize,
+}
+
+/// A built approximate-NN index.
+pub trait AnnIndex {
+    /// Display name used in tables ("PM-LSH", "SRS", …).
+    fn name(&self) -> &'static str;
+
+    /// Answers a `(c, k)`-ANN query.
+    fn query(&self, q: &[f32], k: usize) -> AnnResult;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AnnIndex for PmLsh {
+    fn name(&self) -> &'static str {
+        "PM-LSH"
+    }
+
+    fn query(&self, q: &[f32], k: usize) -> AnnResult {
+        let res = PmLsh::query(self, q, k);
+        AnnResult {
+            neighbors: res.neighbors,
+            candidates_verified: res.stats.candidates_verified,
+        }
+    }
+
+    fn len(&self) -> usize {
+        PmLsh::len(self)
+    }
+}

@@ -1,0 +1,28 @@
+//! The competitor algorithms of the PM-LSH paper's evaluation (Section 6.1).
+//!
+//! All five baselines implement [`AnnIndex`], as does `pm_lsh_core::PmLsh`,
+//! so the benchmark harness can sweep them uniformly:
+//!
+//! | Algorithm | Category (Section 3) | Substrate |
+//! |-----------|----------------------|-----------|
+//! | [`Srs`] | metric indexing (MI) | R-tree incremental NN |
+//! | [`Qalsh`] | radius enlarging (RE) | B+-trees + virtual rehashing |
+//! | [`MultiProbe`] | probing sequence (PS) | hash tables + perturbation sequences |
+//! | [`RLsh`] | ablation | PM-LSH's algorithm over an R-tree |
+//! | [`LScan`] | sanity floor | partial linear scan |
+
+#![warn(missing_docs)]
+
+pub mod ann_index;
+pub mod lscan;
+pub mod multiprobe;
+pub mod qalsh;
+pub mod rlsh;
+pub mod srs;
+
+pub use ann_index::{AnnIndex, AnnResult};
+pub use lscan::{LScan, LScanParams};
+pub use multiprobe::{MultiProbe, MultiProbeParams};
+pub use qalsh::{derive_qalsh, Qalsh, QalshDerived, QalshParams};
+pub use rlsh::RLsh;
+pub use srs::{Srs, SrsParams};

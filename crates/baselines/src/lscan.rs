@@ -1,0 +1,124 @@
+//! LScan: linear scan over a random subset (Section 6.1).
+//!
+//! The paper's sanity baseline "randomly selects a portion of points
+//! (default 70 %) and returns the top-k points with the smallest distances
+//! to the query". Its recall is bounded by the sampled fraction; its query
+//! time is a dense-scan floor every index must beat.
+
+use crate::ann_index::{AnnIndex, AnnResult};
+use pm_lsh_metric::{euclidean, Dataset, PointId, TopK};
+use pm_lsh_stats::Rng;
+use std::sync::Arc;
+
+/// Configuration for [`LScan`].
+#[derive(Clone, Copy, Debug)]
+pub struct LScanParams {
+    /// Fraction of the dataset scanned per query (paper default 0.7).
+    pub fraction: f64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for LScanParams {
+    fn default() -> Self {
+        Self { fraction: 0.7, seed: 0x5ca1ab1e }
+    }
+}
+
+/// The linear-scan baseline.
+pub struct LScan {
+    data: Arc<Dataset>,
+    subset: Vec<PointId>,
+}
+
+impl LScan {
+    /// Samples the scan subset at build time (fixed across queries, like the
+    /// paper's implementation).
+    pub fn build(data: impl Into<Arc<Dataset>>, params: LScanParams) -> Self {
+        assert!(
+            params.fraction > 0.0 && params.fraction <= 1.0,
+            "scan fraction must be in (0, 1]"
+        );
+        let data = data.into();
+        let n = data.len();
+        let take = ((n as f64 * params.fraction).round() as usize).clamp(1, n);
+        let mut rng = Rng::new(params.seed);
+        let subset = rng.sample_indices(n, take).into_iter().map(|i| i as PointId).collect();
+        Self { data, subset }
+    }
+
+    /// The sampled subset size.
+    pub fn subset_len(&self) -> usize {
+        self.subset.len()
+    }
+}
+
+impl AnnIndex for LScan {
+    fn name(&self) -> &'static str {
+        "LScan"
+    }
+
+    fn query(&self, q: &[f32], k: usize) -> AnnResult {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        let mut top = TopK::new(k);
+        for &id in &self.subset {
+            top.push(euclidean(q, self.data.point_id(id)), id);
+        }
+        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: self.subset.len() }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn full_fraction_is_exact() {
+        let ds = blob(300, 8, 1);
+        let q = ds.point(5).to_vec();
+        let scan = LScan::build(ds, LScanParams { fraction: 1.0, seed: 2 });
+        let res = scan.query(&q, 1);
+        assert_eq!(res.neighbors[0].id, 5);
+        assert_eq!(res.candidates_verified, 300);
+    }
+
+    #[test]
+    fn recall_tracks_fraction() {
+        // Over many queries, recall@1 of a p-fraction scan ≈ p.
+        let ds = blob(2000, 8, 3);
+        let queries: Vec<Vec<f32>> = (0..200).map(|i| ds.point(i * 7 % 2000).to_vec()).collect();
+        let scan = LScan::build(ds, LScanParams { fraction: 0.7, seed: 4 });
+        let mut hits = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let res = scan.query(q, 1);
+            if res.neighbors[0].id as usize == (i * 7) % 2000 {
+                hits += 1;
+            }
+        }
+        let recall = hits as f64 / queries.len() as f64;
+        assert!((recall - 0.7).abs() < 0.1, "recall {recall}");
+    }
+
+    #[test]
+    fn subset_is_deterministic() {
+        let ds = Arc::new(blob(500, 4, 5));
+        let a = LScan::build(ds.clone(), LScanParams::default());
+        let b = LScan::build(ds, LScanParams::default());
+        assert_eq!(a.subset, b.subset);
+    }
+}

@@ -1,0 +1,263 @@
+//! Multi-Probe LSH (Lv et al., VLDB'07): hash-bucket tables probed along a
+//! query-directed perturbation sequence.
+//!
+//! Build: `L` tables, each keyed by a compound hash
+//! `G(o) = (⌊(a_1·o+b_1)/w⌋, …, ⌊(a_{m'}·o+b_{m'})/w⌋)`. Query: probe the
+//! home bucket of every table, then walk the query-directed perturbation
+//! sequences (`pm-lsh-hash::multiprobe`) of all tables merged globally by
+//! score, verifying bucket members until the probe budget is spent.
+//!
+//! The bucket width `w` is data-dependent in the original paper; by default
+//! we set it from the sampled distance distribution (the 5 % quantile of
+//! pairwise distances) so that near neighbors collide with high probability.
+
+use crate::ann_index::{AnnIndex, AnnResult};
+use pm_lsh_hash::{CompoundHash, ProbeSequence};
+use pm_lsh_metric::{euclidean, Dataset, PointId, TopK};
+use pm_lsh_stats::{distance_distribution, Rng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Configuration for [`MultiProbe`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultiProbeParams {
+    /// Number of hash tables `L`.
+    pub tables: usize,
+    /// Concatenated hash functions per table `m'`.
+    pub hashes_per_table: usize,
+    /// Bucket width `w`; `None` picks the 10 % distance quantile.
+    pub w: Option<f64>,
+    /// Perturbation sets probed per query across all tables (the home
+    /// buckets are probed in addition to this budget).
+    pub probe_budget: usize,
+    /// Sampled pairs for the width heuristic.
+    pub distance_samples: usize,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for MultiProbeParams {
+    fn default() -> Self {
+        // Calibrated on the stand-in datasets: long compound hashes (the
+        // classic m' = 10) shatter hard datasets (NUS/GIST/Deep) into
+        // near-empty buckets; m' = 5 with ~128 probed buckets lands in the
+        // recall band Table 4 reports for Multi-Probe (0.80–0.87).
+        Self {
+            tables: 8,
+            hashes_per_table: 5,
+            w: None,
+            probe_budget: 128,
+            distance_samples: 20_000,
+            seed: 0x0b0b_0001,
+        }
+    }
+}
+
+/// The Multi-Probe LSH index.
+pub struct MultiProbe {
+    data: Arc<Dataset>,
+    tables: Vec<CompoundHash>,
+    buckets: Vec<HashMap<Vec<i32>, Vec<PointId>>>,
+    params: MultiProbeParams,
+    width: f32,
+}
+
+impl MultiProbe {
+    /// Hashes every point into `L` tables.
+    pub fn build(data: impl Into<Arc<Dataset>>, params: MultiProbeParams) -> Self {
+        let data = data.into();
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert!(params.tables >= 1 && params.hashes_per_table >= 1);
+        let mut rng = Rng::new(params.seed);
+
+        let width = match params.w {
+            Some(w) => w as f32,
+            None => {
+                let samples = params.distance_samples.min(data.len().pow(2) / 2).max(1);
+                let f = distance_distribution(data.view(), samples, &mut rng);
+                (f.quantile(0.10) as f32).max(1e-3)
+            }
+        };
+
+        let mut tables = Vec::with_capacity(params.tables);
+        let mut buckets = Vec::with_capacity(params.tables);
+        for _ in 0..params.tables {
+            let g = CompoundHash::new(data.dim(), params.hashes_per_table, width, &mut rng);
+            let mut map: HashMap<Vec<i32>, Vec<PointId>> = HashMap::new();
+            for (i, p) in data.iter().enumerate() {
+                map.entry(g.bucket(p)).or_default().push(i as PointId);
+            }
+            tables.push(g);
+            buckets.push(map);
+        }
+        Self { data, tables, buckets, params, width }
+    }
+
+    /// The bucket width in effect.
+    pub fn width(&self) -> f32 {
+        self.width
+    }
+
+    /// Average bucket occupancy across tables (diagnostics).
+    pub fn avg_bucket_size(&self) -> f64 {
+        let total: usize = self.buckets.iter().map(|m| m.len()).sum();
+        (self.data.len() * self.buckets.len()) as f64 / total.max(1) as f64
+    }
+
+    fn verify_bucket(
+        &self,
+        key: &[i32],
+        table: usize,
+        q: &[f32],
+        top: &mut TopK,
+        seen: &mut [bool],
+        verified: &mut usize,
+    ) {
+        if let Some(members) = self.buckets[table].get(key) {
+            for &id in members {
+                let s = &mut seen[id as usize];
+                if !*s {
+                    *s = true;
+                    top.push(euclidean(q, self.data.point_id(id)), id);
+                    *verified += 1;
+                }
+            }
+        }
+    }
+}
+
+impl AnnIndex for MultiProbe {
+    fn name(&self) -> &'static str {
+        "Multi-Probe"
+    }
+
+    fn query(&self, q: &[f32], k: usize) -> AnnResult {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        assert!(k >= 1, "k must be positive");
+        let mut top = TopK::new(k);
+        let mut seen = vec![false; self.data.len()];
+        let mut verified = 0usize;
+
+        // Home buckets plus the per-table perturbation sequences.
+        let mut homes: Vec<Vec<i32>> = Vec::with_capacity(self.tables.len());
+        let mut seqs: Vec<ProbeSequence> = Vec::with_capacity(self.tables.len());
+        let widths = vec![self.width as f64; self.params.hashes_per_table];
+        for (t, g) in self.tables.iter().enumerate() {
+            let (key, offsets) = g.bucket_with_offsets(q);
+            self.verify_bucket(&key, t, q, &mut top, &mut seen, &mut verified);
+            homes.push(key);
+            seqs.push(ProbeSequence::new(&offsets, &widths));
+        }
+
+        // Globally merge the per-table sequences by score.
+        let mut frontier: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut pending: Vec<Option<pm_lsh_hash::ProbeSet>> = Vec::new();
+        for (t, seq) in seqs.iter_mut().enumerate() {
+            let set = seq.next();
+            if let Some(ref s) = set {
+                frontier.push(std::cmp::Reverse((s.score.to_bits(), t)));
+            }
+            pending.push(set);
+        }
+
+        let mut probes = 0usize;
+        while probes < self.params.probe_budget {
+            let Some(std::cmp::Reverse((_, t))) = frontier.pop() else { break };
+            let set = pending[t].take().expect("frontier entry without pending set");
+            // Apply the perturbations to the home bucket of table t.
+            let mut key = homes[t].clone();
+            for p in &set.perturbations {
+                key[p.func] += p.delta as i32;
+            }
+            self.verify_bucket(&key, t, q, &mut top, &mut seen, &mut verified);
+            probes += 1;
+            // Refill table t's head.
+            let next = seqs[t].next();
+            if let Some(ref s) = next {
+                frontier.push(std::cmp::Reverse((s.score.to_bits(), t)));
+            }
+            pending[t] = next;
+        }
+
+        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_planted_neighbor() {
+        let ds = blob(1000, 16, 20);
+        let q = ds.point(42).to_vec();
+        let mp = MultiProbe::build(ds, MultiProbeParams::default());
+        let res = mp.query(&q, 1);
+        assert_eq!(res.neighbors[0].id, 42, "query point hashes to its own bucket");
+    }
+
+    #[test]
+    fn more_probes_help() {
+        let ds = Arc::new(blob(3000, 24, 21));
+        let queries: Vec<Vec<f32>> = (0..25).map(|i| {
+            // perturb an existing point slightly so the NN is planted
+            let mut v = ds.point(i * 100).to_vec();
+            v[0] += 0.05;
+            v
+        }).collect();
+
+        let few = MultiProbe::build(
+            ds.clone(),
+            MultiProbeParams { probe_budget: 2, ..Default::default() },
+        );
+        let many = MultiProbe::build(
+            ds.clone(),
+            MultiProbeParams { probe_budget: 256, ..Default::default() },
+        );
+        let mut hits_few = 0;
+        let mut hits_many = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let want = (i * 100) as u32;
+            if few.query(q, 1).neighbors.first().is_some_and(|n| n.id == want) {
+                hits_few += 1;
+            }
+            if many.query(q, 1).neighbors.first().is_some_and(|n| n.id == want) {
+                hits_many += 1;
+            }
+        }
+        assert!(hits_many >= hits_few, "few={hits_few} many={hits_many}");
+        assert!(hits_many >= 20, "many-probe recall {hits_many}/25");
+    }
+
+    #[test]
+    fn no_duplicate_verifications() {
+        let ds = blob(500, 8, 22);
+        let q = ds.point(0).to_vec();
+        let mp = MultiProbe::build(ds, MultiProbeParams { probe_budget: 512, ..Default::default() });
+        let res = mp.query(&q, 5);
+        assert!(res.candidates_verified <= 500, "each point verified at most once");
+    }
+
+    #[test]
+    fn bucket_stats_reasonable() {
+        let mp = MultiProbe::build(blob(2000, 16, 23), MultiProbeParams::default());
+        assert!(mp.width() > 0.0);
+        assert!(mp.avg_bucket_size() >= 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! QALSH (Huang et al., PVLDB 9(1)): query-aware LSH with B+-trees and
+//! virtual rehashing.
+//!
+//! Preprocessing stores, for each of `K` query-aware hash functions
+//! `h_i(o) = a_i · o`, the pairs `(h_i(o), id)` in a B+-tree. A query
+//! anchors a window of half-width `w·R/2` at `h_i(q)` in every tree and
+//! counts *collisions*: a point colliding in at least `l = ⌈α*·K⌉` trees
+//! becomes a candidate and has its original distance verified. When a round
+//! ends without a satisfying answer, the radius grows (`R ← c·R`, "virtual
+//! rehashing") and the windows widen — the expanding B+-tree cursors continue
+//! where they stopped, so no entry is rescanned.
+//!
+//! Parameter derivation follows the QALSH paper: bucket width
+//! `w = sqrt(8c²ln c / (c²−1))`, collision probabilities `p₁ = 2Φ(w/2)−1`,
+//! `p₂ = 2Φ(w/2c)−1`, error probability `δ = 1/e`, false-positive fraction
+//! `β_q = 100/n`, and
+//!
+//! ```text
+//! α* = (p₁ √(ln(2/β_q)) + p₂ √(ln(1/δ))) / (√(ln(2/β_q)) + √(ln(1/δ)))
+//! K  = ⌈ ln(1/δ) / (2 (p₁ − α*)²) ⌉
+//! ```
+//!
+//! **Substitution note.** QALSH assumes distances are pre-normalized so the
+//! search radius sequence `R = 1, c, c², …` is meaningful. Our datasets are
+//! not normalized, so the start radius is selected from the sampled distance
+//! distribution exactly like PM-LSH's `r_min` (Section 4.5 of the PM-LSH
+//! paper); the round structure is unchanged.
+
+use crate::ann_index::{AnnIndex, AnnResult};
+use pm_lsh_bptree::{BPlusTree, ExpandingCursor};
+use pm_lsh_metric::{dot, euclidean, Dataset, PointId, TopK};
+use pm_lsh_stats::{distance_distribution, normal_cdf, Ecdf, Rng};
+use std::sync::Arc;
+
+/// Configuration for [`Qalsh`].
+#[derive(Clone, Copy, Debug)]
+pub struct QalshParams {
+    /// Approximation ratio `c > 1`.
+    pub c: f64,
+    /// Error probability `δ` (paper default `1/e`).
+    pub delta: f64,
+    /// False-positive fraction; `None` uses the paper's `100/n`.
+    pub beta: Option<f64>,
+    /// Bucket width; `None` derives `w = sqrt(8c²ln c/(c²−1))`.
+    pub w: Option<f64>,
+    /// Number of sampled pairs for the start-radius distribution.
+    pub distance_samples: usize,
+    /// Shrink factor for the start radius.
+    pub rmin_shrink: f64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl Default for QalshParams {
+    fn default() -> Self {
+        Self {
+            c: 1.5,
+            delta: 1.0 / std::f64::consts::E,
+            beta: None,
+            w: None,
+            distance_samples: 50_000,
+            rmin_shrink: 0.95,
+            seed: 0x0a15_0001,
+        }
+    }
+}
+
+/// Derived QALSH constants (exposed for tests and documentation).
+#[derive(Clone, Copy, Debug)]
+pub struct QalshDerived {
+    /// Bucket width `w`.
+    pub w: f64,
+    /// Collision probability at distance 1.
+    pub p1: f64,
+    /// Collision probability at distance `c`.
+    pub p2: f64,
+    /// Collision-ratio threshold `α*`.
+    pub alpha: f64,
+    /// Number of hash functions / B+-trees `K`.
+    pub k_tables: usize,
+    /// Collision-count threshold `l = ⌈α*·K⌉`.
+    pub threshold: usize,
+    /// False-positive fraction in effect.
+    pub beta: f64,
+}
+
+/// Derives the QALSH constants for a dataset of `n` points.
+pub fn derive_qalsh(params: &QalshParams, n: usize) -> QalshDerived {
+    assert!(params.c > 1.0, "approximation ratio must exceed 1");
+    let c = params.c;
+    let w = params.w.unwrap_or_else(|| (8.0 * c * c * c.ln() / (c * c - 1.0)).sqrt());
+    let p1 = 2.0 * normal_cdf(w / 2.0) - 1.0;
+    let p2 = 2.0 * normal_cdf(w / (2.0 * c)) - 1.0;
+    let beta = params.beta.unwrap_or_else(|| (100.0 / n as f64).min(0.5));
+    let l2b = (2.0 / beta).ln().sqrt();
+    let l1d = (1.0 / params.delta).ln().sqrt();
+    let alpha = (p1 * l2b + p2 * l1d) / (l2b + l1d);
+    let k_tables = ((1.0 / params.delta).ln() / (2.0 * (p1 - alpha).powi(2))).ceil() as usize;
+    let k_tables = k_tables.max(1);
+    let threshold = ((alpha * k_tables as f64).ceil() as usize).clamp(1, k_tables);
+    QalshDerived { w, p1, p2, alpha, k_tables, threshold, beta }
+}
+
+/// The QALSH index.
+pub struct Qalsh {
+    data: Arc<Dataset>,
+    /// `K × d` hash coefficients, row-major.
+    coeffs: Vec<f32>,
+    trees: Vec<BPlusTree>,
+    derived: QalshDerived,
+    params: QalshParams,
+    dist_f: Ecdf,
+}
+
+impl Qalsh {
+    /// Builds `K` B+-trees of projections.
+    pub fn build(data: impl Into<Arc<Dataset>>, params: QalshParams) -> Self {
+        let data = data.into();
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let n = data.len();
+        let d = data.dim();
+        let derived = derive_qalsh(&params, n);
+        let mut rng = Rng::new(params.seed);
+
+        let mut coeffs = vec![0.0f32; derived.k_tables * d];
+        rng.fill_normal(&mut coeffs);
+
+        let mut trees = Vec::with_capacity(derived.k_tables);
+        let mut pairs: Vec<(f32, PointId)> = Vec::with_capacity(n);
+        for t in 0..derived.k_tables {
+            let a = &coeffs[t * d..(t + 1) * d];
+            pairs.clear();
+            for (i, p) in data.iter().enumerate() {
+                pairs.push((dot(a, p), i as PointId));
+            }
+            pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+            trees.push(BPlusTree::bulk_load(&pairs));
+        }
+
+        let samples = params.distance_samples.min(n * (n - 1) / 2).max(1);
+        let dist_f = distance_distribution(data.view(), samples, &mut rng);
+        Self { data, coeffs, trees, derived, params, dist_f }
+    }
+
+    /// The derived constants in effect.
+    pub fn derived(&self) -> QalshDerived {
+        self.derived
+    }
+
+    fn hash(&self, table: usize, point: &[f32]) -> f32 {
+        let d = self.data.dim();
+        dot(&self.coeffs[table * d..(table + 1) * d], point)
+    }
+}
+
+impl AnnIndex for Qalsh {
+    fn name(&self) -> &'static str {
+        "QALSH"
+    }
+
+    fn query(&self, q: &[f32], k: usize) -> AnnResult {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        assert!(k >= 1, "k must be positive");
+        let n = self.data.len();
+        let kt = self.derived.k_tables;
+        let c = self.params.c;
+        let budget = ((self.derived.beta * n as f64).ceil() as usize + k).min(n);
+
+        let mut cursors: Vec<ExpandingCursor<'_>> = (0..kt)
+            .map(|t| ExpandingCursor::new(&self.trees[t], self.hash(t, q)))
+            .collect();
+
+        let mut counts = vec![0u16; n];
+        let mut top = TopK::new(k);
+        let mut verified = 0usize;
+        let threshold = self.derived.threshold as u16;
+
+        // Start radius from the distance distribution (see module docs).
+        let target = (self.derived.beta + k as f64 / n as f64).min(1.0);
+        let mut radius = (self.dist_f.quantile(target) * self.params.rmin_shrink)
+            .max(self.dist_f.quantile(0.0).max(1e-6));
+
+        loop {
+            // Round with search radius R: window half-width w·R/2 per tree.
+            let half = (self.derived.w * radius / 2.0) as f32;
+            'tables: for cursor in cursors.iter_mut() {
+                while let Some((_, id, _)) = cursor.next_within(half) {
+                    let cnt = &mut counts[id as usize];
+                    *cnt += 1;
+                    if *cnt == threshold {
+                        let dist = euclidean(q, self.data.point_id(id));
+                        top.push(dist, id);
+                        verified += 1;
+                        // Anytime terminal condition: βn + k candidates.
+                        if verified >= budget {
+                            break 'tables;
+                        }
+                    }
+                }
+            }
+            // Terminal condition 2: enough verified candidates overall.
+            if verified >= budget {
+                break;
+            }
+            // Terminal condition 1: k answers within c·R at the end of the
+            // round.
+            if top.is_full() && (top.kth_dist() as f64) <= c * radius {
+                break;
+            }
+            // All windows exhausted: every point was counted in every tree.
+            if cursors.iter_mut().all(|cur| cur.peek_offset().is_none()) {
+                break;
+            }
+            radius *= c;
+        }
+
+        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_constants_match_qalsh_paper_shapes() {
+        // c = 2 ⇒ w = sqrt(8·4·ln2/3) ≈ 2.719 (the QALSH paper's example).
+        let d = derive_qalsh(&QalshParams { c: 2.0, ..Default::default() }, 1_000_000);
+        assert!((d.w - 2.7190).abs() < 1e-3, "w={}", d.w);
+        assert!(d.p1 > d.alpha && d.alpha > d.p2, "p1={} α={} p2={}", d.p1, d.alpha, d.p2);
+        assert!(d.k_tables > 50 && d.k_tables < 400, "K={}", d.k_tables);
+        // tighter c needs more tables
+        let d15 = derive_qalsh(&QalshParams { c: 1.5, ..Default::default() }, 1_000_000);
+        assert!(d15.k_tables > d.k_tables);
+    }
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_planted_neighbor() {
+        let ds = blob(800, 24, 10);
+        let q = ds.point(13).to_vec();
+        let qalsh = Qalsh::build(ds, QalshParams::default());
+        let res = qalsh.query(&q, 1);
+        assert_eq!(res.neighbors[0].id, 13);
+    }
+
+    #[test]
+    fn verification_stays_within_budget() {
+        let n = 1200;
+        let ds = blob(n, 16, 11);
+        let qalsh = Qalsh::build(ds, QalshParams::default());
+        let derived = qalsh.derived();
+        let mut rng = Rng::new(12);
+        let mut q = vec![0.0f32; 16];
+        for _ in 0..5 {
+            rng.fill_normal(&mut q);
+            let res = qalsh.query(&q, 5);
+            let budget = (derived.beta * n as f64).ceil() as usize + 5;
+            assert!(res.candidates_verified <= budget.max(1));
+        }
+    }
+
+    #[test]
+    fn reasonable_recall_on_easy_data() {
+        let ds = blob(1500, 24, 13);
+        let queries: Vec<Vec<f32>> = (0..15).map(|i| ds.point(i * 97).to_vec()).collect();
+        let qalsh = Qalsh::build(ds, QalshParams::default());
+        let mut hits = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let res = qalsh.query(q, 10);
+            if res.neighbors.iter().any(|nb| nb.id as usize == i * 97) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 13, "self-hit recall {hits}/15");
+    }
+}

@@ -1,0 +1,176 @@
+//! R-LSH: the PM-LSH algorithm with the PM-tree swapped for an R-tree.
+//!
+//! This is the ablation of Section 6.1 ("we index the points in the
+//! projected space with an R-tree instead of a PM-tree to see how PM-LSH
+//! then performs"). Everything else — projections, Eq. 10 constants,
+//! `r_min` selection, Algorithm 2's radius enlargement and termination
+//! tests — is identical to `pm-lsh-core`, so any performance difference is
+//! attributable to the index structure, which is exactly what Table 2 and
+//! the Fig. 6 discussion analyze.
+
+use crate::ann_index::{AnnIndex, AnnResult};
+use pm_lsh_core::PmLshParams;
+use pm_lsh_hash::GaussianProjector;
+use pm_lsh_metric::{euclidean, Dataset, TopK};
+use pm_lsh_rtree::{RTree, RTreeConfig};
+use pm_lsh_stats::{distance_distribution, Ecdf, Rng};
+use std::sync::Arc;
+
+/// The R-LSH ablation index.
+pub struct RLsh {
+    data: Arc<Dataset>,
+    projector: GaussianProjector,
+    tree: RTree,
+    params: PmLshParams,
+    derived: pm_lsh_core::DerivedParams,
+    dist_f: Ecdf,
+}
+
+impl RLsh {
+    /// Builds exactly like [`pm_lsh_core::PmLsh`] but over an R-tree with
+    /// the same node capacity.
+    pub fn build(data: impl Into<Arc<Dataset>>, params: PmLshParams) -> Self {
+        let data = data.into();
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let derived = params.derive();
+        let mut rng = Rng::new(params.seed);
+        let projector = GaussianProjector::new(data.dim(), params.m as usize, &mut rng);
+        let projected = projector.project_all(data.view());
+        let rcfg = RTreeConfig {
+            capacity: params.tree.capacity,
+            min_fill: (params.tree.capacity * 2 / 5).max(1),
+        };
+        let tree = RTree::build(projected.view(), rcfg);
+        let dist_f = if data.len() >= 2 {
+            let pairs = params.distance_samples.min(data.len() * (data.len() - 1) / 2).max(1);
+            distance_distribution(data.view(), pairs, &mut rng)
+        } else {
+            Ecdf::new(vec![1.0])
+        };
+        Self { data, projector, tree, params, derived, dist_f }
+    }
+
+    /// The underlying R-tree (for cost-model experiments).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    fn select_rmin(&self, k: usize) -> f64 {
+        let n = self.data.len() as f64;
+        let target = (self.derived.beta + k as f64 / n).min(1.0);
+        let r = self.dist_f.quantile(target);
+        let r = if r > 0.0 { r } else { self.dist_f.quantile(1.0).max(1e-6) };
+        r * self.params.rmin_shrink
+    }
+}
+
+impl AnnIndex for RLsh {
+    fn name(&self) -> &'static str {
+        "R-LSH"
+    }
+
+    /// Algorithm 2, verbatim from `pm-lsh-core`, over the R-tree cursor.
+    fn query(&self, q: &[f32], k: usize) -> AnnResult {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        assert!(k >= 1, "k must be positive");
+        let n = self.data.len();
+        let c = self.params.c;
+        let budget = ((self.derived.beta * n as f64).ceil() as usize + k).min(n);
+        let qp = self.projector.project(q);
+        let mut cursor = self.tree.cursor(&qp);
+
+        let mut top = TopK::new(k);
+        let mut verified = 0usize;
+        let mut r = self.select_rmin(k);
+
+        loop {
+            if top.is_full() && (top.kth_dist() as f64) <= c * r {
+                break;
+            }
+            let proj_radius = (self.derived.t * r) as f32;
+            while verified < budget {
+                match cursor.next_within(proj_radius) {
+                    Some((id, _)) => {
+                        top.push(euclidean(q, self.data.point_id(id)), id);
+                        verified += 1;
+                    }
+                    None => break,
+                }
+            }
+            if verified >= budget || cursor.is_exhausted() {
+                break;
+            }
+            r *= c;
+        }
+
+        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_core::PmLsh;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn finds_planted_neighbor() {
+        let ds = blob(1000, 24, 30);
+        let q = ds.point(99).to_vec();
+        let rlsh = RLsh::build(ds, PmLshParams::paper_defaults());
+        let res = rlsh.query(&q, 1);
+        assert_eq!(res.neighbors[0].id, 99);
+    }
+
+    #[test]
+    fn same_quality_class_as_pmlsh() {
+        // Same algorithm, same constants, different tree: result quality
+        // must be comparable (identical candidate budgets).
+        let ds = Arc::new(blob(2500, 32, 31));
+        let queries: Vec<Vec<f32>> = (0..15).map(|i| ds.point(i * 31).to_vec()).collect();
+        let params = PmLshParams::paper_defaults();
+        let pmlsh = PmLsh::build(ds.clone(), params);
+        let rlsh = RLsh::build(ds.clone(), params);
+        let mut pm_hits = 0;
+        let mut r_hits = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let want = (i * 31) as u32;
+            if AnnIndex::query(&pmlsh, q, 10).neighbors.iter().any(|n| n.id == want) {
+                pm_hits += 1;
+            }
+            if rlsh.query(q, 10).neighbors.iter().any(|n| n.id == want) {
+                r_hits += 1;
+            }
+        }
+        assert!(pm_hits >= 14, "pm={pm_hits}");
+        assert!(r_hits >= 14, "r={r_hits}");
+    }
+
+    #[test]
+    fn budget_respected() {
+        let n = 1500;
+        let ds = blob(n, 16, 32);
+        let params = PmLshParams::default();
+        let beta = params.derive().beta;
+        let rlsh = RLsh::build(ds, params);
+        let mut rng = Rng::new(33);
+        let mut q = vec![0.0f32; 16];
+        rng.fill_normal(&mut q);
+        let res = rlsh.query(&q, 5);
+        assert!(res.candidates_verified <= (beta * n as f64).ceil() as usize + 5);
+    }
+}

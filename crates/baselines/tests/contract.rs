@@ -1,0 +1,119 @@
+//! Contract tests shared by every `AnnIndex` implementation: shape of the
+//! result, determinism, ordering, and behavior on degenerate inputs.
+
+use pm_lsh_baselines::{
+    AnnIndex, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh, QalshParams, RLsh, Srs,
+    SrsParams,
+};
+use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_metric::Dataset;
+use pm_lsh_stats::Rng;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut buf = vec![0.0f32; d];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+fn all_algorithms(data: Arc<Dataset>) -> Vec<Box<dyn AnnIndex>> {
+    vec![
+        Box::new(PmLsh::build(data.clone(), PmLshParams::default())),
+        Box::new(Srs::build(data.clone(), SrsParams::default())),
+        Box::new(Qalsh::build(data.clone(), QalshParams::default())),
+        Box::new(MultiProbe::build(data.clone(), MultiProbeParams::default())),
+        Box::new(RLsh::build(data.clone(), PmLshParams::default())),
+        Box::new(LScan::build(data, LScanParams::default())),
+    ]
+}
+
+#[test]
+fn results_sorted_unique_and_bounded() {
+    let data = Arc::new(blob(500, 12, 40));
+    let queries = blob(6, 12, 41);
+    for algo in all_algorithms(data.clone()) {
+        for q in queries.iter() {
+            let res = algo.query(q, 7);
+            assert!(res.neighbors.len() <= 7, "{}", algo.name());
+            for w in res.neighbors.windows(2) {
+                assert!(w[0].dist <= w[1].dist, "{} unsorted", algo.name());
+            }
+            let ids: std::collections::HashSet<u32> =
+                res.neighbors.iter().map(|n| n.id).collect();
+            assert_eq!(ids.len(), res.neighbors.len(), "{} duplicates", algo.name());
+            assert!(res.candidates_verified <= data.len(), "{}", algo.name());
+            for n in &res.neighbors {
+                assert!((n.id as usize) < data.len(), "{} id out of range", algo.name());
+                assert!(n.dist.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_rebuilds() {
+    let data = Arc::new(blob(300, 8, 42));
+    let q = data.point(5).to_vec();
+    for (a, b) in all_algorithms(data.clone()).iter().zip(all_algorithms(data.clone()).iter()) {
+        let ra = a.query(&q, 5);
+        let rb = b.query(&q, 5);
+        assert_eq!(ra.neighbors, rb.neighbors, "{} not deterministic", a.name());
+    }
+}
+
+#[test]
+fn k_equal_to_n_is_supported() {
+    let data = Arc::new(blob(40, 6, 43));
+    let q = data.point(0).to_vec();
+    for algo in all_algorithms(data.clone()) {
+        let res = algo.query(&q, 40);
+        assert!(!res.neighbors.is_empty(), "{}", algo.name());
+        // The query point itself must surface for every full-coverage
+        // algorithm; LScan legitimately misses points outside its 70% sample.
+        if algo.name() != "LScan" {
+            assert_eq!(res.neighbors[0].id, 0, "{}", algo.name());
+        } else {
+            assert!(res.neighbors.len() >= 40 * 6 / 10, "LScan must return its subset");
+        }
+    }
+}
+
+#[test]
+fn names_are_distinct() {
+    let data = Arc::new(blob(64, 4, 44));
+    let names: Vec<&str> = all_algorithms(data).iter().map(|a| a.name()).collect();
+    let set: std::collections::HashSet<&str> = names.iter().copied().collect();
+    assert_eq!(set.len(), names.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn planted_point_always_found_by_budgeted_algorithms(
+        seed in 0u64..200,
+        n in 50usize..300,
+        target in 0usize..50,
+    ) {
+        // Querying an indexed point exactly: PM-LSH, R-LSH and LScan at
+        // fraction 1.0 must place it first (distance 0 collides and
+        // projects to distance 0).
+        let data = Arc::new(blob(n, 8, seed));
+        let q = data.point(target % n).to_vec();
+        let algos: Vec<Box<dyn AnnIndex>> = vec![
+            Box::new(PmLsh::build(data.clone(), PmLshParams::default())),
+            Box::new(RLsh::build(data.clone(), PmLshParams::default())),
+            Box::new(LScan::build(data.clone(), LScanParams { fraction: 1.0, seed: 1 })),
+        ];
+        for algo in &algos {
+            let res = algo.query(&q, 1);
+            prop_assert_eq!(res.neighbors[0].dist, 0.0, "{}", algo.name());
+        }
+    }
+}

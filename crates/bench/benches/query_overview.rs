@@ -1,0 +1,37 @@
+//! Criterion bench behind Table 4: per-query latency of all six algorithms
+//! on two contrasting datasets (easy Audio vs hard NUS stand-ins) at
+//! smoke scale. The `table4_overview` binary produces the full table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_bench::{build_all, Workbench};
+use pm_lsh_data::{PaperDataset, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_query_overview(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("table4_query");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for ds in [PaperDataset::Audio, PaperDataset::Nus] {
+        let wb = Workbench::prepare(ds, Scale::Smoke, 8, 50);
+        let algos = build_all(wb.data.clone(), 1.5);
+        for algo in &algos {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), ds.name()),
+                &wb,
+                |bencher, wb| {
+                    let mut qi = 0usize;
+                    bencher.iter(|| {
+                        let q = wb.queries.point(qi % wb.queries.len());
+                        qi += 1;
+                        black_box(algo.query(black_box(q), 50))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_overview);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the substrates: distance kernels, χ² quantiles, tree
+//! construction and traversal primitives. These back the engineering claims
+//! (unrolled kernels, lazy lower bounds) rather than a specific paper
+//! artifact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pm_lsh_bptree::BPlusTree;
+use pm_lsh_metric::sq_dist;
+use pm_lsh_pmtree::{PmTree, PmTreeConfig};
+use pm_lsh_rtree::{RTree, RTreeConfig};
+use pm_lsh_stats::{chi2_quantile, Rng};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn random_matrix(n: usize, d: usize, seed: u64) -> pm_lsh_metric::Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = pm_lsh_metric::Dataset::with_capacity(d, n);
+    let mut buf = vec![0.0f32; d];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+fn bench_substrates(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("substrates");
+    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    // distance kernel at the paper's dimensionalities
+    for d in [15usize, 192, 960, 4096] {
+        let m = random_matrix(2, d, 1);
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::new("sq_dist", d), &d, |bencher, _| {
+            bencher.iter(|| black_box(sq_dist(black_box(m.point(0)), black_box(m.point(1)))));
+        });
+    }
+
+    // χ² quantile (the Eq. 10 derivation path)
+    group.bench_function("chi2_quantile_m15", |bencher| {
+        bencher.iter(|| black_box(chi2_quantile(black_box(0.6321), 15)));
+    });
+
+    // index construction over 2k projected points
+    let projected = random_matrix(2000, 15, 2);
+    group.bench_function("pmtree_build_2k", |bencher| {
+        bencher.iter(|| {
+            let mut rng = Rng::new(3);
+            black_box(PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng))
+        });
+    });
+    group.bench_function("rtree_build_2k", |bencher| {
+        bencher.iter(|| black_box(RTree::build(projected.view(), RTreeConfig::default())));
+    });
+    group.bench_function("bptree_bulk_load_2k", |bencher| {
+        let mut pairs: Vec<(f32, u32)> =
+            projected.iter().enumerate().map(|(i, p)| (p[0], i as u32)).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        bencher.iter(|| black_box(BPlusTree::bulk_load(black_box(&pairs))));
+    });
+
+    // incremental NN traversal
+    let mut rng = Rng::new(4);
+    let pm = PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng);
+    let rt = RTree::build(projected.view(), RTreeConfig::default());
+    let q: Vec<f32> = projected.point(7).to_vec();
+    group.bench_function("pmtree_knn50", |bencher| {
+        bencher.iter(|| black_box(pm.knn(black_box(&q), 50)));
+    });
+    group.bench_function("rtree_knn50", |bencher| {
+        bencher.iter(|| black_box(rt.knn(black_box(&q), 50)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench behind Figs. 7–9: PM-LSH and SRS latency across k on the
+//! Cifar stand-in (the paper's observation is that time is ~flat in k).
+//! The `fig7_9_vary_k` binary sweeps all algorithms and datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_baselines::{AnnIndex, Srs, SrsParams};
+use pm_lsh_bench::Workbench;
+use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_data::{PaperDataset, Scale};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_vary_k(criterion: &mut Criterion) {
+    let wb = Workbench::prepare(PaperDataset::Cifar, Scale::Smoke, 8, 100);
+    let pm = PmLsh::build(wb.data.clone(), PmLshParams::paper_defaults());
+    let srs = Srs::build(wb.data.clone(), SrsParams::default());
+
+    let mut group = criterion.benchmark_group("fig7_9_vary_k");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    for k in [1usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("PM-LSH", k), &k, |bencher, &k| {
+            let mut qi = 0usize;
+            bencher.iter(|| {
+                let q = wb.queries.point(qi % wb.queries.len());
+                qi += 1;
+                black_box(AnnIndex::query(&pm, black_box(q), k))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("SRS", k), &k, |bencher, &k| {
+            let mut qi = 0usize;
+            bencher.iter(|| {
+                let q = wb.queries.point(qi % wb.queries.len());
+                qi += 1;
+                black_box(srs.query(black_box(q), k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_k);
+criterion_main!(benches);

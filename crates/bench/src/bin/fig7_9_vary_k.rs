@@ -1,0 +1,61 @@
+//! Figs. 7–9 — query time, recall and overall ratio when varying
+//! `k ∈ {1, 10, 20, …, 100}` on the Cifar, Deep and Trevi stand-ins.
+//!
+//! ```text
+//! cargo run -p pm-lsh-bench --release --bin fig7_9_vary_k
+//! ```
+
+use pm_lsh_bench::{build_all, f, queries_from_env, scale_from_env, Table, Workbench};
+use pm_lsh_data::{PaperDataset, WorkloadMetrics};
+
+fn main() {
+    let scale = scale_from_env();
+    let n_queries = queries_from_env();
+    let ks: Vec<usize> = std::iter::once(1).chain((1..=10).map(|i| i * 10)).collect();
+    let k_max = *ks.last().unwrap();
+
+    for (fig, ds) in [
+        ("Fig. 7", PaperDataset::Cifar),
+        ("Fig. 8", PaperDataset::Deep),
+        ("Fig. 9", PaperDataset::Trevi),
+    ] {
+        let wb = Workbench::prepare(ds, scale, n_queries, k_max);
+        eprintln!("{fig}: {} prepared (n = {})", ds.name(), wb.data.len());
+        let algos = build_all(wb.data.clone(), 1.5);
+
+        // One run per (k, algorithm); all three figures read the same runs.
+        let mut grid: Vec<Vec<WorkloadMetrics>> = Vec::with_capacity(ks.len());
+        for &k in &ks {
+            let row: Vec<WorkloadMetrics> =
+                algos.iter().map(|a| wb.run(a.as_ref(), k)).collect();
+            eprintln!("  k = {k} done");
+            grid.push(row);
+        }
+
+        let mut headers = vec!["k".to_string()];
+        headers.extend(algos.iter().map(|a| a.name().to_string()));
+        let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+        for (metric, select) in [
+            ("time(ms)", 0usize),
+            ("recall", 1),
+            ("ratio", 2),
+        ] {
+            let mut table = Table::new(&hdr);
+            for (ki, &k) in ks.iter().enumerate() {
+                let mut row = vec![k.to_string()];
+                for m in &grid[ki] {
+                    row.push(match select {
+                        0 => f(m.avg_query_ms, 2),
+                        1 => f(m.recall, 4),
+                        _ => f(m.overall_ratio, 4),
+                    });
+                }
+                table.row(row);
+            }
+            println!("{fig} — {metric} on {} when varying k", ds.name());
+            println!("{}", table.render());
+        }
+    }
+    println!("(paper shape: time ~flat in k; recall decreases and ratio increases with k)");
+}

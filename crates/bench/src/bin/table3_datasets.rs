@@ -1,0 +1,50 @@
+//! Table 3 — dataset statistics: cardinality, dimensionality, HV, RC, LID.
+//!
+//! Computes the three difficulty statistics on the synthetic stand-ins and
+//! prints them next to the paper's values for the real datasets, so the
+//! fidelity of the substitution is visible at a glance.
+//!
+//! ```text
+//! cargo run -p pm-lsh-bench --release --bin table3_datasets
+//! ```
+
+use pm_lsh_bench::{f, scale_from_env, Table};
+use pm_lsh_data::PaperDataset;
+use pm_lsh_stats::dataset_stats::{homogeneity_of_viewpoints, lid_mle, relative_contrast};
+use pm_lsh_stats::Rng;
+
+fn main() {
+    let scale = scale_from_env();
+    let mut table = Table::new(&[
+        "Dataset", "n", "d", "HV", "HV(paper)", "RC", "RC(paper)", "LID", "LID(paper)",
+    ]);
+
+    for ds in PaperDataset::ALL {
+        let stats = ds.paper_stats();
+        let generator = ds.generator(scale);
+        let data = generator.dataset();
+        let mut rng = Rng::new(0x7ab1e3 ^ ds as u64);
+
+        // Statistic sample sizes follow their literature defaults: LID with
+        // k = 100 neighbors (Amsaleg et al.), RC over sampled queries.
+        let queries = 30.min(data.len() / 4);
+        let hv = homogeneity_of_viewpoints(data.view(), 24, 400, &mut rng);
+        let rc = relative_contrast(data.view(), queries, &mut rng);
+        let lid = lid_mle(data.view(), queries, 100.min(data.len() / 2), &mut rng);
+
+        eprintln!("{}: computed", ds.name());
+        table.row(vec![
+            ds.name().to_string(),
+            data.len().to_string(),
+            data.dim().to_string(),
+            f(hv, 4),
+            f(stats.hv, 4),
+            f(rc, 2),
+            f(stats.rc, 2),
+            f(lid, 1),
+            f(stats.lid, 1),
+        ]);
+    }
+    println!("Table 3 — dataset statistics (stand-ins vs paper)");
+    println!("{}", table.render());
+}

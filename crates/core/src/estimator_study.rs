@@ -1,0 +1,258 @@
+//! The Fig. 3 estimator study: recall and overall ratio of four distance
+//! estimators (L2, L1, QD, Rand) as a function of the candidate budget `T`.
+//!
+//! Protocol (Section 3.2 of the paper): sample a dataset, compute each
+//! query's exact 100-NN, project everything with `m = 15` hash functions,
+//! rank all points by each estimator, keep the top `T` by estimated
+//! distance, and report how well the best 100 (by *true* distance) of those
+//! `T` match the exact 100-NN.
+
+use pm_lsh_hash::GaussianProjector;
+use pm_lsh_metric::{dist::l1_dist, euclidean, Dataset, TopK};
+use pm_lsh_stats::Rng;
+
+/// The candidate-ranking estimators compared in Fig. 3.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Estimator {
+    /// Projected Euclidean distance — the paper's estimator (Lemma 2).
+    L2,
+    /// Projected Manhattan distance.
+    L1,
+    /// Quantization distance: Euclidean distance from the projected query
+    /// to the *bucket cell* of the point ("point to bucket" granularity, a
+    /// real-valued analogue of GQR's QD ranking). The field is the bucket
+    /// width `w`.
+    Qd(f32),
+    /// A random score — the sanity floor.
+    Rand,
+}
+
+impl Estimator {
+    /// Short display name matching the figure legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Estimator::L2 => "L2",
+            Estimator::L1 => "L1",
+            Estimator::Qd(_) => "QD",
+            Estimator::Rand => "Rand",
+        }
+    }
+
+    fn score(&self, q_proj: &[f32], o_proj: &[f32], rng: &mut Rng) -> f32 {
+        match *self {
+            Estimator::L2 => euclidean(q_proj, o_proj),
+            Estimator::L1 => l1_dist(q_proj, o_proj),
+            Estimator::Qd(w) => {
+                // distance from q' to the axis-aligned bucket cell of o'
+                let mut acc = 0.0f32;
+                for (&qv, &ov) in q_proj.iter().zip(o_proj) {
+                    let lo = (ov / w).floor() * w;
+                    let hi = lo + w;
+                    let gap = if qv < lo {
+                        lo - qv
+                    } else if qv > hi {
+                        qv - hi
+                    } else {
+                        0.0
+                    };
+                    acc += gap * gap;
+                }
+                acc.sqrt()
+            }
+            Estimator::Rand => rng.f32(),
+        }
+    }
+}
+
+/// One `(T, recall, overall ratio)` measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct EstimatorPoint {
+    /// Candidate budget `T`.
+    pub t: usize,
+    /// Average recall of the reconstructed 100-NN.
+    pub recall: f64,
+    /// Average overall ratio (Eq. 11).
+    pub ratio: f64,
+}
+
+/// Full result for one estimator.
+#[derive(Clone, Debug)]
+pub struct EstimatorCurve {
+    /// Which estimator produced the curve.
+    pub estimator: Estimator,
+    /// Measurements, one per requested `T`.
+    pub points: Vec<EstimatorPoint>,
+}
+
+/// Runs the study. `k` is the ground-truth depth (100 in the paper).
+pub fn estimator_study(
+    data: &Dataset,
+    queries: &Dataset,
+    m: usize,
+    k: usize,
+    ts: &[usize],
+    estimators: &[Estimator],
+    seed: u64,
+) -> Vec<EstimatorCurve> {
+    assert_eq!(data.dim(), queries.dim(), "dimensionality mismatch");
+    assert!(k <= data.len(), "ground-truth depth exceeds dataset size");
+    let mut rng = Rng::new(seed);
+    let projector = GaussianProjector::new(data.dim(), m, &mut rng);
+    let proj_data = projector.project_all(data.view());
+    let proj_queries = projector.project_all(queries.view());
+
+    // Exact k-NN (ground truth) per query, by brute force.
+    let truth: Vec<Vec<pm_lsh_metric::Neighbor>> = queries
+        .iter()
+        .map(|q| {
+            let mut top = TopK::new(k);
+            for (i, p) in data.iter().enumerate() {
+                top.push(euclidean(q, p), i as u32);
+            }
+            top.into_sorted_vec()
+        })
+        .collect();
+
+    let max_t = ts.iter().copied().max().unwrap_or(0).min(data.len());
+
+    estimators
+        .iter()
+        .map(|&est| {
+            let mut sums: Vec<(f64, f64)> = vec![(0.0, 0.0); ts.len()];
+            for (qi, q_proj) in proj_queries.iter().enumerate() {
+                // Rank all points by the estimator.
+                let mut scored: Vec<(f32, u32)> = proj_data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o_proj)| (est.score(q_proj, o_proj, &mut rng), i as u32))
+                    .collect();
+                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+                scored.truncate(max_t);
+                // True distances of the ranked prefix, incrementally.
+                let q = queries.point(qi);
+                let mut top = TopK::new(k);
+                let mut upto = 0usize;
+                for (ti, &t) in ts.iter().enumerate() {
+                    let t = t.min(scored.len());
+                    while upto < t {
+                        let id = scored[upto].1;
+                        top.push(euclidean(q, data.point_id(id)), id);
+                        upto += 1;
+                    }
+                    let found = top.clone().into_sorted_vec();
+                    let (recall, ratio) = score_against_truth(&found, &truth[qi]);
+                    sums[ti].0 += recall;
+                    sums[ti].1 += ratio;
+                }
+            }
+            let nq = queries.len() as f64;
+            EstimatorCurve {
+                estimator: est,
+                points: ts
+                    .iter()
+                    .zip(&sums)
+                    .map(|(&t, &(r, o))| EstimatorPoint { t, recall: r / nq, ratio: o / nq })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Recall (Eq. 12) and overall ratio (Eq. 11) of `found` w.r.t. the exact
+/// `truth` (both ascending). Missing positions count as ratio 1 denominator
+/// pairing: the ratio is computed over the found prefix, padded with the
+/// worst found distance when fewer than `k` candidates exist.
+fn score_against_truth(
+    found: &[pm_lsh_metric::Neighbor],
+    truth: &[pm_lsh_metric::Neighbor],
+) -> (f64, f64) {
+    let k = truth.len();
+    let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
+    let hits = found.iter().filter(|n| truth_ids.contains(&n.id)).count();
+    let recall = hits as f64 / k as f64;
+
+    let mut ratio_acc = 0.0f64;
+    let mut counted = 0usize;
+    for (f, t) in found.iter().zip(truth) {
+        if t.dist > 0.0 {
+            ratio_acc += f.dist as f64 / t.dist as f64;
+            counted += 1;
+        }
+    }
+    let ratio = if counted == 0 { 1.0 } else { ratio_acc / counted as f64 };
+    (recall, ratio.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn l2_beats_rand_and_improves_with_t() {
+        let data = blob(2000, 48, 1);
+        let queries = blob(10, 48, 2);
+        let ts = [50usize, 200, 800];
+        let curves = estimator_study(
+            &data,
+            &queries,
+            15,
+            20,
+            &ts,
+            &[Estimator::L2, Estimator::Rand],
+            3,
+        );
+        let l2 = &curves[0];
+        let rand = &curves[1];
+        // L2 recall must dominate Rand at every T
+        for (a, b) in l2.points.iter().zip(&rand.points) {
+            assert!(a.recall > b.recall, "T={}: L2 {} vs Rand {}", a.t, a.recall, b.recall);
+            assert!(a.ratio <= b.ratio + 1e-9);
+        }
+        // and be monotone in T
+        assert!(l2.points[0].recall <= l2.points[2].recall + 1e-9);
+        // with T = 40% of n, L2 recall should be strong
+        assert!(l2.points[2].recall > 0.8, "recall {}", l2.points[2].recall);
+    }
+
+    #[test]
+    fn qd_between_l2_and_rand() {
+        let data = blob(1500, 32, 4);
+        let queries = blob(8, 32, 5);
+        let curves = estimator_study(
+            &data,
+            &queries,
+            15,
+            20,
+            &[300],
+            &[Estimator::L2, Estimator::Qd(4.0), Estimator::Rand],
+            6,
+        );
+        let (l2, qd, rand) =
+            (curves[0].points[0], curves[1].points[0], curves[2].points[0]);
+        assert!(l2.recall >= qd.recall - 0.05, "L2 {} vs QD {}", l2.recall, qd.recall);
+        assert!(qd.recall > rand.recall, "QD {} vs Rand {}", qd.recall, rand.recall);
+    }
+
+    #[test]
+    fn perfect_estimator_with_full_budget() {
+        // T = n makes every estimator perfect (all points verified).
+        let data = blob(300, 16, 7);
+        let queries = blob(4, 16, 8);
+        let curves =
+            estimator_study(&data, &queries, 15, 10, &[300], &[Estimator::Rand], 9);
+        let p = curves[0].points[0];
+        assert!((p.recall - 1.0).abs() < 1e-9);
+        assert!((p.ratio - 1.0).abs() < 1e-9);
+    }
+}

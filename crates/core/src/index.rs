@@ -1,0 +1,370 @@
+//! The PM-LSH index: build, (r,c)-BC queries (Algorithm 1) and (c,k)-ANN
+//! queries (Algorithm 2).
+
+use crate::params::{DerivedParams, PmLshParams};
+use pm_lsh_hash::GaussianProjector;
+use pm_lsh_metric::{euclidean, Dataset, Neighbor, TopK};
+use pm_lsh_pmtree::PmTree;
+use pm_lsh_stats::{distance_distribution, Ecdf, Rng};
+use std::sync::Arc;
+
+/// Per-query execution counters, used by the benchmark harness and by the
+/// Theorem 2 cost tests (`O(log n + βn)` behaviour).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates whose original-space distance was verified.
+    pub candidates_verified: usize,
+    /// Distance computations inside the projected space (PM-tree traversal).
+    pub projected_dist_computations: u64,
+    /// Radius-enlargement rounds executed (1 means `r_min` sufficed).
+    pub rounds: u32,
+}
+
+/// Result of a `(c, k)`-ANN query: neighbors sorted by ascending original
+/// distance plus the execution counters.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Up to `k` approximate nearest neighbors.
+    pub neighbors: Vec<Neighbor>,
+    /// Execution counters.
+    pub stats: QueryStats,
+}
+
+/// The PM-LSH index over a dataset in `R^d`.
+///
+/// Building projects every point through `m` Gaussian hash functions
+/// (Eq. 3), indexes the projections in a [`PmTree`], and samples the
+/// distance distribution `F` used to choose the start radius `r_min`
+/// (Section 4.5).
+///
+/// ```
+/// use pm_lsh_core::{PmLsh, PmLshParams};
+/// use pm_lsh_metric::Dataset;
+/// use pm_lsh_stats::Rng;
+///
+/// let mut rng = Rng::new(7);
+/// let mut ds = Dataset::with_capacity(32, 500);
+/// let mut buf = [0.0f32; 32];
+/// for _ in 0..500 {
+///     rng.fill_normal(&mut buf);
+///     ds.push(&buf);
+/// }
+/// let query = ds.point(0).to_vec();
+/// let index = PmLsh::build(ds, PmLshParams::default());
+/// let res = index.query(&query, 3);
+/// assert_eq!(res.neighbors[0].id, 0); // the point itself
+/// ```
+#[derive(Clone, Debug)]
+pub struct PmLsh {
+    data: Arc<Dataset>,
+    projector: GaussianProjector,
+    tree: PmTree,
+    params: PmLshParams,
+    derived: DerivedParams,
+    dist_f: Ecdf,
+}
+
+impl PmLsh {
+    /// Builds the index. Accepts an owned [`Dataset`] or an `Arc<Dataset>`
+    /// shared with other indexes (the benchmark harness compares six
+    /// algorithms over one in-memory copy).
+    pub fn build(data: impl Into<Arc<Dataset>>, params: PmLshParams) -> Self {
+        let data = data.into();
+        let mut rng = Rng::new(params.seed);
+        let projector = GaussianProjector::new(data.dim(), params.m as usize, &mut rng);
+        Self::build_with_projector(data, projector, params, &mut rng)
+    }
+
+    /// Builds with a caller-supplied projector (used by ablations that share
+    /// one projection across algorithms, and by the running-example tests).
+    pub fn build_with_projector(
+        data: impl Into<Arc<Dataset>>,
+        projector: GaussianProjector,
+        params: PmLshParams,
+        rng: &mut Rng,
+    ) -> Self {
+        let data = data.into();
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        assert_eq!(projector.input_dim(), data.dim(), "projector dimensionality mismatch");
+        assert_eq!(projector.output_dim(), params.m as usize, "projector m mismatch");
+        let derived = params.derive();
+        let projected = projector.project_all(data.view());
+        let tree = PmTree::build(projected.view(), params.tree, rng);
+        let dist_f = if data.len() >= 2 {
+            let pairs = params.distance_samples.min(data.len() * (data.len() - 1) / 2).max(1);
+            distance_distribution(data.view(), pairs, rng)
+        } else {
+            // Degenerate single-point dataset: any start radius works, the
+            // radius enlargement of Algorithm 2 takes over immediately.
+            Ecdf::new(vec![1.0])
+        };
+        Self { data, projector, tree, params, derived, dist_f }
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the index is empty (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The effective parameters.
+    pub fn params(&self) -> &PmLshParams {
+        &self.params
+    }
+
+    /// The Eq. 10 derivation in effect.
+    pub fn derived(&self) -> DerivedParams {
+        self.derived
+    }
+
+    /// The underlying PM-tree (exposed for cost-model experiments).
+    pub fn tree(&self) -> &PmTree {
+        &self.tree
+    }
+
+    /// The sampled original-space distance distribution `F`.
+    pub fn distance_distribution(&self) -> &Ecdf {
+        &self.dist_f
+    }
+
+    /// The start radius of Algorithm 2 for a given `k`: the paper picks `r`
+    /// with `n·F(r) = βn + k`, then shrinks it slightly.
+    pub fn select_rmin(&self, k: usize) -> f64 {
+        let n = self.data.len() as f64;
+        let target = (self.derived.beta + k as f64 / n).min(1.0);
+        let r = self.dist_f.quantile(target);
+        let r = if r > 0.0 { r } else { self.dist_f.quantile(1.0).max(1e-6) };
+        r * self.params.rmin_shrink
+    }
+
+    /// Algorithm 2: the `(c, k)`-ANN query with the build-time `c`.
+    pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
+        self.query_with_c(q, k, self.params.c)
+    }
+
+    /// Algorithm 2 with an explicit approximation ratio (the Figs. 10–11
+    /// time/quality trade-off sweeps vary `c` per query). The candidate
+    /// budget `βn + k` is re-derived for the given `c` unless the index was
+    /// built with a pinned `β`.
+    pub fn query_with_c(&self, q: &[f32], k: usize, c: f64) -> QueryResult {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        assert!(k >= 1, "k must be positive");
+        assert!(c > 1.0, "approximation ratio must exceed 1");
+        let derived = if c == self.params.c {
+            self.derived
+        } else {
+            // A pinned β (paper operating point) applies to the build-time c
+            // only; sweeps over c re-derive the budget from Eq. 10.
+            PmLshParams { c, beta_override: None, ..self.params }.derive()
+        };
+
+        let n = self.data.len();
+        let budget = ((derived.beta * n as f64).ceil() as usize + k).min(n);
+        let qp = self.projector.project(q);
+        let mut cursor = self.tree.cursor(&qp);
+
+        let mut top = TopK::new(k);
+        let mut verified = 0usize;
+        let mut rounds = 0u32;
+        let mut r = self.select_rmin(k);
+
+        loop {
+            rounds += 1;
+            // Termination test of Algorithm 2 line 4: k candidates already
+            // within c·r of the query.
+            if top.is_full() && (top.kth_dist() as f64) <= c * r {
+                break;
+            }
+            // Pull candidates from the incremental range query B(q', t·r).
+            let proj_radius = (derived.t * r) as f32;
+            while verified < budget {
+                match cursor.next_within(proj_radius) {
+                    Some((id, _proj_dist)) => {
+                        let d = euclidean(q, self.data.point_id(id));
+                        top.push(d, id);
+                        verified += 1;
+                    }
+                    None => break,
+                }
+            }
+            // Termination test of line 9: candidate budget exhausted.
+            if verified >= budget {
+                break;
+            }
+            // The whole tree was consumed below the current radius.
+            if cursor.is_exhausted() {
+                break;
+            }
+            r *= c;
+        }
+
+        QueryResult {
+            neighbors: top.into_sorted_vec(),
+            stats: QueryStats {
+                candidates_verified: verified,
+                projected_dist_computations: cursor.distance_computations(),
+                rounds,
+            },
+        }
+    }
+
+    /// Algorithm 1: the `(r, c)`-ball-cover query. Returns a point within
+    /// `c·r` of `q` (the closest verified candidate) or `None`, with the
+    /// guarantees of Lemma 5.
+    pub fn query_bc(&self, q: &[f32], r: f64) -> Option<Neighbor> {
+        assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
+        assert!(r > 0.0, "radius must be positive");
+        let n = self.data.len();
+        let beta_n = (self.derived.beta * n as f64).ceil() as usize;
+        let qp = self.projector.project(q);
+        let mut cursor = self.tree.cursor(&qp);
+        let proj_radius = (self.derived.t * r) as f32;
+
+        let mut best: Option<Neighbor> = None;
+        let mut count = 0usize;
+        while let Some((id, _)) = cursor.next_within(proj_radius) {
+            let d = euclidean(q, self.data.point_id(id));
+            if best.is_none_or(|b| Neighbor::new(d, id) < b) {
+                best = Some(Neighbor::new(d, id));
+            }
+            count += 1;
+            if count > beta_n {
+                // Line 3–4: enough candidates guarantee one inside B(q, cr).
+                return best;
+            }
+        }
+        // Line 6–9: fewer than βn+1 candidates — only answer when a
+        // verified point is inside B(q, cr).
+        match best {
+            Some(b) if (b.dist as f64) <= self.params.c * r => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Projects an arbitrary point with this index's hash functions.
+    pub fn project(&self, point: &[f32]) -> Vec<f32> {
+        self.projector.project(point)
+    }
+
+    /// Answers a batch of queries in parallel over `threads` OS threads
+    /// (0 = available parallelism). The index is immutable after build, so
+    /// queries share it without synchronization; results keep query order.
+    pub fn query_batch(
+        &self,
+        queries: pm_lsh_metric::MatrixView<'_>,
+        k: usize,
+        threads: usize,
+    ) -> Vec<QueryResult> {
+        assert_eq!(queries.dim(), self.data.dim(), "queries have wrong dimensionality");
+        let nq = queries.len();
+        if nq == 0 {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(nq);
+        let mut results: Vec<Option<QueryResult>> = (0..nq).map(|_| None).collect();
+        let chunk = nq.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+                let start = t * chunk;
+                scope.spawn(move || {
+                    for (j, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = Some(self.query(queries.point(start + j), k));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|r| r.expect("all query slots filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PmLshParams;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let data = blob(800, 16, 61);
+        let queries = blob(13, 16, 62);
+        let index = PmLsh::build(data, PmLshParams::default());
+        let batch = index.query_batch(queries.view(), 5, 4);
+        assert_eq!(batch.len(), 13);
+        for (qi, q) in queries.iter().enumerate() {
+            let single = index.query(q, 5);
+            assert_eq!(batch[qi].neighbors, single.neighbors);
+            assert_eq!(batch[qi].stats, single.stats);
+        }
+    }
+
+    #[test]
+    fn batch_with_more_threads_than_queries() {
+        let data = blob(300, 8, 63);
+        let queries = blob(2, 8, 64);
+        let index = PmLsh::build(data, PmLshParams::default());
+        let batch = index.query_batch(queries.view(), 3, 16);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let data = blob(100, 4, 65);
+        let queries = Dataset::with_capacity(4, 0);
+        let index = PmLsh::build(data, PmLshParams::default());
+        assert!(index.query_batch(queries.view(), 3, 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_everything() {
+        let data = blob(20, 4, 66);
+        let q = data.point(0).to_vec();
+        let index = PmLsh::build(data, PmLshParams::default());
+        let res = index.query(&q, 50);
+        assert_eq!(res.neighbors.len(), 20, "k > n must return all points");
+        assert_eq!(res.neighbors[0].id, 0);
+    }
+
+    #[test]
+    fn singleton_dataset() {
+        let data = Dataset::from_rows(vec![vec![1.0, 2.0, 3.0]]);
+        let index = PmLsh::build(data, PmLshParams::default());
+        let res = index.query(&[1.0, 2.0, 3.0], 1);
+        assert_eq!(res.neighbors.len(), 1);
+        assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_dataset() {
+        let mut rows = vec![vec![5.0f32; 8]; 50];
+        rows.extend(vec![vec![-5.0f32; 8]; 50]);
+        let data = Dataset::from_rows(rows);
+        let index = PmLsh::build(data, PmLshParams::default());
+        let res = index.query(&[5.0f32; 8], 10);
+        assert_eq!(res.neighbors.len(), 10);
+        assert!(res.neighbors.iter().all(|n| n.dist == 0.0 && n.id < 50));
+    }
+}

@@ -1,0 +1,108 @@
+//! Exact k-NN ground truth by parallel brute force.
+//!
+//! Every accuracy metric in the paper (recall, overall ratio) is defined
+//! against the exact answer, so the harness computes it once per
+//! dataset/query-set pair. Queries are embarrassingly parallel; a scoped
+//! thread pool splits them across cores.
+
+use pm_lsh_metric::{euclidean, MatrixView, Neighbor, TopK};
+
+/// Exact `k` nearest neighbors of one query (ascending distance).
+pub fn exact_knn(data: MatrixView<'_>, q: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut top = TopK::new(k);
+    for (i, p) in data.iter().enumerate() {
+        top.push(euclidean(q, p), i as u32);
+    }
+    top.into_sorted_vec()
+}
+
+/// Exact `k`-NN for a batch of queries, parallelized over `threads` OS
+/// threads (pass 0 to use the available parallelism).
+pub fn exact_knn_batch(
+    data: MatrixView<'_>,
+    queries: MatrixView<'_>,
+    k: usize,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(data.dim(), queries.dim(), "dimensionality mismatch");
+    let nq = queries.len();
+    if nq == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(nq);
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); nq];
+    let chunk = nq.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (j, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = exact_knn(data, queries.point(start + j), k);
+                }
+            });
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_metric::Dataset;
+    use pm_lsh_stats::Rng;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let data = blob(400, 8, 1);
+        let queries = blob(17, 8, 2);
+        let batch = exact_knn_batch(data.view(), queries.view(), 5, 4);
+        assert_eq!(batch.len(), 17);
+        for (i, row) in batch.iter().enumerate() {
+            let single = exact_knn(data.view(), queries.point(i), 5);
+            assert_eq!(row, &single);
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_many() {
+        let data = blob(300, 6, 3);
+        let queries = blob(9, 6, 4);
+        let a = exact_knn_batch(data.view(), queries.view(), 3, 1);
+        let b = exact_knn_batch(data.view(), queries.view(), 3, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn results_are_sorted_and_exact() {
+        let data = blob(200, 4, 5);
+        let q = data.point(11).to_vec();
+        let nn = exact_knn(data.view(), &q, 3);
+        assert_eq!(nn[0].id, 11);
+        assert_eq!(nn[0].dist, 0.0);
+        assert!(nn[0].dist <= nn[1].dist && nn[1].dist <= nn[2].dist);
+    }
+
+    #[test]
+    fn empty_queries_ok() {
+        let data = blob(10, 4, 6);
+        let queries = Dataset::with_capacity(4, 0);
+        assert!(exact_knn_batch(data.view(), queries.view(), 2, 0).is_empty());
+    }
+}

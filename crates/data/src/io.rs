@@ -1,0 +1,294 @@
+//! Dataset file I/O: the `fvecs` / `ivecs` formats of the ANN-benchmarks
+//! ecosystem (TEXMEX) and a simple CSV reader/writer.
+//!
+//! The seven datasets of the paper are distributed as `fvecs` (Audio, Deep,
+//! GIST, Trevi, …): a little-endian stream of records, each
+//! `[dim: u32][dim × f32]`. Ground-truth neighbor files use `ivecs`
+//! (`[k: u32][k × i32]`). Supporting these formats lets this crate run on
+//! the *real* datasets when they are available, not just the stand-ins.
+
+use pm_lsh_metric::Dataset;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the readers/writers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structurally invalid file (message explains what was wrong).
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads an `fvecs` file into a [`Dataset`]. `limit` caps the number of
+/// vectors read (`None` = all).
+pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    read_fvecs_from(BufReader::new(file), limit)
+}
+
+/// Reads `fvecs` records from any reader.
+pub fn read_fvecs_from(mut reader: impl Read, limit: Option<usize>) -> Result<Dataset, IoError> {
+    let mut dim_buf = [0u8; 4];
+    let mut data: Option<Dataset> = None;
+    let mut count = 0usize;
+    loop {
+        if let Some(cap) = limit {
+            if count >= cap {
+                break;
+            }
+        }
+        match reader.read_exact(&mut dim_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let dim = u32::from_le_bytes(dim_buf) as usize;
+        if dim == 0 || dim > 1_000_000 {
+            return Err(IoError::Format(format!("implausible vector dimension {dim}")));
+        }
+        let mut payload = vec![0u8; dim * 4];
+        reader
+            .read_exact(&mut payload)
+            .map_err(|_| IoError::Format(format!("truncated record {count}")))?;
+        let row: Vec<f32> = payload
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        match &mut data {
+            None => {
+                let mut ds = Dataset::with_capacity(dim, 1024);
+                ds.push(&row);
+                data = Some(ds);
+            }
+            Some(ds) => {
+                if ds.dim() != dim {
+                    return Err(IoError::Format(format!(
+                        "record {count} has dimension {dim}, expected {}",
+                        ds.dim()
+                    )));
+                }
+                ds.push(&row);
+            }
+        }
+        count += 1;
+    }
+    data.ok_or_else(|| IoError::Format("empty fvecs file".into()))
+}
+
+/// Writes a [`Dataset`] as `fvecs`.
+pub fn write_fvecs(path: impl AsRef<Path>, data: &Dataset) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in data.iter() {
+        w.write_all(&(data.dim() as u32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an `ivecs` file (e.g., TEXMEX ground-truth neighbor ids).
+pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<i32>>, IoError> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut dim_buf = [0u8; 4];
+    let mut out = Vec::new();
+    loop {
+        if let Some(cap) = limit {
+            if out.len() >= cap {
+                break;
+            }
+        }
+        match reader.read_exact(&mut dim_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+            Err(e) => return Err(e.into()),
+        }
+        let k = u32::from_le_bytes(dim_buf) as usize;
+        if k > 1_000_000 {
+            return Err(IoError::Format(format!("implausible row length {k}")));
+        }
+        let mut payload = vec![0u8; k * 4];
+        reader
+            .read_exact(&mut payload)
+            .map_err(|_| IoError::Format(format!("truncated record {}", out.len())))?;
+        out.push(
+            payload
+                .chunks_exact(4)
+                .map(|b| i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Reads a headerless CSV of floats (one point per line) into a [`Dataset`].
+pub fn read_csv(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Dataset, IoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut data: Option<Dataset> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        if let Some(cap) = limit {
+            if lineno >= cap {
+                break;
+            }
+        }
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f32>, _> =
+            trimmed.split(',').map(|tok| tok.trim().parse::<f32>()).collect();
+        let row = row.map_err(|e| {
+            IoError::Format(format!("line {}: unparsable float ({e})", lineno + 1))
+        })?;
+        match &mut data {
+            None => {
+                let mut ds = Dataset::with_capacity(row.len().max(1), 1024);
+                ds.push(&row);
+                data = Some(ds);
+            }
+            Some(ds) => {
+                if row.len() != ds.dim() {
+                    return Err(IoError::Format(format!(
+                        "line {}: {} fields, expected {}",
+                        lineno + 1,
+                        row.len(),
+                        ds.dim()
+                    )));
+                }
+                ds.push(&row);
+            }
+        }
+    }
+    data.ok_or_else(|| IoError::Format("empty CSV file".into()))
+}
+
+/// Writes a [`Dataset`] as headerless CSV.
+pub fn write_csv(path: impl AsRef<Path>, data: &Dataset) -> Result<(), IoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for row in data.iter() {
+        let mut first = true;
+        for &v in row {
+            if !first {
+                w.write_all(b",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(vec![
+            vec![1.0, -2.5, 3.25],
+            vec![0.0, 0.5, -0.125],
+            vec![9.0, 8.0, 7.0],
+        ])
+    }
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let dir = std::env::temp_dir().join("pmlsh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.fvecs");
+        let ds = sample();
+        write_fvecs(&path, &ds).unwrap();
+        let back = read_fvecs(&path, None).unwrap();
+        assert_eq!(back, ds);
+        // limit caps the rows
+        let two = read_fvecs(&path, Some(2)).unwrap();
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.point(1), ds.point(1));
+    }
+
+    #[test]
+    fn fvecs_in_memory_format() {
+        // hand-build one record and parse it
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&1.5f32.to_le_bytes());
+        bytes.extend_from_slice(&(-4.0f32).to_le_bytes());
+        let ds = read_fvecs_from(&bytes[..], None).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.point(0), &[1.5, -4.0]);
+    }
+
+    #[test]
+    fn fvecs_rejects_truncation_and_mixed_dims() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 3 floats
+        assert!(matches!(read_fvecs_from(&bytes[..], None), Err(IoError::Format(_))));
+
+        let mut bytes = Vec::new();
+        for dim in [2u32, 3u32] {
+            bytes.extend_from_slice(&dim.to_le_bytes());
+            for _ in 0..dim {
+                bytes.extend_from_slice(&0.0f32.to_le_bytes());
+            }
+        }
+        assert!(matches!(read_fvecs_from(&bytes[..], None), Err(IoError::Format(_))));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("pmlsh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        let ds = sample();
+        write_csv(&path, &ds).unwrap();
+        let back = read_csv(&path, None).unwrap();
+        assert_eq!(back.len(), ds.len());
+        assert_eq!(back.dim(), ds.dim());
+        for i in 0..ds.len() {
+            for (a, b) in back.point(i).iter().zip(ds.point(i)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ivecs_roundtrip_via_bytes() {
+        let dir = std::env::temp_dir().join("pmlsh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gt.ivecs");
+        let mut bytes = Vec::new();
+        for row in [[1i32, 2, 3], [7, 8, 9]] {
+            bytes.extend_from_slice(&3u32.to_le_bytes());
+            for v in row {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let rows = read_ivecs(&path, None).unwrap();
+        assert_eq!(rows, vec![vec![1, 2, 3], vec![7, 8, 9]]);
+        assert_eq!(read_ivecs(&path, Some(1)).unwrap().len(), 1);
+    }
+}

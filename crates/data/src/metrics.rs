@@ -1,0 +1,158 @@
+//! The paper's evaluation metrics (Section 6.1).
+//!
+//! * **Overall ratio** (Eq. 11): `(1/k) Σ_i ||q, o_i|| / ||q, o*_i||`,
+//!   pairing the i-th returned neighbor with the i-th exact neighbor —
+//!   1.0 is perfect, values grow with approximation error.
+//! * **Recall** (Eq. 12): `|R ∩ R*| / |R*|`.
+
+use pm_lsh_metric::Neighbor;
+
+/// Eq. 12: fraction of the exact answer set recovered.
+pub fn recall(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
+    let hits = found.iter().filter(|n| truth_ids.contains(&n.id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Eq. 11: mean per-rank distance ratio. Ranks with zero exact distance
+/// (exact duplicates of the query) are skipped; a `found` set shorter than
+/// `truth` is averaged over the returned prefix (and can only make the
+/// ratio look better, so callers should also report recall).
+pub fn overall_ratio(found: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut counted = 0usize;
+    for (f, t) in found.iter().zip(truth) {
+        if t.dist > 0.0 {
+            acc += f.dist as f64 / t.dist as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        1.0
+    } else {
+        (acc / counted as f64).max(1.0)
+    }
+}
+
+/// Aggregated metrics over a query workload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkloadMetrics {
+    /// Mean query time in milliseconds.
+    pub avg_query_ms: f64,
+    /// Mean overall ratio (Eq. 11).
+    pub overall_ratio: f64,
+    /// Mean recall (Eq. 12).
+    pub recall: f64,
+    /// Mean number of candidates verified per query.
+    pub avg_candidates: f64,
+}
+
+/// Accumulates per-query measurements into [`WorkloadMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsAccumulator {
+    total_ms: f64,
+    total_ratio: f64,
+    total_recall: f64,
+    total_candidates: f64,
+    queries: usize,
+}
+
+impl MetricsAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query.
+    pub fn record(
+        &mut self,
+        elapsed_ms: f64,
+        found: &[Neighbor],
+        truth: &[Neighbor],
+        candidates: usize,
+    ) {
+        self.total_ms += elapsed_ms;
+        self.total_ratio += overall_ratio(found, truth);
+        self.total_recall += recall(found, truth);
+        self.total_candidates += candidates as f64;
+        self.queries += 1;
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.queries
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// The aggregate (panics when empty).
+    pub fn finish(&self) -> WorkloadMetrics {
+        assert!(self.queries > 0, "no queries recorded");
+        let n = self.queries as f64;
+        WorkloadMetrics {
+            avg_query_ms: self.total_ms / n,
+            overall_ratio: self.total_ratio / n,
+            recall: self.total_recall / n,
+            avg_candidates: self.total_candidates / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(dist: f32, id: u32) -> Neighbor {
+        Neighbor::new(dist, id)
+    }
+
+    #[test]
+    fn perfect_answer_scores_one() {
+        let truth = vec![nb(1.0, 0), nb(2.0, 1), nb(3.0, 2)];
+        assert_eq!(recall(&truth, &truth), 1.0);
+        assert_eq!(overall_ratio(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_intersection_only() {
+        let truth = vec![nb(1.0, 0), nb(2.0, 1), nb(3.0, 2), nb(4.0, 3)];
+        let found = vec![nb(1.0, 0), nb(2.5, 9), nb(3.0, 2), nb(9.0, 8)];
+        assert_eq!(recall(&found, &truth), 0.5);
+    }
+
+    #[test]
+    fn ratio_pairs_by_rank() {
+        let truth = vec![nb(1.0, 0), nb(2.0, 1)];
+        let found = vec![nb(1.5, 5), nb(3.0, 6)];
+        // (1.5/1.0 + 3.0/2.0) / 2 = 1.5
+        assert!((overall_ratio(&found, &truth) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_distance_skipped() {
+        let truth = vec![nb(0.0, 0), nb(2.0, 1)];
+        let found = vec![nb(0.0, 0), nb(4.0, 2)];
+        assert!((overall_ratio(&found, &truth) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let truth = vec![nb(1.0, 0)];
+        let exact = vec![nb(1.0, 0)];
+        let off = vec![nb(2.0, 9)];
+        let mut acc = MetricsAccumulator::new();
+        acc.record(10.0, &exact, &truth, 100);
+        acc.record(20.0, &off, &truth, 200);
+        let m = acc.finish();
+        assert!((m.avg_query_ms - 15.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.overall_ratio - 1.5).abs() < 1e-12);
+        assert!((m.avg_candidates - 150.0).abs() < 1e-12);
+    }
+}

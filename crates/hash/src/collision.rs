@@ -1,0 +1,126 @@
+//! Collision probabilities of p-stable LSH functions (Eq. 2).
+//!
+//! For `h(o) = ⌊(a·o + b)/w⌋` with 2-stable `a`, two points at distance `τ`
+//! collide with probability
+//!
+//! ```text
+//! p(τ) = ∫₀^w (1/τ) f(t/τ) (1 − t/w) dt
+//!      = 2Φ(w/τ) − 1 − (2τ / (√(2π) w)) (1 − exp(−w²/(2τ²)))
+//! ```
+//!
+//! (`f`, `Φ` the standard normal pdf/CDF). QALSH's *query-aware* functions
+//! `h(o) = a·o` with a query-anchored window of half-width `w/2` collide with
+//! probability `2Φ(w/(2τ)) − 1`. Both closed forms are verified against
+//! numeric integration in the tests.
+
+use pm_lsh_stats::normal_cdf;
+
+/// Collision probability of the bucketed function (Eq. 2 closed form).
+///
+/// Monotonically decreasing in `τ`; `p(0⁺) = 1`.
+pub fn collision_probability(tau: f64, w: f64) -> f64 {
+    assert!(w > 0.0, "bucket width must be positive");
+    assert!(tau >= 0.0, "distance must be non-negative");
+    if tau == 0.0 {
+        return 1.0;
+    }
+    let r = w / tau;
+    2.0 * normal_cdf(r) - 1.0
+        - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-r * r / 2.0).exp())
+}
+
+/// Collision probability of QALSH's query-aware function: the probability
+/// that `|a·(o − q)| ≤ w/2` when `||o − q|| = τ`.
+pub fn query_aware_collision_probability(tau: f64, w: f64) -> f64 {
+    assert!(w > 0.0, "window width must be positive");
+    assert!(tau >= 0.0, "distance must be non-negative");
+    if tau == 0.0 {
+        return 1.0;
+    }
+    2.0 * normal_cdf(w / (2.0 * tau)) - 1.0
+}
+
+/// `p1 = p(r)` and `p2 = p(cr)`: the `(r, cr, p1, p2)`-sensitivity pair of
+/// the bucketed family for base radius `r = 1`.
+pub fn sensitivity_pair(c: f64, w: f64) -> (f64, f64) {
+    assert!(c > 1.0, "approximation ratio must exceed 1");
+    (collision_probability(1.0, w), collision_probability(c, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_stats::normal_pdf;
+
+    /// Numeric version of Eq. 2 via trapezoid integration.
+    fn collision_numeric(tau: f64, w: f64) -> f64 {
+        let steps = 200_000;
+        let h = w / steps as f64;
+        let f = |t: f64| (1.0 / tau) * normal_pdf(t / tau) * (1.0 - t / w);
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let t0 = i as f64 * h;
+            acc += (f(t0) + f(t0 + h)) * h / 2.0;
+        }
+        2.0 * acc // the pdf is symmetric; Eq. 2 integrates the |·| form
+    }
+
+    #[test]
+    fn closed_form_matches_integral() {
+        for (tau, w) in [(1.0, 4.0), (2.0, 4.0), (0.5, 1.0), (3.0, 2.0), (1.5, 6.0)] {
+            let closed = collision_probability(tau, w);
+            let numeric = collision_numeric(tau, w);
+            assert!(
+                (closed - numeric).abs() < 1e-6,
+                "tau={tau} w={w}: closed={closed} numeric={numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_distance() {
+        let w = 4.0;
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let tau = i as f64 * 0.1;
+            let p = collision_probability(tau, w);
+            assert!(p < prev, "p must strictly decrease (tau={tau})");
+            assert!(p > 0.0 && p < 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sensitivity_p1_exceeds_p2() {
+        for c in [1.2, 1.5, 2.0, 3.0] {
+            for w in [1.0, 2.0, 4.0] {
+                let (p1, p2) = sensitivity_pair(c, w);
+                assert!(p1 > p2, "c={c} w={w}: p1={p1} p2={p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_aware_probability_empirical() {
+        // Monte-Carlo check: a·(o−q) ~ N(0, τ²).
+        use pm_lsh_stats::Rng;
+        let mut rng = Rng::new(33);
+        let (tau, w) = (1.5, 4.0);
+        let trials = 200_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            if (tau * rng.normal()).abs() <= w / 2.0 {
+                hits += 1;
+            }
+        }
+        let emp = hits as f64 / trials as f64;
+        let p = query_aware_collision_probability(tau, w);
+        assert!((emp - p).abs() < 0.005, "emp={emp} closed={p}");
+    }
+
+    #[test]
+    fn zero_distance_always_collides() {
+        assert_eq!(collision_probability(0.0, 4.0), 1.0);
+        assert_eq!(query_aware_collision_probability(0.0, 4.0), 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Bucketed p-stable LSH functions `h(o) = ⌊(a·o + b) / w⌋` (Eq. 1).
+//!
+//! These are the hash functions of the basic E2LSH scheme and of Multi-Probe
+//! LSH: `a` is drawn from the 2-stable (standard normal) distribution, `b`
+//! uniformly from `[0, w)`, and `w` is the user-chosen bucket width.
+
+use pm_lsh_metric::dot;
+use pm_lsh_stats::Rng;
+
+/// One bucketed hash function.
+#[derive(Clone, Debug)]
+pub struct BucketedHash {
+    a: Vec<f32>,
+    b: f32,
+    w: f32,
+}
+
+impl BucketedHash {
+    /// Draws `a ~ N(0, I_d)` and `b ~ U[0, w)`.
+    pub fn new(d: usize, w: f32, rng: &mut Rng) -> Self {
+        assert!(d > 0, "dimension must be positive");
+        assert!(w > 0.0, "bucket width must be positive");
+        let mut a = vec![0.0f32; d];
+        rng.fill_normal(&mut a);
+        let b = (rng.f64() * w as f64) as f32;
+        Self { a, b, w }
+    }
+
+    /// Builds a function from explicit parameters (used by the paper's
+    /// running example and by tests).
+    pub fn from_parts(a: Vec<f32>, b: f32, w: f32) -> Self {
+        assert!(!a.is_empty() && w > 0.0);
+        Self { a, b, w }
+    }
+
+    /// The pre-floor value `(a·o + b) / w`; the bucket id is its floor and
+    /// the fractional part is the normalized offset within the bucket
+    /// (needed by multi-probe boundary distances).
+    #[inline]
+    pub fn raw(&self, point: &[f32]) -> f64 {
+        (dot(&self.a, point) as f64 + self.b as f64) / self.w as f64
+    }
+
+    /// The bucket id `h(o) = ⌊(a·o + b)/w⌋`.
+    #[inline]
+    pub fn bucket(&self, point: &[f32]) -> i32 {
+        self.raw(point).floor() as i32
+    }
+
+    /// Bucket width `w`.
+    #[inline]
+    pub fn width(&self) -> f32 {
+        self.w
+    }
+}
+
+/// A compound hash `G(o) = (h_1(o), …, h_{m'}(o))`: the per-table key of
+/// E2LSH / Multi-Probe hash tables.
+#[derive(Clone, Debug)]
+pub struct CompoundHash {
+    funcs: Vec<BucketedHash>,
+}
+
+impl CompoundHash {
+    /// Draws `m'` independent bucketed functions.
+    pub fn new(d: usize, m: usize, w: f32, rng: &mut Rng) -> Self {
+        assert!(m > 0, "need at least one function");
+        let funcs = (0..m).map(|_| BucketedHash::new(d, w, rng)).collect();
+        Self { funcs }
+    }
+
+    /// Builds from explicit functions.
+    pub fn from_funcs(funcs: Vec<BucketedHash>) -> Self {
+        assert!(!funcs.is_empty());
+        Self { funcs }
+    }
+
+    /// Number of concatenated functions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// `true` if the compound holds no functions (impossible by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Access to the individual functions.
+    #[inline]
+    pub fn funcs(&self) -> &[BucketedHash] {
+        &self.funcs
+    }
+
+    /// The bucket key `G(o)`.
+    pub fn bucket(&self, point: &[f32]) -> Vec<i32> {
+        self.funcs.iter().map(|h| h.bucket(point)).collect()
+    }
+
+    /// Bucket key plus the in-bucket offsets `x_i(-1) ∈ [0, w)` (distance
+    /// from the point's raw value to the lower bucket boundary, in raw
+    /// units): the inputs of query-directed multi-probe.
+    pub fn bucket_with_offsets(&self, point: &[f32]) -> (Vec<i32>, Vec<f64>) {
+        let mut key = Vec::with_capacity(self.funcs.len());
+        let mut offs = Vec::with_capacity(self.funcs.len());
+        for h in &self.funcs {
+            let raw = h.raw(point);
+            let fl = raw.floor();
+            key.push(fl as i32);
+            offs.push((raw - fl) * h.w as f64);
+        }
+        (key, offs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 2: h1(o) = ⌊a1·o/4⌋, h2(o) = ⌊(a2·o + 2)/4⌋ with
+    /// a1 = [1.0, 0.9], a2 = [0.2, 1.7]; G(q) = (2, 2) for q = (5, 5).
+    #[test]
+    fn running_example_buckets() {
+        let h1 = BucketedHash::from_parts(vec![1.0, 0.9], 0.0, 4.0);
+        let h2 = BucketedHash::from_parts(vec![0.2, 1.7], 2.0, 4.0);
+        let g = CompoundHash::from_funcs(vec![h1, h2]);
+        assert_eq!(g.bucket(&[5.0, 5.0]), vec![2, 2]);
+        // o7 = (6,3): h* = (8.7, 8.3) -> h1 = floor(8.7/4) = 2,
+        // h2 = floor((8.3+2)/4) = 2 — same bucket as q, as in the example.
+        assert_eq!(g.bucket(&[6.0, 3.0]), vec![2, 2]);
+        // o1 = (0,1): h* = (0.9, 3.7) -> buckets (0, 0): different from q's.
+        assert_eq!(g.bucket(&[0.0, 1.0]), vec![0, 0]);
+        // o11 = (6,10): h* = (15.0, 20.2) -> buckets (3, 5).
+        assert_eq!(g.bucket(&[6.0, 10.0]), vec![3, 5]);
+    }
+
+    #[test]
+    fn offsets_lie_in_bucket() {
+        let mut rng = Rng::new(5);
+        let g = CompoundHash::new(6, 4, 3.0, &mut rng);
+        let p = [0.3f32, -1.2, 0.0, 2.2, -0.7, 1.1];
+        let (key, offs) = g.bucket_with_offsets(&p);
+        assert_eq!(key.len(), 4);
+        for (i, &x) in offs.iter().enumerate() {
+            assert!((0.0..3.0).contains(&x), "offset {x} out of [0,w)");
+            // reconstruct: raw*w = key*w + off
+            let raw = g.funcs()[i].raw(&p);
+            assert!(((key[i] as f64) * 3.0 + x - raw * 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn close_points_collide_more() {
+        let mut rng = Rng::new(6);
+        let d = 16;
+        let mut same = 0;
+        let mut far = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let h = BucketedHash::new(d, 4.0, &mut rng);
+            let mut base = vec![0.0f32; d];
+            rng.fill_normal(&mut base);
+            let mut near = base.clone();
+            near[0] += 0.1;
+            let mut distant = base.clone();
+            for v in distant.iter_mut() {
+                *v += 3.0;
+            }
+            if h.bucket(&base) == h.bucket(&near) {
+                same += 1;
+            }
+            if h.bucket(&base) == h.bucket(&distant) {
+                far += 1;
+            }
+        }
+        assert!(same > far, "near collisions {same} should exceed far {far}");
+        assert!(same as f64 / trials as f64 > 0.9);
+    }
+}

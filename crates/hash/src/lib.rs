@@ -1,0 +1,26 @@
+//! p-stable LSH hash families shared across the PM-LSH workspace.
+//!
+//! Three kinds of hashing appear in the paper, all built on 2-stable
+//! (Gaussian) projections:
+//!
+//! * [`projector::GaussianProjector`] — the un-bucketed `h*(o) = a·o` of
+//!   Eq. 3, producing the *projected space* indexed by PM-LSH (PM-tree),
+//!   SRS/R-LSH (R-tree) and QALSH (B+-trees).
+//! * [`family::BucketedHash`] / [`family::CompoundHash`] — the classic
+//!   `h(o) = ⌊(a·o + b)/w⌋` of Eq. 1, used by Multi-Probe hash tables.
+//! * [`collision`] — the collision probabilities (Eq. 2 and the query-aware
+//!   variant) from which QALSH derives its parameters.
+//! * [`multiprobe`] — the query-directed perturbation sequence of
+//!   Multi-Probe LSH.
+
+#![warn(missing_docs)]
+
+pub mod collision;
+pub mod family;
+pub mod multiprobe;
+pub mod projector;
+
+pub use collision::{collision_probability, query_aware_collision_probability, sensitivity_pair};
+pub use family::{BucketedHash, CompoundHash};
+pub use multiprobe::{Perturbation, ProbeSequence, ProbeSet};
+pub use projector::GaussianProjector;

@@ -1,0 +1,229 @@
+//! Query-directed multi-probe perturbation sequences (Lv et al., VLDB'07).
+//!
+//! Given a query's in-bucket offsets, a perturbation set Δ assigns `+1`/`-1`
+//! bucket shifts to a subset of the hash functions; its *score* is the sum of
+//! squared distances from the query's raw hash values to the corresponding
+//! bucket boundaries — a lower score means the perturbed bucket is more
+//! likely to contain near neighbors. [`ProbeSequence`] enumerates valid
+//! perturbation sets in non-decreasing score order using the classic
+//! min-heap with *shift* and *expand* successor operations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One perturbation: shift hash function `func` by `delta` (±1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Index of the hash function inside the compound hash.
+    pub func: usize,
+    /// Bucket shift, `-1` or `+1`.
+    pub delta: i8,
+}
+
+/// A scored perturbation set.
+#[derive(Clone, Debug)]
+pub struct ProbeSet {
+    /// Total score (sum of squared boundary distances); lower is better.
+    pub score: f64,
+    /// The perturbations to apply to the query's home bucket.
+    pub perturbations: Vec<Perturbation>,
+}
+
+/// Internal heap entry: a set of 1-based indexes into the score-sorted
+/// boundary-distance array, ordered by total score (min-heap via `Reverse`
+/// semantics implemented manually).
+#[derive(Clone, Debug)]
+struct HeapEntry {
+    score: f64,
+    /// Strictly increasing 1-based positions into the sorted `z` array.
+    positions: Vec<u32>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.positions == other.positions
+    }
+}
+impl Eq for HeapEntry {}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score for a min-heap; tie-break on positions for
+        // determinism.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.positions.cmp(&self.positions))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Enumerator of perturbation sets in non-decreasing score order.
+pub struct ProbeSequence {
+    /// Boundary distances sorted ascending by score: `(score, func, delta)`.
+    sorted: Vec<(f64, usize, i8)>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl ProbeSequence {
+    /// Builds the sequence from the query's in-bucket offsets.
+    ///
+    /// `offsets[i] = x_i(-1) ∈ [0, w_i)` is the distance from the query's raw
+    /// value to the lower boundary of its home bucket for hash function `i`;
+    /// the distance to the upper boundary is `w_i − x_i(-1)`.
+    pub fn new(offsets: &[f64], widths: &[f64]) -> Self {
+        assert_eq!(offsets.len(), widths.len());
+        assert!(!offsets.is_empty(), "need at least one hash function");
+        let mut sorted: Vec<(f64, usize, i8)> = Vec::with_capacity(offsets.len() * 2);
+        for (i, (&x, &w)) in offsets.iter().zip(widths).enumerate() {
+            debug_assert!((0.0..=w).contains(&x), "offset outside bucket");
+            // Perturbing by -1 means crossing the lower boundary (distance x);
+            // +1 crosses the upper boundary (distance w - x).
+            sorted.push((x * x, i, -1));
+            sorted.push(((w - x) * (w - x), i, 1));
+        }
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry { score: sorted[0].0, positions: vec![1] });
+        Self { sorted, heap }
+    }
+
+    /// A set is valid when it never perturbs the same hash function twice
+    /// (applying both -1 and +1 to one function is contradictory).
+    fn is_valid(&self, positions: &[u32]) -> bool {
+        let mut seen = 0u64; // functions fit in 64 for every config we use
+        let mut seen_large: Option<std::collections::HashSet<usize>> = None;
+        for &p in positions {
+            let func = self.sorted[(p - 1) as usize].1;
+            if func < 64 {
+                let bit = 1u64 << func;
+                if seen & bit != 0 {
+                    return false;
+                }
+                seen |= bit;
+            } else {
+                let set = seen_large.get_or_insert_with(Default::default);
+                if !set.insert(func) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn set_score(&self, positions: &[u32]) -> f64 {
+        positions.iter().map(|&p| self.sorted[(p - 1) as usize].0).sum()
+    }
+
+    /// Pushes the *shift* and *expand* successors of `entry`.
+    fn push_successors(&mut self, entry: &HeapEntry) {
+        let max_pos = *entry.positions.last().unwrap();
+        if (max_pos as usize) < self.sorted.len() {
+            // shift: replace the max element with its successor
+            let mut shifted = entry.positions.clone();
+            *shifted.last_mut().unwrap() = max_pos + 1;
+            let score = self.set_score(&shifted);
+            self.heap.push(HeapEntry { score, positions: shifted });
+            // expand: add the successor
+            let mut expanded = entry.positions.clone();
+            expanded.push(max_pos + 1);
+            let score = self.set_score(&expanded);
+            self.heap.push(HeapEntry { score, positions: expanded });
+        }
+    }
+}
+
+impl Iterator for ProbeSequence {
+    type Item = ProbeSet;
+
+    fn next(&mut self) -> Option<ProbeSet> {
+        loop {
+            let entry = self.heap.pop()?;
+            self.push_successors(&entry);
+            if self.is_valid(&entry.positions) {
+                let perturbations = entry
+                    .positions
+                    .iter()
+                    .map(|&p| {
+                        let (_, func, delta) = self.sorted[(p - 1) as usize];
+                        Perturbation { func, delta }
+                    })
+                    .collect();
+                return Some(ProbeSet { score: entry.score, perturbations });
+            }
+            // invalid sets still spawn successors (done above) but are skipped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_are_non_decreasing() {
+        let offsets = [0.5, 1.8, 3.2, 0.1];
+        let widths = [4.0, 4.0, 4.0, 4.0];
+        let seq = ProbeSequence::new(&offsets, &widths);
+        let sets: Vec<ProbeSet> = seq.take(50).collect();
+        assert!(!sets.is_empty());
+        for w in sets.windows(2) {
+            assert!(w[0].score <= w[1].score + 1e-12, "{} > {}", w[0].score, w[1].score);
+        }
+    }
+
+    #[test]
+    fn first_set_is_single_best_perturbation() {
+        let offsets = [0.5, 1.8, 3.9];
+        let widths = [4.0, 4.0, 4.0];
+        let mut seq = ProbeSequence::new(&offsets, &widths);
+        let first = seq.next().unwrap();
+        // Smallest boundary distance: function 2 upper boundary (4.0-3.9=0.1).
+        assert_eq!(first.perturbations.len(), 1);
+        assert_eq!(first.perturbations[0], Perturbation { func: 2, delta: 1 });
+        assert!((first.score - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_function_perturbed_twice() {
+        let offsets = [1.0, 2.0];
+        let widths = [4.0, 4.0];
+        let seq = ProbeSequence::new(&offsets, &widths);
+        for set in seq.take(100) {
+            let mut funcs: Vec<usize> = set.perturbations.iter().map(|p| p.func).collect();
+            funcs.sort_unstable();
+            funcs.dedup();
+            assert_eq!(funcs.len(), set.perturbations.len(), "duplicate function in set");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_sets() {
+        let offsets = [0.7, 1.3, 2.9, 3.3, 0.2];
+        let widths = [4.0; 5];
+        let seq = ProbeSequence::new(&offsets, &widths);
+        let mut seen = std::collections::HashSet::new();
+        for set in seq.take(200) {
+            let mut key: Vec<(usize, i8)> =
+                set.perturbations.iter().map(|p| (p.func, p.delta)).collect();
+            key.sort_unstable();
+            assert!(seen.insert(key), "duplicate perturbation set emitted");
+        }
+    }
+
+    #[test]
+    fn enumerates_all_valid_sets_eventually() {
+        // With m = 2 there are 3^2 - 1 = 8 valid non-empty perturbation sets
+        // (each function: -1, +1 or untouched).
+        let offsets = [1.0, 3.0];
+        let widths = [4.0, 4.0];
+        let seq = ProbeSequence::new(&offsets, &widths);
+        let sets: Vec<ProbeSet> = seq.take(64).collect();
+        assert_eq!(sets.len(), 8, "expected all 8 valid sets, got {}", sets.len());
+    }
+}

@@ -1,0 +1,151 @@
+//! Gaussian random projections `h*(o) = a · o` (Eq. 3 of the paper).
+//!
+//! A [`GaussianProjector`] holds `m` i.i.d. N(0, 1) vectors in `R^d` and maps
+//! points into the `m`-dimensional *projected space*. Lemma 1 (the χ²
+//! relationship between original and projected distances) holds exactly for
+//! this map, which is what PM-LSH, SRS and R-LSH all build on.
+
+use pm_lsh_metric::{dot, Dataset, MatrixView};
+use pm_lsh_stats::Rng;
+
+/// A bank of `m` Gaussian hash functions `h*_i(o) = a_i · o`.
+#[derive(Clone, Debug)]
+pub struct GaussianProjector {
+    /// Row-major `m x d` coefficient matrix.
+    coeffs: Vec<f32>,
+    d: usize,
+    m: usize,
+}
+
+impl GaussianProjector {
+    /// Draws `m` independent N(0, I_d) projection vectors from `rng`.
+    pub fn new(d: usize, m: usize, rng: &mut Rng) -> Self {
+        assert!(d > 0 && m > 0, "dimensions must be positive");
+        let mut coeffs = vec![0.0f32; m * d];
+        rng.fill_normal(&mut coeffs);
+        Self { coeffs, d, m }
+    }
+
+    /// Builds a projector from explicit coefficient rows (used by tests and
+    /// by the paper's running example with fixed `a_1`, `a_2`).
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        assert!(!rows.is_empty(), "need at least one hash function");
+        let d = rows[0].len();
+        assert!(d > 0, "dimension must be positive");
+        let m = rows.len();
+        let mut coeffs = Vec::with_capacity(m * d);
+        for r in &rows {
+            assert_eq!(r.len(), d, "inconsistent projection vector length");
+            coeffs.extend_from_slice(r);
+        }
+        Self { coeffs, d, m }
+    }
+
+    /// Original dimensionality `d`.
+    #[inline]
+    pub fn input_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of hash functions `m` (the projected dimensionality).
+    #[inline]
+    pub fn output_dim(&self) -> usize {
+        self.m
+    }
+
+    /// The coefficient row of hash function `i`.
+    #[inline]
+    pub fn coeff_row(&self, i: usize) -> &[f32] {
+        &self.coeffs[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Projects one point into the `m`-dimensional space, writing into `out`.
+    pub fn project_into(&self, point: &[f32], out: &mut [f32]) {
+        assert_eq!(point.len(), self.d, "point has wrong dimensionality");
+        assert_eq!(out.len(), self.m, "output buffer has wrong dimensionality");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.coeff_row(i), point);
+        }
+    }
+
+    /// Projects one point, allocating the output.
+    pub fn project(&self, point: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.m];
+        self.project_into(point, &mut out);
+        out
+    }
+
+    /// Projects a whole dataset into a new `m`-dimensional [`Dataset`].
+    pub fn project_all(&self, view: MatrixView<'_>) -> Dataset {
+        assert_eq!(view.dim(), self.d, "dataset has wrong dimensionality");
+        let mut out = Dataset::with_capacity(self.m, view.len());
+        let mut buf = vec![0.0f32; self.m];
+        for p in view.iter() {
+            self.project_into(p, &mut buf);
+            out.push(&buf);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_metric::sq_dist;
+
+    #[test]
+    fn fixed_rows_project_exactly() {
+        // The paper's running example: a1 = [1.0, 0.9], a2 = [0.2, 1.7].
+        // Note Fig. 1(c) tabulates a·o + b (with b2 = 2); Eq. 3's h*(o) = a·o
+        // omits the shift, so the second coordinate here is 2 lower than the
+        // figure's (the shift cancels in every distance computation).
+        let proj = GaussianProjector::from_rows(vec![vec![1.0, 0.9], vec![0.2, 1.7]]);
+        // q = (5,5) -> a·q = (9.5, 9.5); Fig. 1(c) lists (9.5, 11.5 = 9.5+2)
+        assert_eq!(proj.project(&[5.0, 5.0]), vec![9.5, 9.5]);
+        // o3 = (9,2) -> (10.8, 5.2); figure lists (10.8, 7.2)
+        let p = proj.project(&[9.0, 2.0]);
+        assert!((p[0] - 10.8).abs() < 1e-6 && (p[1] - 5.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_projected_sq_dist_is_m_times_original() {
+        // Lemma 1 consequence: E[r'^2] = m r^2. Average over many projectors.
+        let mut rng = Rng::new(21);
+        let a = [1.0f32, -2.0, 0.5, 3.0];
+        let b = [0.0f32, 1.0, -1.5, 2.0];
+        let r2 = sq_dist(&a, &b) as f64;
+        let m = 15;
+        let trials = 3000;
+        let mut acc = 0.0f64;
+        for _ in 0..trials {
+            let proj = GaussianProjector::new(4, m, &mut rng);
+            let pa = proj.project(&a);
+            let pb = proj.project(&b);
+            acc += sq_dist(&pa, &pb) as f64;
+        }
+        let mean = acc / trials as f64;
+        let want = m as f64 * r2;
+        assert!((mean - want).abs() / want < 0.05, "mean={mean} want={want}");
+    }
+
+    #[test]
+    fn project_all_matches_pointwise() {
+        let mut rng = Rng::new(22);
+        let proj = GaussianProjector::new(8, 3, &mut rng);
+        let ds = Dataset::from_rows(vec![vec![1.0; 8], vec![-1.0; 8], vec![0.5; 8]]);
+        let pd = proj.project_all(ds.view());
+        assert_eq!(pd.len(), 3);
+        assert_eq!(pd.dim(), 3);
+        for i in 0..3 {
+            assert_eq!(pd.point(i), proj.project(ds.point(i)).as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn dimension_mismatch_rejected() {
+        let mut rng = Rng::new(1);
+        let proj = GaussianProjector::new(4, 2, &mut rng);
+        let _ = proj.project(&[1.0, 2.0]);
+    }
+}

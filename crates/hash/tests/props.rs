@@ -1,0 +1,77 @@
+//! Property tests for the LSH hash layer.
+
+use pm_lsh_hash::{collision_probability, GaussianProjector, ProbeSequence};
+use pm_lsh_metric::euclidean;
+use pm_lsh_stats::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn collision_probability_is_a_probability(tau in 0.0f64..50.0, w in 0.1f64..20.0) {
+        let p = collision_probability(tau, w);
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+    }
+
+    #[test]
+    fn collision_probability_monotone_in_distance(w in 0.5f64..10.0, a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(collision_probability(lo, w) >= collision_probability(hi, w) - 1e-12);
+    }
+
+    #[test]
+    fn collision_probability_monotone_in_width(tau in 0.1f64..10.0, w1 in 0.5f64..10.0, w2 in 0.5f64..10.0) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        prop_assert!(collision_probability(tau, lo) <= collision_probability(tau, hi) + 1e-12);
+    }
+
+    #[test]
+    fn projection_is_linear(seed in 0u64..500, scale in 0.1f32..4.0) {
+        let mut rng = Rng::new(seed);
+        let proj = GaussianProjector::new(8, 3, &mut rng);
+        let mut p = vec![0.0f32; 8];
+        rng.fill_normal(&mut p);
+        let scaled: Vec<f32> = p.iter().map(|v| v * scale).collect();
+        let proj_p = proj.project(&p);
+        let proj_scaled = proj.project(&scaled);
+        for (a, b) in proj_p.iter().zip(&proj_scaled) {
+            prop_assert!((a * scale - b).abs() <= 1e-3 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn projection_distances_scale_together(seed in 0u64..500) {
+        // d(q, o) = 0 in the original space must stay 0 in the projected one.
+        let mut rng = Rng::new(seed);
+        let proj = GaussianProjector::new(12, 5, &mut rng);
+        let mut p = vec![0.0f32; 12];
+        rng.fill_normal(&mut p);
+        let a = proj.project(&p);
+        let b = proj.project(&p);
+        prop_assert_eq!(euclidean(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn probe_sequence_sorted_valid_unique(
+        offsets in proptest::collection::vec(0.01f64..3.99, 2..6),
+        take in 1usize..40,
+    ) {
+        let widths = vec![4.0f64; offsets.len()];
+        let seq = ProbeSequence::new(&offsets, &widths);
+        let sets: Vec<_> = seq.take(take).collect();
+        // scores non-decreasing
+        for w in sets.windows(2) {
+            prop_assert!(w[0].score <= w[1].score + 1e-9);
+        }
+        // no duplicate sets, no function perturbed twice
+        let mut seen = std::collections::HashSet::new();
+        for s in &sets {
+            let mut key: Vec<(usize, i8)> =
+                s.perturbations.iter().map(|p| (p.func, p.delta)).collect();
+            key.sort_unstable();
+            let mut funcs: Vec<usize> = key.iter().map(|k| k.0).collect();
+            funcs.dedup();
+            prop_assert_eq!(funcs.len(), key.len());
+            prop_assert!(seen.insert(key));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense `f32` vector datasets and Euclidean distance kernels.
+//!
+//! This crate is the lowest layer of the PM-LSH workspace. Every other crate
+//! (the PM-tree, the R-tree, the LSH hash family, the query algorithms and the
+//! benchmark harness) manipulates points through the types defined here:
+//!
+//! * [`Dataset`] — an owned, row-major `n x dim` matrix of `f32`, the in-memory
+//!   representation of both the original `d`-dimensional data and the
+//!   `m`-dimensional projected data.
+//! * [`MatrixView`] — a borrowed view over the same layout, used by indexes
+//!   that do not own their points.
+//! * [`dist`] — unrolled Euclidean kernels (`sq_dist`, `euclidean`, `dot`).
+//! * [`topk`] — a bounded max-heap for k-nearest-neighbor selection.
+//!
+//! The kernels deliberately avoid `unsafe`: with slices of equal length the
+//! compiler removes bounds checks from the unrolled loops, which is fast
+//! enough for the laptop-scale experiments this workspace targets.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dist;
+pub mod topk;
+pub mod view;
+
+pub use dataset::Dataset;
+pub use dist::{dot, euclidean, norm, sq_dist};
+pub use topk::{Neighbor, TopK};
+pub use view::MatrixView;
+
+/// Identifier of a point inside a [`Dataset`].
+///
+/// `u32` keeps index entries small (the paper's largest dataset has 10^6
+/// points); use [`PointId::MAX`] as a sentinel where needed.
+pub type PointId = u32;

@@ -1,0 +1,184 @@
+//! Bounded top-k selection by distance.
+
+use crate::PointId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(distance, id)` pair ordered by distance (ties broken by id so that
+/// orderings are total and runs are deterministic).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Distance to the query (any non-NaN `f32`; the workspace uses plain
+    /// Euclidean distances).
+    pub dist: f32,
+    /// Identifier of the point inside its dataset.
+    pub id: PointId,
+}
+
+impl Neighbor {
+    /// Creates a neighbor entry.
+    #[inline]
+    pub fn new(dist: f32, id: PointId) -> Self {
+        debug_assert!(!dist.is_nan(), "NaN distances are not orderable");
+        Self { dist, id }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded max-heap keeping the `k` smallest-distance neighbors seen so far.
+///
+/// This is the collector every query algorithm in the workspace funnels
+/// results through: push all candidates, then call [`TopK::into_sorted_vec`].
+///
+/// ```
+/// use pm_lsh_metric::TopK;
+/// let mut t = TopK::new(2);
+/// t.push(3.0, 0);
+/// t.push(1.0, 1);
+/// t.push(2.0, 2);
+/// let out = t.into_sorted_vec();
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].id, 1);
+/// assert_eq!(out[1].id, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// A collector for the `k` nearest neighbors. `k` must be positive.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers a candidate; keeps it only if it is among the best `k` so far.
+    /// Returns `true` when the candidate was kept.
+    #[inline]
+    pub fn push(&mut self, dist: f32, id: PointId) -> bool {
+        let cand = Neighbor::new(dist, id);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            true
+        } else if self.heap.peek().is_some_and(|worst| cand < *worst) {
+            self.heap.pop();
+            self.heap.push(cand);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of stored neighbors (`<= k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no neighbor has been kept yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` once `k` neighbors are stored.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() == self.k
+    }
+
+    /// The current k-th smallest distance, or `f32::INFINITY` while fewer
+    /// than `k` neighbors are stored. Queries use this as a shrinking
+    /// verification bound.
+    #[inline]
+    pub fn kth_dist(&self) -> f32 {
+        if self.is_full() {
+            self.heap.peek().map_or(f32::INFINITY, |w| w.dist)
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Consumes the collector, returning neighbors sorted by ascending
+    /// distance (ties by id).
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            t.push(*d, i as PointId);
+        }
+        let out = t.into_sorted_vec();
+        let dists: Vec<f32> = out.iter().map(|n| n.dist).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn kth_dist_shrinks() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.kth_dist(), f32::INFINITY);
+        t.push(10.0, 0);
+        assert_eq!(t.kth_dist(), f32::INFINITY); // not full yet
+        t.push(4.0, 1);
+        assert_eq!(t.kth_dist(), 10.0);
+        assert!(t.push(3.0, 2));
+        assert_eq!(t.kth_dist(), 4.0);
+        assert!(!t.push(9.0, 3)); // rejected
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 7);
+        t.push(1.0, 3);
+        t.push(1.0, 5); // id 7 should be evicted (largest of equal dists)
+        let out = t.into_sorted_vec();
+        let ids: Vec<PointId> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TopK::new(4);
+        assert!(t.is_empty());
+        t.push(1.0, 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = TopK::new(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Borrowed row-major matrix views.
+
+use crate::PointId;
+
+/// A borrowed view over `n` points of dimensionality `dim` stored row-major
+/// in a flat `&[f32]`.
+///
+/// Index structures (PM-tree, R-tree) are built over projected points owned
+/// by the enclosing index; they store a `MatrixView`-compatible layout and
+/// borrow it per operation, avoiding copies of the point payloads.
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixView<'a> {
+    data: &'a [f32],
+    dim: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or the buffer length is not a multiple of `dim`.
+    pub fn new(data: &'a [f32], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { data, dim }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// `true` when the view holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrows point `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &'a [f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Borrows point `id`.
+    #[inline]
+    pub fn point_id(&self, id: PointId) -> &'a [f32] {
+        self.point(id as usize)
+    }
+
+    /// Iterates over all points in id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &'a [f32]> + 'a {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &'a [f32] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_indexing() {
+        let buf = [1.0f32, 2.0, 3.0, 4.0];
+        let v = MatrixView::new(&buf, 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.dim(), 2);
+        assert_eq!(v.point(0), &[1.0, 2.0]);
+        assert_eq!(v.point_id(1), &[3.0, 4.0]);
+        assert!(!v.is_empty());
+        assert_eq!(v.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn view_rejects_ragged() {
+        let buf = [1.0f32, 2.0, 3.0];
+        let _ = MatrixView::new(&buf, 2);
+    }
+}

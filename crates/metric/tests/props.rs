@@ -1,0 +1,67 @@
+//! Property tests for the distance kernels and top-k collector.
+
+use pm_lsh_metric::{sq_dist, euclidean, Dataset, TopK};
+use proptest::prelude::*;
+
+fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(-100.0f32..100.0, len),
+            proptest::collection::vec(-100.0f32..100.0, len),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn sq_dist_matches_naive((a, b) in vec_pair(64)) {
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let fast = sq_dist(&a, &b);
+        let tol = 1e-3f32 * naive.abs().max(1.0);
+        prop_assert!((fast - naive).abs() <= tol, "fast={fast} naive={naive}");
+    }
+
+    #[test]
+    fn distance_is_symmetric((a, b) in vec_pair(48)) {
+        prop_assert_eq!(sq_dist(&a, &b), sq_dist(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality(
+        (a, b) in vec_pair(16),
+        c in proptest::collection::vec(-100.0f32..100.0, 16),
+    ) {
+        // restrict to the common length so all three slices agree
+        let n = a.len().min(b.len()).min(c.len());
+        let (a, b, c) = (&a[..n], &b[..n], &c[..n]);
+        let ab = euclidean(a, b);
+        let bc = euclidean(b, c);
+        let ac = euclidean(a, c);
+        prop_assert!(ac <= ab + bc + 1e-3 * (ab + bc).max(1.0));
+    }
+
+    #[test]
+    fn topk_equals_full_sort(dists in proptest::collection::vec(0.0f32..1000.0, 1..200), k in 1usize..20) {
+        let mut t = TopK::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            t.push(d, i as u32);
+        }
+        let got: Vec<f32> = t.into_sorted_vec().iter().map(|n| n.dist).collect();
+        let mut want = dists.clone();
+        want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dataset_gather_preserves_rows(
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 4), 1..32),
+    ) {
+        let ds = Dataset::from_rows(rows.clone());
+        let ids: Vec<u32> = (0..rows.len() as u32).rev().collect();
+        let rev = ds.gather(&ids);
+        for (j, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(rev.point(j), ds.point(id as usize));
+        }
+    }
+}

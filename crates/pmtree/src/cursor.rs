@@ -1,0 +1,378 @@
+//! Best-first incremental traversal of the PM-tree.
+//!
+//! [`RangeCursor`] pops tree regions in order of a *lower bound* on their
+//! projected distance to the query and yields points in non-decreasing exact
+//! distance. Two properties make it the right engine for the paper's
+//! Algorithm 2:
+//!
+//! 1. `next_within(r)` behaves exactly like the paper's `range(q', r)` query,
+//!    but *incrementally*: when Algorithm 2 enlarges the radius (`r ← c·r`),
+//!    the cursor simply continues popping the preserved frontier — no work is
+//!    repeated across rounds, which is how PM-LSH "combines the ideas of the
+//!    RE and MI methods".
+//! 2. Lower bounds are refined lazily: an entry is first enqueued under its
+//!    cheap bound (parent-distance and pivot-ring filters, no new distance
+//!    computation) and the exact center/point distance is only computed when
+//!    the entry reaches the top of the frontier. Entries pruned by radius
+//!    never cost a distance computation, mirroring the M-tree/PM-tree
+//!    filtering rules (Eq. 5).
+
+use crate::entry::{InnerEntry, LeafEntry};
+use crate::tree::{Node, PmTree};
+use crate::NodeId;
+use pm_lsh_metric::{euclidean, PointId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, Debug)]
+enum ItemKind {
+    /// Routing entry not yet resolved: only cheap bounds applied.
+    InnerApprox { node: NodeId, idx: u32 },
+    /// Routing entry with exact center distance; pops by expanding its child.
+    InnerReady { child: NodeId, dq_center: f32 },
+    /// Leaf entry not yet resolved (pivot/parent bounds only).
+    LeafApprox { node: NodeId, idx: u32 },
+    /// Point with exact projected distance; pops by yielding.
+    LeafExact { external: PointId, dist: f32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    key: f32,
+    seq: u32,
+    kind: ItemKind,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: reverse so the smallest key pops first;
+        // tie-break on insertion sequence for determinism.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// When the cursor computes exact distances (an ablation knob; the paper's
+/// design corresponds to [`RefineMode::Lazy`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RefineMode {
+    /// Entries enter the frontier under cheap bounds (parent-distance and
+    /// pivot-ring filters); the exact center/point distance is computed only
+    /// when an entry surfaces. Entries pruned by the radius never cost a
+    /// distance computation — the M-tree/PM-tree filtering discipline.
+    #[default]
+    Lazy,
+    /// Exact distances are computed for every entry of every expanded node
+    /// immediately. Fewer heap operations, strictly more distance
+    /// computations; the `ablation` bench quantifies the difference.
+    Eager,
+}
+
+/// Incremental best-first cursor over a [`PmTree`].
+pub struct RangeCursor<'t> {
+    tree: &'t PmTree,
+    query: Vec<f32>,
+    /// Distances from the query to each global pivot.
+    qp_dists: Vec<f32>,
+    heap: BinaryHeap<Item>,
+    seq: u32,
+    dist_computations: u64,
+    mode: RefineMode,
+}
+
+impl<'t> RangeCursor<'t> {
+    /// Starts a cursor for `query` (projected-space coordinates).
+    pub fn new(tree: &'t PmTree, query: &[f32]) -> Self {
+        Self::with_mode(tree, query, RefineMode::Lazy)
+    }
+
+    /// Starts a cursor with an explicit refinement mode.
+    pub fn with_mode(tree: &'t PmTree, query: &[f32], mode: RefineMode) -> Self {
+        assert_eq!(query.len(), tree.dim(), "query has wrong dimensionality");
+        let qp_dists: Vec<f32> = tree.pivots.iter().map(|p| euclidean(query, p)).collect();
+        let mut cursor = Self {
+            tree,
+            query: query.to_vec(),
+            qp_dists,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            dist_computations: tree.pivots.len() as u64,
+            mode,
+        };
+        if !tree.is_empty() {
+            cursor.push(0.0, ItemKind::InnerReady { child: tree.root, dq_center: f32::NAN });
+        }
+        cursor
+    }
+
+    /// Exact distance computations so far (pivot distances included).
+    pub fn distance_computations(&self) -> u64 {
+        self.dist_computations
+    }
+
+    /// `true` once every indexed point has been yielded: the frontier is
+    /// empty and no radius enlargement can produce more results.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn push(&mut self, key: f32, kind: ItemKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Item { key, seq, kind });
+    }
+
+    /// Cheap lower bound for a routing entry whose exact center distance is
+    /// unknown: parent-distance filter plus pivot rings.
+    fn inner_cheap_bound(&self, e: &InnerEntry, dq_parent: f32) -> f32 {
+        let mut lb = e.ring_lower_bound(&self.qp_dists);
+        if !dq_parent.is_nan() {
+            let b = (dq_parent - e.parent_dist).abs() - e.radius;
+            if b > lb {
+                lb = b;
+            }
+        }
+        lb.max(0.0)
+    }
+
+    /// Cheap lower bound for a leaf entry: parent distance plus pivot
+    /// distances, both via the triangle inequality.
+    fn leaf_cheap_bound(&self, e: &LeafEntry, dq_parent: f32) -> f32 {
+        let mut lb = e.pivot_lower_bound(&self.qp_dists);
+        if !dq_parent.is_nan() {
+            let b = (dq_parent - e.parent_dist).abs();
+            if b > lb {
+                lb = b;
+            }
+        }
+        lb
+    }
+
+    /// Expands a node whose routing entry has exact center distance
+    /// `dq_center` (NaN for the root, which has no routing entry).
+    ///
+    /// In [`RefineMode::Lazy`], entries whose cheap bound already lies
+    /// within `radius` are resolved immediately — they will surface before
+    /// the frontier empties anyway, and resolving them now saves one heap
+    /// round-trip per entry. Laziness is kept exactly where it pays:
+    /// entries beyond the current radius, which may never be touched again.
+    fn expand(&mut self, node: NodeId, dq_center: f32, radius: f32) {
+        match &self.tree.nodes[node as usize] {
+            Node::Inner(entries) => match self.mode {
+                RefineMode::Lazy => {
+                    for (i, e) in entries.iter().enumerate() {
+                        let lb = self.inner_cheap_bound(e, dq_center);
+                        if lb <= radius {
+                            let dqc = euclidean(&self.query, &e.center);
+                            self.dist_computations += 1;
+                            let lb = lb.max((dqc - e.radius).max(0.0));
+                            self.push(lb, ItemKind::InnerReady { child: e.child, dq_center: dqc });
+                        } else {
+                            self.push(lb, ItemKind::InnerApprox { node, idx: i as u32 });
+                        }
+                    }
+                }
+                RefineMode::Eager => {
+                    for e in entries.iter() {
+                        let dqc = euclidean(&self.query, &e.center);
+                        self.dist_computations += 1;
+                        let lb = self
+                            .inner_cheap_bound(e, dq_center)
+                            .max((dqc - e.radius).max(0.0));
+                        self.push(lb, ItemKind::InnerReady { child: e.child, dq_center: dqc });
+                    }
+                }
+            },
+            Node::Leaf(entries) => match self.mode {
+                RefineMode::Lazy => {
+                    for (i, e) in entries.iter().enumerate() {
+                        let lb = self.leaf_cheap_bound(e, dq_center);
+                        if lb <= radius {
+                            let dist = euclidean(
+                                &self.query,
+                                self.tree.points.point(e.internal as usize),
+                            );
+                            self.dist_computations += 1;
+                            self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                        } else {
+                            self.push(lb, ItemKind::LeafApprox { node, idx: i as u32 });
+                        }
+                    }
+                }
+                RefineMode::Eager => {
+                    for e in entries.iter() {
+                        let dist =
+                            euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                        self.dist_computations += 1;
+                        self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                    }
+                }
+            },
+        }
+    }
+
+    /// Returns the next point whose exact projected distance is at most
+    /// `radius`, or `None` when every remaining point is farther away.
+    ///
+    /// The frontier is preserved across calls, so callers may re-invoke with
+    /// a larger radius and continue exactly where they stopped; successive
+    /// yields have non-decreasing distance.
+    pub fn next_within(&mut self, radius: f32) -> Option<(PointId, f32)> {
+        loop {
+            let top = *self.heap.peek()?;
+            if top.key > radius {
+                return None;
+            }
+            self.heap.pop();
+            match top.kind {
+                ItemKind::InnerApprox { node, idx } => {
+                    let Node::Inner(entries) = &self.tree.nodes[node as usize] else {
+                        unreachable!()
+                    };
+                    let e = &entries[idx as usize];
+                    let dq_center = euclidean(&self.query, &e.center);
+                    self.dist_computations += 1;
+                    let key = top.key.max((dq_center - e.radius).max(0.0));
+                    self.push(key, ItemKind::InnerReady { child: e.child, dq_center });
+                }
+                ItemKind::InnerReady { child, dq_center } => {
+                    self.expand(child, dq_center, radius);
+                }
+                ItemKind::LeafApprox { node, idx } => {
+                    let Node::Leaf(entries) = &self.tree.nodes[node as usize] else {
+                        unreachable!()
+                    };
+                    let e = &entries[idx as usize];
+                    let dist =
+                        euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                    self.dist_computations += 1;
+                    self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                }
+                ItemKind::LeafExact { external, dist } => {
+                    return Some((external, dist));
+                }
+            }
+        }
+    }
+
+    /// Incremental nearest-neighbor iteration: the next unseen point in
+    /// non-decreasing projected distance.
+    #[allow(clippy::should_implement_trait)] // same contract, fallible state
+    pub fn next(&mut self) -> Option<(PointId, f32)> {
+        self.next_within(f32::INFINITY)
+    }
+}
+
+impl PmTree {
+    /// All points within `radius` of `query` (the paper's `range(q, r)`),
+    /// sorted by ascending distance.
+    pub fn range(&self, query: &[f32], radius: f32) -> Vec<(PointId, f32)> {
+        let mut cursor = RangeCursor::new(self, query);
+        let mut out = Vec::new();
+        while let Some(hit) = cursor.next_within(radius) {
+            out.push(hit);
+        }
+        out
+    }
+
+    /// Exact k nearest neighbors of `query` in the indexed (projected) space.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(PointId, f32)> {
+        let mut cursor = RangeCursor::new(self, query);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match cursor.next() {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Starts an incremental cursor.
+    pub fn cursor(&self, query: &[f32]) -> RangeCursor<'_> {
+        RangeCursor::new(self, query)
+    }
+
+    /// Starts an incremental cursor with an explicit [`RefineMode`].
+    pub fn cursor_with_mode(&self, query: &[f32], mode: RefineMode) -> RangeCursor<'_> {
+        RangeCursor::with_mode(self, query, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::PmTreeConfig;
+    use pm_lsh_metric::Dataset;
+    use pm_lsh_stats::Rng;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut buf = vec![0.0f32; dim];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn lazy_and_eager_return_identical_results() {
+        let ds = random_dataset(600, 8, 51);
+        let mut rng = Rng::new(52);
+        let tree = PmTree::build(ds.view(), PmTreeConfig::default(), &mut rng);
+        let mut q = vec![0.0f32; 8];
+        for _ in 0..10 {
+            rng.fill_normal(&mut q);
+            let mut lazy = tree.cursor_with_mode(&q, RefineMode::Lazy);
+            let mut eager = tree.cursor_with_mode(&q, RefineMode::Eager);
+            loop {
+                let a = lazy.next_within(3.0);
+                let b = eager.next_within(3.0);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_spends_fewer_distance_computations() {
+        // With a selective radius, deferring exact distances must pay off:
+        // pruned entries never get resolved.
+        let ds = random_dataset(4000, 15, 53);
+        let mut rng = Rng::new(54);
+        let tree = PmTree::build(ds.view(), PmTreeConfig::default(), &mut rng);
+        let (mut lazy_total, mut eager_total) = (0u64, 0u64);
+        let mut q = vec![0.0f32; 15];
+        for _ in 0..10 {
+            rng.fill_normal(&mut q);
+            let mut lazy = tree.cursor_with_mode(&q, RefineMode::Lazy);
+            while lazy.next_within(2.0).is_some() {}
+            lazy_total += lazy.distance_computations();
+            let mut eager = tree.cursor_with_mode(&q, RefineMode::Eager);
+            while eager.next_within(2.0).is_some() {}
+            eager_total += eager.distance_computations();
+        }
+        assert!(
+            lazy_total < eager_total,
+            "lazy {lazy_total} should beat eager {eager_total}"
+        );
+    }
+}

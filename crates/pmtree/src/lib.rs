@@ -1,0 +1,32 @@
+//! PM-tree: an M-tree augmented with global pivot hyper-rings.
+//!
+//! This is the metric index PM-LSH builds in the projected space
+//! (Section 4.1, Fig. 4 of the paper). The crate provides:
+//!
+//! * [`tree::PmTree`] — incremental construction with mM_RAD node splits and
+//!   per-entry hyper-ring (`HR`) maintenance; `num_pivots = 0` degrades to a
+//!   plain M-tree (used by the Fig. 6 parameter ablation).
+//! * [`cursor::RangeCursor`] — a best-first incremental traversal yielding
+//!   points in non-decreasing projected distance, with lazily refined lower
+//!   bounds. `next_within(r)` is the building block of the paper's
+//!   radius-enlarging Algorithm 2, and plain `next()` provides exact
+//!   incremental NN search.
+//! * [`cost::expected_distance_computations`] — the node-based cost model of
+//!   Eqs. 5–7 that regenerates the PM-tree column of Table 2.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cursor;
+pub mod entry;
+pub mod pivots;
+pub mod tree;
+
+pub use cost::expected_distance_computations;
+pub use cursor::{RangeCursor, RefineMode};
+pub use entry::{InnerEntry, LeafEntry, Ring};
+pub use pivots::select_pivots;
+pub use tree::{PmTree, PmTreeConfig};
+
+/// Index of a node inside the tree arena.
+pub type NodeId = u32;

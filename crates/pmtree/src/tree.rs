@@ -1,0 +1,556 @@
+//! PM-tree construction: M-tree insertion with mM_RAD splits plus global
+//! pivot hyper-rings (Skopal et al., DASFAA'05; Section 4.1 of the paper).
+
+use crate::entry::{InnerEntry, LeafEntry, Ring};
+use crate::pivots::select_pivots;
+use crate::NodeId;
+use pm_lsh_metric::{euclidean, Dataset, MatrixView, PointId};
+use pm_lsh_stats::Rng;
+
+/// A PM-tree node: either routing entries or point entries.
+#[derive(Clone, Debug)]
+pub(crate) enum Node {
+    /// Inner node holding routing entries.
+    Inner(Vec<InnerEntry>),
+    /// Leaf node holding point entries.
+    Leaf(Vec<LeafEntry>),
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PmTreeConfig {
+    /// Maximum number of entries per node (the paper's experiments use 16).
+    pub capacity: usize,
+    /// Number of global pivots `s` (the paper settles on 5; 0 degrades the
+    /// structure to a plain M-tree).
+    pub num_pivots: usize,
+    /// Sample size used for pivot selection.
+    pub pivot_sample: usize,
+}
+
+impl Default for PmTreeConfig {
+    fn default() -> Self {
+        Self { capacity: 16, num_pivots: 5, pivot_sample: 1024 }
+    }
+}
+
+/// A PM-tree over points in `R^dim` under the Euclidean distance.
+///
+/// The tree owns a copy of every inserted point (60 bytes per point in the
+/// paper's m = 15 projected space), so callers may drop their own projected
+/// data after building. Point payloads are addressed by *internal* row
+/// while queries report the caller-supplied *external* [`PointId`].
+#[derive(Clone, Debug)]
+pub struct PmTree {
+    pub(crate) dim: usize,
+    pub(crate) cfg: PmTreeConfig,
+    pub(crate) pivots: Vec<Box<[f32]>>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    pub(crate) points: Dataset,
+    pub(crate) externals: Vec<PointId>,
+    build_dist_computations: u64,
+}
+
+impl PmTree {
+    /// Creates an empty tree with pre-selected pivots.
+    pub fn new(dim: usize, cfg: PmTreeConfig, pivots: Vec<Box<[f32]>>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(cfg.capacity >= 2, "node capacity must be at least 2");
+        assert_eq!(pivots.len(), cfg.num_pivots, "pivot count must match config");
+        for p in &pivots {
+            assert_eq!(p.len(), dim, "pivot has wrong dimensionality");
+        }
+        Self {
+            dim,
+            cfg,
+            pivots,
+            nodes: vec![Node::Leaf(Vec::new())],
+            root: 0,
+            points: Dataset::with_capacity(dim, 0),
+            externals: Vec::new(),
+            build_dist_computations: 0,
+        }
+    }
+
+    /// Builds a tree over every row of `view` (external id = row index),
+    /// selecting pivots from a sample first.
+    pub fn build(view: MatrixView<'_>, cfg: PmTreeConfig, rng: &mut Rng) -> Self {
+        let pivots = select_pivots(view, cfg.num_pivots, cfg.pivot_sample, rng);
+        let mut tree = Self::new(view.dim(), cfg, pivots);
+        for (i, p) in view.iter().enumerate() {
+            tree.insert(p, i as PointId);
+        }
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.externals.len()
+    }
+
+    /// `true` when no point is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.externals.is_empty()
+    }
+
+    /// Dimensionality of the indexed space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The global pivots.
+    pub fn pivots(&self) -> &[Box<[f32]>] {
+        &self.pivots
+    }
+
+    /// Number of allocated nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node as usize] {
+                Node::Leaf(_) => return h,
+                Node::Inner(entries) => {
+                    node = entries[0].child;
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Distance computations spent on inserts so far (preprocessing cost).
+    pub fn build_distance_computations(&self) -> u64 {
+        self.build_dist_computations
+    }
+
+    /// Inserts one point with a caller-chosen external id.
+    ///
+    /// # Panics
+    /// Panics if `vector.len() != self.dim()`.
+    pub fn insert(&mut self, vector: &[f32], external: PointId) {
+        assert_eq!(vector.len(), self.dim, "point has wrong dimensionality");
+        let internal = self.externals.len() as u32;
+        self.points.push(vector);
+        self.externals.push(external);
+        let pd: Box<[f32]> = self
+            .pivots
+            .iter()
+            .map(|p| euclidean(vector, p))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        self.build_dist_computations += self.pivots.len() as u64;
+
+        if let Some((e1, e2)) = self.insert_rec(self.root, vector, internal, &pd, 0.0, None) {
+            let new_root = self.alloc(Node::Inner(vec![e1, e2]));
+            self.root = new_root;
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Recursive single-path insert. Returns the two replacement entries when
+    /// `node` split; `dist_to_node` is the distance from the new point to the
+    /// routing object of the entry pointing at `node` (0 at the root), and
+    /// `node_parent_center` that routing object's coordinates.
+    fn insert_rec(
+        &mut self,
+        node: NodeId,
+        vector: &[f32],
+        internal: u32,
+        pd: &[f32],
+        dist_to_node: f32,
+        node_parent_center: Option<&[f32]>,
+    ) -> Option<(InnerEntry, InnerEntry)> {
+        let is_leaf = matches!(self.nodes[node as usize], Node::Leaf(_));
+        if is_leaf {
+            let capacity = self.cfg.capacity;
+            let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            entries.push(LeafEntry {
+                internal,
+                external: self.externals[internal as usize],
+                parent_dist: dist_to_node,
+                pivot_dists: pd.into(),
+            });
+            if entries.len() > capacity {
+                return Some(self.split_leaf(node, node_parent_center));
+            }
+            return None;
+        }
+
+        let (best, center, child, d) = self.choose_subtree(node, vector, pd);
+        let split = self.insert_rec(child, vector, internal, pd, d, Some(&center));
+        if let Some((mut e1, mut e2)) = split {
+            if let Some(pc) = node_parent_center {
+                e1.parent_dist = euclidean(&e1.center, pc);
+                e2.parent_dist = euclidean(&e2.center, pc);
+                self.build_dist_computations += 2;
+            }
+            let capacity = self.cfg.capacity;
+            let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            entries[best] = e1;
+            entries.push(e2);
+            if entries.len() > capacity {
+                return Some(self.split_inner(node, node_parent_center));
+            }
+        }
+        None
+    }
+
+    /// Picks the routing entry of `node` for the new point: prefer the
+    /// closest entry already covering the point; otherwise minimize radius
+    /// enlargement. Updates the chosen entry's radius and rings on the way.
+    fn choose_subtree(
+        &mut self,
+        node: NodeId,
+        vector: &[f32],
+        pd: &[f32],
+    ) -> (usize, Vec<f32>, NodeId, f32) {
+        let Node::Inner(entries) = &mut self.nodes[node as usize] else {
+            unreachable!("choose_subtree on a leaf")
+        };
+        let dists: Vec<f32> = entries.iter().map(|e| euclidean(vector, &e.center)).collect();
+        self.build_dist_computations += entries.len() as u64;
+
+        let mut best = usize::MAX;
+        let mut best_key = f32::INFINITY;
+        let mut covered = false;
+        for (i, e) in entries.iter().enumerate() {
+            let d = dists[i];
+            if d <= e.radius {
+                if !covered || d < best_key {
+                    covered = true;
+                    best = i;
+                    best_key = d;
+                }
+            } else if !covered {
+                let enlarge = d - e.radius;
+                if enlarge < best_key {
+                    best = i;
+                    best_key = enlarge;
+                }
+            }
+        }
+        debug_assert!(best != usize::MAX);
+
+        let e = &mut entries[best];
+        let d = dists[best];
+        if d > e.radius {
+            e.radius = d;
+        }
+        for (ring, &p) in e.rings.iter_mut().zip(pd) {
+            ring.include(p);
+        }
+        (best, e.center.to_vec(), e.child, d)
+    }
+
+    /// Splits an overflowing leaf node; returns the two replacement routing
+    /// entries (their `parent_dist` is filled in by the caller).
+    fn split_leaf(&mut self, node: NodeId, _parent: Option<&[f32]>) -> (InnerEntry, InnerEntry) {
+        let entries = {
+            let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            std::mem::take(entries)
+        };
+        let n = entries.len();
+        debug_assert!(n >= 2);
+
+        // Pairwise distance matrix between member points.
+        let mut dmat = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = euclidean(
+                    self.points.point(entries[i].internal as usize),
+                    self.points.point(entries[j].internal as usize),
+                );
+                dmat[i * n + j] = d;
+                dmat[j * n + i] = d;
+            }
+        }
+        self.build_dist_computations += (n * (n - 1) / 2) as u64;
+
+        let (pi, pj, assign) = promote_mm_rad(n, &dmat, |_k| 0.0);
+        let c1: Box<[f32]> = self.points.point(entries[pi].internal as usize).into();
+        let c2: Box<[f32]> = self.points.point(entries[pj].internal as usize).into();
+
+        let (mut g1, mut g2) = (Vec::new(), Vec::new());
+        let (mut r1, mut r2) = (0.0f32, 0.0f32);
+        let s = self.pivots.len();
+        let (mut rings1, mut rings2) = (vec![Ring::EMPTY; s], vec![Ring::EMPTY; s]);
+        for (k, mut e) in entries.into_iter().enumerate() {
+            if assign[k] {
+                e.parent_dist = dmat[k * n + pi];
+                r1 = r1.max(e.parent_dist);
+                for (ring, &p) in rings1.iter_mut().zip(e.pivot_dists.iter()) {
+                    ring.include(p);
+                }
+                g1.push(e);
+            } else {
+                e.parent_dist = dmat[k * n + pj];
+                r2 = r2.max(e.parent_dist);
+                for (ring, &p) in rings2.iter_mut().zip(e.pivot_dists.iter()) {
+                    ring.include(p);
+                }
+                g2.push(e);
+            }
+        }
+
+        self.nodes[node as usize] = Node::Leaf(g1);
+        let new_node = self.alloc(Node::Leaf(g2));
+
+        (
+            InnerEntry {
+                center: c1,
+                radius: r1,
+                parent_dist: 0.0,
+                child: node,
+                rings: rings1.into_boxed_slice(),
+            },
+            InnerEntry {
+                center: c2,
+                radius: r2,
+                parent_dist: 0.0,
+                child: new_node,
+                rings: rings2.into_boxed_slice(),
+            },
+        )
+    }
+
+    /// Splits an overflowing inner node.
+    fn split_inner(&mut self, node: NodeId, _parent: Option<&[f32]>) -> (InnerEntry, InnerEntry) {
+        let entries = {
+            let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            std::mem::take(entries)
+        };
+        let n = entries.len();
+        debug_assert!(n >= 2);
+
+        let mut dmat = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = euclidean(&entries[i].center, &entries[j].center);
+                dmat[i * n + j] = d;
+                dmat[j * n + i] = d;
+            }
+        }
+        self.build_dist_computations += (n * (n - 1) / 2) as u64;
+
+        let (pi, pj, assign) = promote_mm_rad(n, &dmat, |k| entries[k].radius);
+
+        let c1: Box<[f32]> = entries[pi].center.clone();
+        let c2: Box<[f32]> = entries[pj].center.clone();
+
+        let (mut g1, mut g2) = (Vec::new(), Vec::new());
+        let (mut r1, mut r2) = (0.0f32, 0.0f32);
+        let s = self.pivots.len();
+        let (mut rings1, mut rings2) = (vec![Ring::EMPTY; s], vec![Ring::EMPTY; s]);
+        for (k, mut e) in entries.into_iter().enumerate() {
+            if assign[k] {
+                e.parent_dist = dmat[k * n + pi];
+                r1 = r1.max(e.parent_dist + e.radius);
+                for (ring, &er) in rings1.iter_mut().zip(e.rings.iter()) {
+                    ring.merge(er);
+                }
+                g1.push(e);
+            } else {
+                e.parent_dist = dmat[k * n + pj];
+                r2 = r2.max(e.parent_dist + e.radius);
+                for (ring, &er) in rings2.iter_mut().zip(e.rings.iter()) {
+                    ring.merge(er);
+                }
+                g2.push(e);
+            }
+        }
+
+        self.nodes[node as usize] = Node::Inner(g1);
+        let new_node = self.alloc(Node::Inner(g2));
+
+        (
+            InnerEntry {
+                center: c1,
+                radius: r1,
+                parent_dist: 0.0,
+                child: node,
+                rings: rings1.into_boxed_slice(),
+            },
+            InnerEntry {
+                center: c2,
+                radius: r2,
+                parent_dist: 0.0,
+                child: new_node,
+                rings: rings2.into_boxed_slice(),
+            },
+        )
+    }
+
+    /// Validates every structural invariant; used by tests and proptests.
+    ///
+    /// Checks, for every routing entry: (1) all points of its subtree lie
+    /// within `radius` of its center, (2) each hyper-ring contains the
+    /// pivot distance of every point below it, (3) children's `parent_dist`
+    /// matches the distance to the routing object, and (4) the leaf entries
+    /// cover exactly the inserted points.
+    pub fn verify_invariants(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.len()];
+        self.verify_node(self.root, None, &mut seen)?;
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!("point {missing} not reachable from the root"));
+        }
+        Ok(())
+    }
+
+    fn verify_node(
+        &self,
+        node: NodeId,
+        parent_center: Option<&[f32]>,
+        seen: &mut [bool],
+    ) -> Result<(), String> {
+        const EPS: f32 = 1e-3;
+        match &self.nodes[node as usize] {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    let p = self.points.point(e.internal as usize);
+                    if let Some(pc) = parent_center {
+                        let d = euclidean(p, pc);
+                        if (d - e.parent_dist).abs() > EPS * (1.0 + d) {
+                            return Err(format!(
+                                "leaf parent_dist {} != {} for point {}",
+                                e.parent_dist, d, e.internal
+                            ));
+                        }
+                    }
+                    for (i, (&pd, pivot)) in
+                        e.pivot_dists.iter().zip(self.pivots.iter()).enumerate()
+                    {
+                        let d = euclidean(p, pivot);
+                        if (d - pd).abs() > EPS * (1.0 + d) {
+                            return Err(format!("leaf pivot_dist[{i}] stale for {}", e.internal));
+                        }
+                    }
+                    if seen[e.internal as usize] {
+                        return Err(format!("point {} reachable twice", e.internal));
+                    }
+                    seen[e.internal as usize] = true;
+                }
+                Ok(())
+            }
+            Node::Inner(entries) => {
+                if entries.is_empty() {
+                    return Err("inner node with no entries".into());
+                }
+                for e in entries {
+                    if let Some(pc) = parent_center {
+                        let d = euclidean(&e.center, pc);
+                        if (d - e.parent_dist).abs() > EPS * (1.0 + d) {
+                            return Err(format!("inner parent_dist {} != {d}", e.parent_dist));
+                        }
+                    }
+                    // every point below must respect radius and rings
+                    let mut stack = vec![e.child];
+                    while let Some(nid) = stack.pop() {
+                        match &self.nodes[nid as usize] {
+                            Node::Inner(es) => stack.extend(es.iter().map(|c| c.child)),
+                            Node::Leaf(ls) => {
+                                for l in ls {
+                                    let p = self.points.point(l.internal as usize);
+                                    let d = euclidean(p, &e.center);
+                                    if d > e.radius + EPS * (1.0 + d) {
+                                        return Err(format!(
+                                            "point {} at {d} outside radius {}",
+                                            l.internal, e.radius
+                                        ));
+                                    }
+                                    for (ri, (ring, &pd)) in
+                                        e.rings.iter().zip(l.pivot_dists.iter()).enumerate()
+                                    {
+                                        if pd < ring.min - EPS || pd > ring.max + EPS {
+                                            return Err(format!(
+                                                "pivot dist {pd} outside ring {ri} [{}, {}]",
+                                                ring.min, ring.max
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    self.verify_node(e.child, Some(&e.center), seen)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// mM_RAD promotion: evaluates every pair of members as routing objects,
+/// assigns the rest to the closer one (generalized hyperplane), and keeps the
+/// pair minimizing the larger covering radius. `extra(k)` adds a member's own
+/// covering radius when splitting inner nodes. Returns the promoted pair and
+/// the side assignment (`true` = first group).
+fn promote_mm_rad(
+    n: usize,
+    dmat: &[f32],
+    extra: impl Fn(usize) -> f32,
+) -> (usize, usize, Vec<bool>) {
+    let mut best_cost = f32::INFINITY;
+    let mut best = (0usize, 1usize);
+    for i in 0..n {
+        for j in i + 1..n {
+            let (mut r1, mut r2) = (extra(i), extra(j));
+            let mut balance = 0i32;
+            for k in 0..n {
+                if k == i || k == j {
+                    continue;
+                }
+                let di = dmat[k * n + i];
+                let dj = dmat[k * n + j];
+                let to_first = di < dj || (di == dj && balance <= 0);
+                if to_first {
+                    balance += 1;
+                    r1 = r1.max(di + extra(k));
+                } else {
+                    balance -= 1;
+                    r2 = r2.max(dj + extra(k));
+                }
+            }
+            let cost = r1.max(r2);
+            if cost < best_cost {
+                best_cost = cost;
+                best = (i, j);
+            }
+        }
+    }
+    let (pi, pj) = best;
+    let mut balance = 0i32;
+    let assign: Vec<bool> = (0..n)
+        .map(|k| {
+            if k == pi {
+                balance += 1;
+                true
+            } else if k == pj {
+                balance -= 1;
+                false
+            } else {
+                let di = dmat[k * n + pi];
+                let dj = dmat[k * n + pj];
+                let to_first = di < dj || (di == dj && balance <= 0);
+                if to_first {
+                    balance += 1;
+                } else {
+                    balance -= 1;
+                }
+                to_first
+            }
+        })
+        .collect();
+    (pi, pj, assign)
+}
+

@@ -1,0 +1,101 @@
+//! Node-based cost model for the R-tree (Eqs. 8–9, Section 4.2).
+//!
+//! A range ball `B(q, r_q)` is replaced by the isochoric hyper-cube with side
+//! `l = r_q · (2π^{m/2} / (m Γ(m/2)))^{1/m}` (same volume as the ball); a
+//! node behind entry `e` with `MBR(e) = [l_1, u_1] × … × [l_m, u_m]` is then
+//! accessed with probability `Π_i [G_i(u_i + l) − G_i(l_i − l)]`, where
+//! `G_i` is the marginal distribution of coordinate `i` (Eq. 8). The paper
+//! pairs this with the PM-tree model of `pm-lsh-pmtree::cost` to produce
+//! Table 2.
+
+use crate::tree::{Node, RTree};
+use pm_lsh_stats::{gamma, Ecdf};
+
+/// Side length of the hyper-cube with the same volume as an `m`-ball of
+/// radius `rq` (the paper's substitution below Eq. 8).
+pub fn isochoric_cube_side(rq: f64, m: u32) -> f64 {
+    assert!(m > 0, "dimension must be positive");
+    assert!(rq >= 0.0, "radius must be non-negative");
+    let md = m as f64;
+    let ball_volume_unit = 2.0 * std::f64::consts::PI.powf(md / 2.0) / (md * gamma(md / 2.0));
+    ball_volume_unit.powf(1.0 / md) * rq
+}
+
+/// Eq. 9: expected distance computations of `range(q, rq)` over the built
+/// tree, under per-dimension marginals `g` (one [`Ecdf`] per dimension).
+pub fn expected_distance_computations(tree: &RTree, g: &[Ecdf], rq: f64) -> f64 {
+    assert_eq!(g.len(), tree.dim(), "need one marginal per dimension");
+    let l = isochoric_cube_side(rq, tree.dim() as u32);
+
+    let entries_of = |node: u32| -> f64 {
+        match &tree.nodes[node as usize] {
+            Node::Inner(es) => es.len() as f64,
+            Node::Leaf(es) => es.len() as f64,
+        }
+    };
+
+    let mut cc = entries_of(tree.root);
+    let mut stack = vec![tree.root];
+    while let Some(nid) = stack.pop() {
+        if let Node::Inner(entries) = &tree.nodes[nid as usize] {
+            for e in entries {
+                let mut pr = 1.0f64;
+                for (i, gi) in g.iter().enumerate() {
+                    let lo = e.mbr.lo[i] as f64;
+                    let hi = e.mbr.hi[i] as f64;
+                    pr *= (gi.cdf(hi + l) - gi.cdf(lo - l)).clamp(0.0, 1.0);
+                }
+                cc += entries_of(e.child) * pr;
+                stack.push(e.child);
+            }
+        }
+    }
+    cc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{RTree, RTreeConfig};
+    use pm_lsh_metric::Dataset;
+    use pm_lsh_stats::{dimension_marginals, Rng};
+
+    #[test]
+    fn cube_side_reference_values() {
+        // m = 1: "ball" of radius r is [-r, r], volume 2r -> side 2r.
+        assert!((isochoric_cube_side(1.0, 1) - 2.0).abs() < 1e-12);
+        // m = 2: disk area πr² -> side √π·r.
+        assert!((isochoric_cube_side(1.0, 2) - std::f64::consts::PI.sqrt()).abs() < 1e-12);
+        // m = 3: volume 4/3πr³ -> side (4π/3)^{1/3}.
+        let want = (4.0 * std::f64::consts::PI / 3.0f64).powf(1.0 / 3.0);
+        assert!((isochoric_cube_side(1.0, 3) - want).abs() < 1e-12);
+        // side shrinks relative to 2r as m grows (balls get "spiky")
+        assert!(isochoric_cube_side(1.0, 15) < 1.2);
+    }
+
+    #[test]
+    fn cost_grows_with_radius_and_stays_bounded() {
+        let mut rng = Rng::new(31);
+        let n = 1200;
+        let dim = 8;
+        let mut ds = Dataset::with_capacity(dim, n);
+        let mut buf = vec![0.0f32; dim];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        let tree = RTree::build(ds.view(), RTreeConfig::default());
+        let g = dimension_marginals(ds.view(), 1000, &mut rng);
+        let small = expected_distance_computations(&tree, &g, 0.5);
+        let large = expected_distance_computations(&tree, &g, 3.0);
+        assert!(small > 0.0);
+        assert!(large > small);
+        let total: f64 = (0..tree.node_count())
+            .map(|i| match &tree.nodes[i] {
+                Node::Inner(es) => es.len() as f64,
+                Node::Leaf(es) => es.len() as f64,
+            })
+            .sum();
+        assert!(large <= total + 1e-9);
+    }
+}

@@ -1,0 +1,164 @@
+//! Best-first incremental traversal of the R-tree.
+//!
+//! Provides the `incSearch` primitive SRS is built on (Hjaltason &
+//! Samet-style distance browsing) and the same `next_within` contract as the
+//! PM-tree cursor, so R-LSH can run the paper's Algorithm 2 unchanged over an
+//! R-tree — this is precisely the ablation of Section 6.
+
+use crate::tree::{Node, RTree};
+use crate::NodeId;
+use pm_lsh_metric::{euclidean, PointId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Clone, Copy, Debug)]
+enum ItemKind {
+    /// A child node, keyed by its MBR's MINDIST.
+    Node(NodeId),
+    /// A point with exact distance.
+    Point { external: PointId, dist: f32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Item {
+    key: f32,
+    seq: u32,
+    kind: ItemKind,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for Item {}
+impl Ord for Item {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Incremental best-first cursor over an [`RTree`].
+pub struct NnCursor<'t> {
+    tree: &'t RTree,
+    query: Vec<f32>,
+    heap: BinaryHeap<Item>,
+    seq: u32,
+    dist_computations: u64,
+}
+
+impl<'t> NnCursor<'t> {
+    /// Starts a cursor for `query`.
+    pub fn new(tree: &'t RTree, query: &[f32]) -> Self {
+        assert_eq!(query.len(), tree.dim(), "query has wrong dimensionality");
+        let mut cursor = Self {
+            tree,
+            query: query.to_vec(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            dist_computations: 0,
+        };
+        if !tree.is_empty() {
+            cursor.push(0.0, ItemKind::Node(tree.root));
+        }
+        cursor
+    }
+
+    /// Exact distance/MINDIST computations so far (one unit per entry
+    /// examined, matching the cost model's accounting).
+    pub fn distance_computations(&self) -> u64 {
+        self.dist_computations
+    }
+
+    /// `true` once every indexed point has been yielded.
+    pub fn is_exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    fn push(&mut self, key: f32, kind: ItemKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Item { key, seq, kind });
+    }
+
+    /// The next point with distance at most `radius`, or `None` when every
+    /// remaining point is farther; the frontier survives across calls, so
+    /// the radius may grow between calls (R-LSH's virtual radius enlarging).
+    pub fn next_within(&mut self, radius: f32) -> Option<(PointId, f32)> {
+        loop {
+            let top = *self.heap.peek()?;
+            if top.key > radius {
+                return None;
+            }
+            self.heap.pop();
+            match top.kind {
+                ItemKind::Node(node) => match &self.tree.nodes[node as usize] {
+                    Node::Inner(entries) => {
+                        for e in entries {
+                            let lb = e.mbr.min_dist(&self.query);
+                            self.dist_computations += 1;
+                            self.push(lb, ItemKind::Node(e.child));
+                        }
+                    }
+                    Node::Leaf(entries) => {
+                        for e in entries {
+                            let d = euclidean(
+                                &self.query,
+                                self.tree.points.point(e.internal as usize),
+                            );
+                            self.dist_computations += 1;
+                            self.push(d, ItemKind::Point { external: e.external, dist: d });
+                        }
+                    }
+                },
+                ItemKind::Point { external, dist } => return Some((external, dist)),
+            }
+        }
+    }
+
+    /// Incremental nearest-neighbor iteration (`incSearch` of the paper):
+    /// the next unseen point in non-decreasing distance.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(PointId, f32)> {
+        self.next_within(f32::INFINITY)
+    }
+}
+
+impl RTree {
+    /// All points within `radius` of `query`, sorted by ascending distance.
+    pub fn range(&self, query: &[f32], radius: f32) -> Vec<(PointId, f32)> {
+        let mut cursor = NnCursor::new(self, query);
+        let mut out = Vec::new();
+        while let Some(hit) = cursor.next_within(radius) {
+            out.push(hit);
+        }
+        out
+    }
+
+    /// Exact k nearest neighbors of `query` in the indexed space.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<(PointId, f32)> {
+        let mut cursor = NnCursor::new(self, query);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match cursor.next() {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Starts an incremental cursor.
+    pub fn cursor(&self, query: &[f32]) -> NnCursor<'_> {
+        NnCursor::new(self, query)
+    }
+}

@@ -1,0 +1,27 @@
+//! In-memory R-tree with incremental nearest-neighbor search.
+//!
+//! The substrate behind two of the paper's systems:
+//!
+//! * **SRS** (Section 3.1) — iterates [`cursor::NnCursor::next`]
+//!   (`incSearch`) to fetch projected-space neighbors one at a time.
+//! * **R-LSH** (Section 6.1) — the ablation that runs PM-LSH's Algorithm 2
+//!   over an R-tree instead of a PM-tree, using
+//!   [`cursor::NnCursor::next_within`] with growing radii.
+//!
+//! [`cost::expected_distance_computations`] implements the node-based cost
+//! model of Eqs. 8–9 (the R-tree row of Table 2).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod cursor;
+pub mod mbr;
+pub mod tree;
+
+pub use cost::{expected_distance_computations, isochoric_cube_side};
+pub use cursor::NnCursor;
+pub use mbr::Mbr;
+pub use tree::{RTree, RTreeConfig};
+
+/// Index of a node inside the tree arena.
+pub type NodeId = u32;

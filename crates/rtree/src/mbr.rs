@@ -1,0 +1,158 @@
+//! Minimum bounding rectangles in `R^m`.
+
+/// An axis-aligned minimum bounding rectangle `[lo_1, hi_1] × … × [lo_m, hi_m]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mbr {
+    /// Per-dimension lower bounds.
+    pub lo: Box<[f32]>,
+    /// Per-dimension upper bounds.
+    pub hi: Box<[f32]>,
+}
+
+impl Mbr {
+    /// The degenerate rectangle covering a single point.
+    pub fn from_point(p: &[f32]) -> Self {
+        Self { lo: p.into(), hi: p.into() }
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Expands in place to cover `p`.
+    pub fn include_point(&mut self, p: &[f32]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for ((lo, hi), &v) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(p) {
+            if v < *lo {
+                *lo = v;
+            }
+            if v > *hi {
+                *hi = v;
+            }
+        }
+    }
+
+    /// Expands in place to cover `other`.
+    pub fn include_mbr(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.dim(), self.dim());
+        for (lo, &olo) in self.lo.iter_mut().zip(other.lo.iter()) {
+            if olo < *lo {
+                *lo = olo;
+            }
+        }
+        for (hi, &ohi) in self.hi.iter_mut().zip(other.hi.iter()) {
+            if ohi > *hi {
+                *hi = ohi;
+            }
+        }
+    }
+
+    /// The smallest rectangle covering both operands.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut out = self.clone();
+        out.include_mbr(other);
+        out
+    }
+
+    /// Volume (`f64` to survive 15-dimensional products).
+    pub fn area(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| (h - l).max(0.0) as f64)
+            .product()
+    }
+
+    /// Volume increase caused by covering `other` as well.
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared Euclidean distance from `q` to the closest point of the
+    /// rectangle (0 when `q` is inside): the classic MINDIST.
+    pub fn min_sq_dist(&self, q: &[f32]) -> f32 {
+        debug_assert_eq!(q.len(), self.dim());
+        let mut acc = 0.0f32;
+        for ((&lo, &hi), &v) in self.lo.iter().zip(self.hi.iter()).zip(q) {
+            let gap = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                0.0
+            };
+            acc += gap * gap;
+        }
+        acc
+    }
+
+    /// Euclidean MINDIST.
+    #[inline]
+    pub fn min_dist(&self, q: &[f32]) -> f32 {
+        self.min_sq_dist(q).sqrt()
+    }
+
+    /// `true` when a ball `B(q, r)` intersects the rectangle.
+    #[inline]
+    pub fn intersects_ball(&self, q: &[f32], r: f32) -> bool {
+        self.min_sq_dist(q) <= r * r
+    }
+
+    /// `true` when `p` lies inside (inclusive).
+    pub fn contains_point(&self, p: &[f32]) -> bool {
+        self.lo.iter().zip(self.hi.iter()).zip(p).all(|((&l, &h), &v)| l <= v && v <= h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_area() {
+        let a = Mbr::from_point(&[0.0, 0.0]);
+        let b = Mbr::from_point(&[2.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.area(), 6.0);
+        assert_eq!(a.area(), 0.0);
+        assert_eq!(a.enlargement(&b), 6.0);
+    }
+
+    #[test]
+    fn include_point_expands() {
+        let mut m = Mbr::from_point(&[1.0, 1.0]);
+        m.include_point(&[-1.0, 4.0]);
+        assert_eq!(&*m.lo, &[-1.0, 1.0]);
+        assert_eq!(&*m.hi, &[1.0, 4.0]);
+        assert!(m.contains_point(&[0.0, 2.0]));
+        assert!(!m.contains_point(&[0.0, 5.0]));
+    }
+
+    #[test]
+    fn mindist_cases() {
+        let mut m = Mbr::from_point(&[0.0, 0.0]);
+        m.include_point(&[2.0, 2.0]);
+        // inside
+        assert_eq!(m.min_sq_dist(&[1.0, 1.0]), 0.0);
+        // left of the box
+        assert_eq!(m.min_sq_dist(&[-3.0, 1.0]), 9.0);
+        // diagonal corner
+        assert_eq!(m.min_sq_dist(&[3.0, 3.0]), 2.0);
+        assert!(m.intersects_ball(&[3.0, 3.0], 1.5));
+        assert!(!m.intersects_ball(&[3.0, 3.0], 1.0));
+    }
+
+    #[test]
+    fn mindist_never_exceeds_point_distance() {
+        // lower-bound property against a contained point
+        let mut m = Mbr::from_point(&[0.0, 0.0, 0.0]);
+        m.include_point(&[1.0, 2.0, 3.0]);
+        let q = [5.0f32, -1.0, 2.0];
+        let inside = [1.0f32, 1.5, 3.0];
+        assert!(m.contains_point(&inside));
+        let d = pm_lsh_metric::euclidean(&q, &inside);
+        assert!(m.min_dist(&q) <= d);
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-checks of the R-tree against brute force.
+
+use pm_lsh_metric::{euclidean, Dataset, PointId};
+use pm_lsh_rtree::{RTree, RTreeConfig};
+use pm_lsh_stats::Rng;
+use proptest::prelude::*;
+
+fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+fn brute_range(ds: &Dataset, q: &[f32], r: f32) -> Vec<(PointId, f32)> {
+    let mut out: Vec<(PointId, f32)> = ds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as PointId, euclidean(q, p)))
+        .filter(|&(_, d)| d <= r)
+        .collect();
+    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    out
+}
+
+#[test]
+fn range_matches_brute_force() {
+    let ds = random_dataset(900, 15, 20);
+    let tree = RTree::build(ds.view(), RTreeConfig::default());
+    tree.verify_invariants().unwrap();
+    let mut rng = Rng::new(21);
+    let mut q = vec![0.0f32; 15];
+    for trial in 0..15 {
+        rng.fill_normal(&mut q);
+        let r = 2.0 + trial as f32 * 0.25;
+        let got = tree.range(&q, r);
+        let want = brute_range(&ds, &q, r);
+        let got_ids: std::collections::BTreeSet<u32> = got.iter().map(|x| x.0).collect();
+        let want_ids: std::collections::BTreeSet<u32> = want.iter().map(|x| x.0).collect();
+        assert_eq!(got_ids, want_ids, "r={r}");
+    }
+}
+
+#[test]
+fn incremental_nn_is_globally_sorted() {
+    let ds = random_dataset(500, 10, 22);
+    let tree = RTree::build(ds.view(), RTreeConfig::default());
+    let mut rng = Rng::new(23);
+    let mut q = vec![0.0f32; 10];
+    rng.fill_normal(&mut q);
+    let mut cursor = tree.cursor(&q);
+    let mut dists = Vec::new();
+    while let Some((_, d)) = cursor.next() {
+        dists.push(d);
+    }
+    assert_eq!(dists.len(), 500, "incremental NN must enumerate every point");
+    for w in dists.windows(2) {
+        assert!(w[0] <= w[1], "incSearch order violated");
+    }
+}
+
+#[test]
+fn knn_matches_brute_force() {
+    let ds = random_dataset(700, 12, 24);
+    let tree = RTree::build(ds.view(), RTreeConfig::default());
+    let mut rng = Rng::new(25);
+    let mut q = vec![0.0f32; 12];
+    for _ in 0..10 {
+        rng.fill_normal(&mut q);
+        let got = tree.knn(&q, 8);
+        let mut all: Vec<(u32, f32)> =
+            ds.iter().enumerate().map(|(i, p)| (i as u32, euclidean(&q, p))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<f32> = all[..8].iter().map(|x| x.1).collect();
+        let got_d: Vec<f32> = got.iter().map(|x| x.1).collect();
+        assert_eq!(got_d, want);
+    }
+}
+
+#[test]
+fn radius_enlarging_over_rtree() {
+    // R-LSH's access pattern: one cursor, growing radii.
+    let ds = random_dataset(600, 8, 26);
+    let tree = RTree::build(ds.view(), RTreeConfig::default());
+    let mut rng = Rng::new(27);
+    let mut q = vec![0.0f32; 8];
+    rng.fill_normal(&mut q);
+    let mut cursor = tree.cursor(&q);
+    let mut seen = Vec::new();
+    let mut radius = 0.5f32;
+    for _ in 0..6 {
+        while let Some(hit) = cursor.next_within(radius) {
+            seen.push(hit);
+        }
+        radius *= 1.5;
+    }
+    let want = brute_range(&ds, &q, radius / 1.5);
+    assert_eq!(seen.len(), want.len());
+    let ids: std::collections::BTreeSet<u32> = seen.iter().map(|x| x.0).collect();
+    assert_eq!(ids.len(), seen.len(), "duplicate yields");
+}
+
+#[test]
+fn small_capacity_tree_is_deep_and_correct() {
+    let ds = random_dataset(300, 6, 28);
+    let cfg = RTreeConfig { capacity: 4, min_fill: 2 };
+    let tree = RTree::build(ds.view(), cfg);
+    tree.verify_invariants().unwrap();
+    assert!(tree.height() >= 3);
+    let q = vec![0.0f32; 6];
+    assert_eq!(tree.range(&q, 2.0).len(), brute_range(&ds, &q, 2.0).len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invariants_for_arbitrary_data(seed in 0u64..1000, n in 10usize..300, capacity in 4usize..12) {
+        let ds = random_dataset(n, 5, seed);
+        let cfg = RTreeConfig { capacity, min_fill: (capacity * 2 / 5).max(1) };
+        let tree = RTree::build(ds.view(), cfg);
+        prop_assert_eq!(tree.len(), n);
+        tree.verify_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn range_always_matches_brute_force(seed in 0u64..1000, n in 10usize..250, radius in 0.5f32..4.0) {
+        let ds = random_dataset(n, 4, seed);
+        let tree = RTree::build(ds.view(), RTreeConfig { capacity: 5, min_fill: 2 });
+        let mut rng = Rng::new(seed ^ 0x77);
+        let mut q = vec![0.0f32; 4];
+        rng.fill_normal(&mut q);
+        let got = tree.range(&q, radius);
+        let want = brute_range(&ds, &q, radius);
+        prop_assert_eq!(got.len(), want.len());
+    }
+}

@@ -1,0 +1,167 @@
+//! χ² distribution: CDF, survival function, pdf and quantiles.
+//!
+//! Lemma 1 of the paper shows that for Gaussian projections the ratio
+//! `r'²/r²` between squared projected and original distances follows χ²(m);
+//! Lemma 3 and Eq. 10 turn χ² quantiles into the tunable confidence interval
+//! that drives PM-LSH's search radius. This module provides exactly those
+//! quantities, including the paper's *upper quantile* convention
+//! `χ²_α(m)` defined by `∫_{χ²_α(m)}^∞ f(x; m) dx = α`.
+
+use crate::gamma::{gamma_p, gamma_q, ln_gamma};
+use crate::normal::normal_quantile;
+
+/// χ²(m) cumulative distribution function `Pr[X ≤ x]`.
+pub fn chi2_cdf(x: f64, m: u32) -> f64 {
+    assert!(m > 0, "χ² needs at least one degree of freedom");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    gamma_p(m as f64 / 2.0, x / 2.0)
+}
+
+/// χ²(m) survival function `Pr[X > x] = 1 − CDF`.
+pub fn chi2_sf(x: f64, m: u32) -> f64 {
+    assert!(m > 0, "χ² needs at least one degree of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(m as f64 / 2.0, x / 2.0)
+}
+
+/// χ²(m) probability density function.
+pub fn chi2_pdf(x: f64, m: u32) -> f64 {
+    assert!(m > 0, "χ² needs at least one degree of freedom");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let a = m as f64 / 2.0;
+    ((a - 1.0) * x.ln() - x / 2.0 - a * std::f64::consts::LN_2 - ln_gamma(a)).exp()
+}
+
+/// χ²(m) quantile: the `x` with `CDF(x) = p`, for `p ∈ (0, 1)`.
+///
+/// Wilson–Hilferty initial guess refined by safeguarded Newton iterations on
+/// the CDF; converges to ~1e-12 absolute in a handful of steps for every
+/// `m` used in this workspace (1..=64).
+pub fn chi2_quantile(p: f64, m: u32) -> f64 {
+    assert!(m > 0, "χ² needs at least one degree of freedom");
+    assert!(p > 0.0 && p < 1.0, "chi2_quantile: p={p} must be in (0,1)");
+    let md = m as f64;
+
+    // Wilson–Hilferty: X ≈ m (1 − 2/(9m) + z sqrt(2/(9m)))³
+    let z = normal_quantile(p);
+    let t = 2.0 / (9.0 * md);
+    let mut x = md * (1.0 - t + z * t.sqrt()).powi(3);
+    if x <= 0.0 || !x.is_finite() {
+        x = md; // fall back to the mean, bisection below will fix it
+    }
+
+    // Safeguarded Newton: keep a bracket [lo, hi] with CDF(lo) < p < CDF(hi).
+    let (mut lo, mut hi) = (0.0f64, f64::MAX);
+    for _ in 0..100 {
+        let f = chi2_cdf(x, m) - p;
+        if f.abs() < 1e-13 {
+            break;
+        }
+        if f > 0.0 {
+            hi = hi.min(x);
+        } else {
+            lo = lo.max(x);
+        }
+        let d = chi2_pdf(x, m);
+        let mut next = if d > 0.0 { x - f / d } else { x };
+        if next <= lo || next >= hi || !next.is_finite() {
+            // Newton left the bracket; bisect instead.
+            next = if hi.is_finite() { (lo + hi) / 2.0 } else { lo * 2.0 + 1.0 };
+        }
+        if (next - x).abs() < 1e-14 * x.max(1.0) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// The paper's **upper** quantile `χ²_α(m)`: the `x` with `Pr[X > x] = α`.
+///
+/// Equivalent to [`chi2_quantile`]`(1 − α, m)`; used verbatim in Eq. 10:
+/// `t = sqrt(χ²_{α₁}(m))`.
+pub fn chi2_upper_quantile(alpha: f64, m: u32) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    chi2_quantile(1.0 - alpha, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference values from standard χ² tables.
+    #[test]
+    fn quantile_reference_values() {
+        // (p, m, x)
+        let cases = [
+            (0.95, 10, 18.307),
+            (0.95, 15, 24.996),
+            (0.99, 15, 30.578),
+            (0.05, 15, 7.261),
+            (0.50, 15, 14.339),
+            (0.75, 15, 18.245),
+            (0.90, 1, 2.706),
+            (0.95, 1, 3.841),
+            (0.50, 2, 1.386),
+        ];
+        for (p, m, want) in cases {
+            let got = chi2_quantile(p, m);
+            assert!(
+                (got - want).abs() < 2e-3,
+                "chi2_quantile({p}, {m}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        for m in [1u32, 2, 5, 15, 30, 64] {
+            for p in [0.001, 0.05, 0.1405, 1.0 / std::f64::consts::E, 0.5, 0.8107, 0.99, 0.9999] {
+                let x = chi2_quantile(p, m);
+                let back = chi2_cdf(x, m);
+                assert!((back - p).abs() < 1e-10, "m={m} p={p} x={x} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_quantile_convention() {
+        // ∫_{χ²_α}^∞ f = α  ⇔  SF(χ²_α) = α
+        let x = chi2_upper_quantile(0.05, 15);
+        assert!((chi2_sf(x, 15) - 0.05).abs() < 1e-10);
+        assert!((x - 24.996).abs() < 2e-3);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        // Trapezoid integration of the pdf should match the CDF.
+        let m = 15;
+        let (a, b) = (0.0, 20.0);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let x0 = a + i as f64 * h;
+            let x1 = x0 + h;
+            acc += (chi2_pdf(x0, m) + chi2_pdf(x1, m)) * h / 2.0;
+        }
+        assert!((acc - chi2_cdf(b, m)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_and_median_sanity() {
+        // mean = m, median ≈ m(1-2/(9m))³
+        for m in [5u32, 15, 40] {
+            let med = chi2_quantile(0.5, m);
+            let approx = m as f64 * (1.0 - 2.0 / (9.0 * m as f64)).powi(3);
+            assert!((med - approx).abs() / approx < 0.01, "m={m}");
+        }
+    }
+}

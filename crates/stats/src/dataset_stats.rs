@@ -1,0 +1,292 @@
+//! Dataset difficulty statistics from Table 3 of the paper.
+//!
+//! * **RC** (relative contrast, He et al.): ratio of the mean distance to the
+//!   NN distance. Small RC ⇒ hard dataset.
+//! * **LID** (local intrinsic dimensionality, Amsaleg et al.): MLE from the
+//!   k-NN distance profile. Large LID ⇒ hard dataset.
+//! * **HV** (homogeneity of viewpoints, Ciaccia et al.): how similar the
+//!   distance distributions observed from different points are; values near 1
+//!   justify using one global distance distribution in the cost models of
+//!   Section 4.2.
+
+use pm_lsh_metric::{euclidean, MatrixView, TopK};
+
+use crate::ecdf::Ecdf;
+use crate::rng::Rng;
+
+/// Exact k-NN distances (ascending, self excluded) of point `q_id`, by brute
+/// force over the whole dataset. Shared by the statistics below.
+pub fn exact_knn_dists(view: MatrixView<'_>, q_id: usize, k: usize) -> Vec<f32> {
+    let q = view.point(q_id);
+    let mut top = TopK::new(k);
+    for (i, p) in view.iter().enumerate() {
+        if i == q_id {
+            continue;
+        }
+        top.push(euclidean(q, p), i as u32);
+    }
+    top.into_sorted_vec().into_iter().map(|n| n.dist).collect()
+}
+
+/// Relative contrast: `RC = E[dist(q, o)] / E[dist(q, NN(q))]` estimated over
+/// `n_queries` sampled query points.
+pub fn relative_contrast(view: MatrixView<'_>, n_queries: usize, rng: &mut Rng) -> f64 {
+    let n = view.len();
+    assert!(n >= 2, "need at least two points");
+    let queries = rng.sample_indices(n, n_queries.min(n));
+    let mut mean_sum = 0.0f64;
+    let mut nn_sum = 0.0f64;
+    for &qi in &queries {
+        let q = view.point(qi);
+        let mut acc = 0.0f64;
+        let mut nn = f32::INFINITY;
+        for (i, p) in view.iter().enumerate() {
+            if i == qi {
+                continue;
+            }
+            let d = euclidean(q, p);
+            acc += d as f64;
+            if d < nn {
+                nn = d;
+            }
+        }
+        mean_sum += acc / (n - 1) as f64;
+        nn_sum += nn as f64;
+    }
+    let q = queries.len() as f64;
+    let mean_nn = nn_sum / q;
+    if mean_nn <= 0.0 {
+        return f64::INFINITY;
+    }
+    (mean_sum / q) / mean_nn
+}
+
+/// Local intrinsic dimensionality via the MLE of Amsaleg et al.:
+/// `LID(q) = -[ (1/k) Σ_{i=1..k} ln(r_i / r_k) ]^{-1}`,
+/// averaged over `n_queries` sampled queries using their exact `k` NNs.
+pub fn lid_mle(view: MatrixView<'_>, n_queries: usize, k: usize, rng: &mut Rng) -> f64 {
+    let n = view.len();
+    assert!(n > k, "need more points than k");
+    let queries = rng.sample_indices(n, n_queries.min(n));
+    let mut acc = 0.0f64;
+    let mut used = 0usize;
+    for &qi in &queries {
+        let dists = exact_knn_dists(view, qi, k);
+        let rk = *dists.last().unwrap() as f64;
+        if rk <= 0.0 {
+            continue; // all-duplicate neighborhood carries no information
+        }
+        let mut s = 0.0f64;
+        let mut m = 0usize;
+        for &r in &dists {
+            let r = r as f64;
+            if r > 0.0 {
+                s += (r / rk).ln();
+                m += 1;
+            }
+        }
+        if m == 0 || s == 0.0 {
+            continue;
+        }
+        acc += -(m as f64) / s;
+        used += 1;
+    }
+    if used == 0 {
+        0.0
+    } else {
+        acc / used as f64
+    }
+}
+
+/// Homogeneity of viewpoints: `1 − E[ W₁(F̃_o1, F̃_o2) ] / range` where
+/// `F̃_o` is the *relative* distance profile of viewpoint `o` — its
+/// empirical distance distribution to a common target sample, normalized by
+/// its own median — `W₁` the Wasserstein-1 distance between two profiles
+/// (mean quantile displacement), and `range` the robust (5–95 %) spread of
+/// the pooled normalized distances.
+///
+/// Following Ciaccia et al.'s cost model, homogeneity is a statement about
+/// *relative* distance distributions: a viewpoint sitting farther from the
+/// mass sees all distances scaled up, which the paper's uses of HV tolerate
+/// (the `r_min` rule of §4.5 reads a quantile whose per-query scale error
+/// is absorbed by Algorithm 2's geometric radius growth, and the §4.2 cost
+/// models average over queries anyway). What must agree across viewpoints
+/// is the *shape* of the profile, which is exactly what this index scores:
+/// 1 means every viewpoint would pick the same radius at every quantile
+/// after its scale correction; heterogeneous data (e.g., cluster cores vs
+/// shell outliers) scores visibly lower.
+pub fn homogeneity_of_viewpoints(
+    view: MatrixView<'_>,
+    n_viewpoints: usize,
+    n_targets: usize,
+    rng: &mut Rng,
+) -> f64 {
+    let n = view.len();
+    assert!(n >= 4, "need at least four points");
+    let vps = rng.sample_indices(n, n_viewpoints.min(n / 2));
+    let targets = rng.sample_indices(n, n_targets.min(n));
+
+    // Distance profiles from each viewpoint to the shared target sample.
+    let mut profiles: Vec<Ecdf> = Vec::with_capacity(vps.len());
+    let mut pooled: Vec<f64> = Vec::with_capacity(vps.len() * targets.len());
+    for &v in &vps {
+        let vp = view.point(v);
+        let mut ds = Vec::with_capacity(targets.len());
+        for &t in &targets {
+            if t == v {
+                continue;
+            }
+            let d = euclidean(vp, view.point(t)) as f64;
+            ds.push(d);
+            pooled.push(d);
+        }
+        profiles.push(Ecdf::new(ds));
+    }
+
+    // Normalize every profile by its own median (relative distances), then
+    // compare on a quantile grid: W₁ ≈ mean |F̃₁⁻¹(p) − F̃₂⁻¹(p)|.
+    const GRID: usize = 64;
+    let ps: Vec<f64> = (0..GRID).map(|i| (i as f64 + 0.5) / GRID as f64).collect();
+    let quantiles: Vec<Vec<f64>> = profiles
+        .iter()
+        .map(|f| {
+            let med = f.quantile(0.5).max(1e-12);
+            ps.iter().map(|&p| f.quantile(p) / med).collect()
+        })
+        .collect();
+    let pooled_med = Ecdf::new(pooled).quantile(0.5).max(1e-12);
+    let pooled_norm: Vec<f64> = profiles
+        .iter()
+        .flat_map(|f| ps.iter().map(move |&p| f.quantile(p) / pooled_med))
+        .collect();
+    let pooled_norm = Ecdf::new(pooled_norm);
+    let range = (pooled_norm.quantile(0.95) - pooled_norm.quantile(0.05)).max(1e-12);
+
+    let mut acc = 0.0f64;
+    let mut pairs = 0usize;
+    const MAX_PAIRS: usize = 512;
+    'outer: for i in 0..quantiles.len() {
+        for j in i + 1..quantiles.len() {
+            let w1: f64 = quantiles[i]
+                .iter()
+                .zip(&quantiles[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / GRID as f64;
+            acc += w1 / range;
+            pairs += 1;
+            if pairs >= MAX_PAIRS {
+                break 'outer;
+            }
+        }
+    }
+    if pairs == 0 {
+        return 1.0;
+    }
+    (1.0 - acc / pairs as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_metric::Dataset;
+
+    fn gaussian_blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn knn_dists_are_sorted_and_self_free() {
+        let ds = gaussian_blob(200, 8, 1);
+        let d = exact_knn_dists(ds.view(), 5, 10);
+        assert_eq!(d.len(), 10);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        assert!(d[0] > 0.0, "self must be excluded");
+    }
+
+    #[test]
+    fn rc_larger_for_clustered_data() {
+        // A dataset of tight, well separated clusters has much higher RC
+        // than an i.i.d. Gaussian blob of the same size.
+        let blob = gaussian_blob(400, 16, 2);
+        let mut rng = Rng::new(3);
+        let mut clustered = Dataset::with_capacity(16, 400);
+        let mut buf = [0.0f32; 16];
+        for i in 0..400 {
+            let center = (i % 8) as f32 * 100.0;
+            for v in buf.iter_mut() {
+                *v = center + 0.01 * rng.normal_f32();
+            }
+            clustered.push(&buf);
+        }
+        let mut r1 = Rng::new(4);
+        let mut r2 = Rng::new(4);
+        let rc_blob = relative_contrast(blob.view(), 30, &mut r1);
+        let rc_clust = relative_contrast(clustered.view(), 30, &mut r2);
+        assert!(rc_blob > 1.0);
+        assert!(rc_clust > rc_blob, "clustered={rc_clust} blob={rc_blob}");
+    }
+
+    #[test]
+    fn lid_tracks_true_dimension() {
+        // LID of an i.i.d. Gaussian in R^d concentrates near d for moderate d.
+        let d2 = gaussian_blob(2_000, 2, 5);
+        let d8 = gaussian_blob(2_000, 8, 6);
+        let mut r1 = Rng::new(7);
+        let mut r2 = Rng::new(7);
+        let lid2 = lid_mle(d2.view(), 30, 50, &mut r1);
+        let lid8 = lid_mle(d8.view(), 30, 50, &mut r2);
+        assert!(lid2 > 1.0 && lid2 < 4.0, "lid2={lid2}");
+        assert!(lid8 > 5.0 && lid8 < 12.0, "lid8={lid8}");
+        assert!(lid8 > lid2);
+    }
+
+    #[test]
+    fn hv_near_one_for_homogeneous_data() {
+        // Distance concentration grows with dimensionality, so an i.i.d.
+        // Gaussian blob in d = 64 already shows strongly homogeneous
+        // viewpoints (the paper's real datasets, d >= 192, all have HV >= 0.9).
+        let ds = gaussian_blob(600, 64, 8);
+        let mut rng = Rng::new(9);
+        let hv = homogeneity_of_viewpoints(ds.view(), 20, 200, &mut rng);
+        assert!(hv > 0.85, "hv={hv}");
+        assert!(hv <= 1.0);
+    }
+
+    #[test]
+    fn hv_lower_for_heterogeneous_data() {
+        // Mix a tight cluster with a huge-radius shell: viewpoints inside the
+        // cluster and on the shell see very different distance profiles.
+        let mut rng = Rng::new(10);
+        let mut ds = Dataset::with_capacity(8, 600);
+        let mut buf = [0.0f32; 8];
+        for i in 0..600 {
+            if i % 2 == 0 {
+                for v in buf.iter_mut() {
+                    *v = 0.05 * rng.normal_f32();
+                }
+            } else {
+                rng.fill_normal(&mut buf);
+                let norm: f32 = buf.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let scale = 50.0 + 50.0 * rng.f32();
+                for v in buf.iter_mut() {
+                    *v = *v / norm * scale;
+                }
+            }
+            ds.push(&buf);
+        }
+        let homog = gaussian_blob(600, 8, 11);
+        let mut r1 = Rng::new(12);
+        let mut r2 = Rng::new(12);
+        let hv_hetero = homogeneity_of_viewpoints(ds.view(), 20, 200, &mut r1);
+        let hv_homog = homogeneity_of_viewpoints(homog.view(), 20, 200, &mut r2);
+        assert!(hv_hetero < hv_homog, "hetero={hv_hetero} homog={hv_homog}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper's cost models (Section 4.2) and the `r_min` selection rule of
+//! Algorithm 2 both consume the *distance distribution*
+//! `F(x) = Pr[||o_i, o_j|| ≤ x]` of a dataset (Eq. 4), estimated from sampled
+//! point pairs. The R-tree cost model additionally needs the per-dimension
+//! marginals `G_i(x) = Pr[X_i ≤ x]` (Eq. 8).
+
+use pm_lsh_metric::{euclidean, MatrixView};
+
+use crate::rng::Rng;
+
+/// An empirical CDF built from a finite sample, with linear interpolation
+/// between order statistics.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from (not necessarily sorted) samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF needs at least one sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF samples must not be NaN");
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: samples }
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the ECDF was built from zero samples (impossible by
+    /// construction, kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of mass at or below `x`, linearly interpolated.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let s = &self.sorted;
+        let n = s.len();
+        if x < s[0] {
+            return 0.0;
+        }
+        if x >= s[n - 1] {
+            return 1.0;
+        }
+        // rank = #samples <= x, then interpolate toward the next sample.
+        let hi = s.partition_point(|&v| v <= x);
+        // s[hi-1] <= x < s[hi]
+        let x0 = s[hi - 1];
+        let x1 = s[hi];
+        let frac = if x1 > x0 { (x - x0) / (x1 - x0) } else { 0.0 };
+        (hi as f64 + frac - 1.0) / (n as f64 - 1.0).max(1.0)
+    }
+
+    /// `F⁻¹(p)`: the value below which a `p` fraction of the mass lies.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile: p={p} outside [0,1]");
+        let s = &self.sorted;
+        let n = s.len();
+        if n == 1 {
+            return s[0];
+        }
+        let pos = p * (n - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        if i + 1 >= n {
+            s[n - 1]
+        } else {
+            s[i] * (1.0 - frac) + s[i + 1] * frac
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+/// The pairwise distance distribution `F(x)` of Eq. 4, estimated from
+/// `pairs` uniformly sampled point pairs.
+pub fn distance_distribution(view: MatrixView<'_>, pairs: usize, rng: &mut Rng) -> Ecdf {
+    let n = view.len();
+    assert!(n >= 2, "need at least two points to sample pairs");
+    let mut dists = Vec::with_capacity(pairs);
+    while dists.len() < pairs {
+        let i = rng.below(n);
+        let j = rng.below(n);
+        if i == j {
+            continue;
+        }
+        dists.push(euclidean(view.point(i), view.point(j)) as f64);
+    }
+    Ecdf::new(dists)
+}
+
+/// Per-dimension marginal distributions `G_i(x)` of Eq. 8, estimated from a
+/// uniform point sample (or all points if `sample >= n`).
+pub fn dimension_marginals(view: MatrixView<'_>, sample: usize, rng: &mut Rng) -> Vec<Ecdf> {
+    let n = view.len();
+    let dim = view.dim();
+    let ids: Vec<usize> =
+        if sample >= n { (0..n).collect() } else { rng.sample_indices(n, sample) };
+    let mut per_dim: Vec<Vec<f64>> = vec![Vec::with_capacity(ids.len()); dim];
+    for &i in &ids {
+        let p = view.point(i);
+        for (d, &v) in p.iter().enumerate() {
+            per_dim[d].push(v as f64);
+        }
+    }
+    per_dim.into_iter().map(Ecdf::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_metric::Dataset;
+
+    #[test]
+    fn cdf_step_positions() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(5.0), 1.0);
+        assert_eq!(e.cdf(6.0), 1.0);
+        assert!((e.cdf(3.0) - 0.5).abs() < 1e-12);
+        // halfway between samples 2 and 3 -> between 0.25 and 0.5
+        assert!((e.cdf(2.5) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        for p in [0.0, 0.25, 0.33, 0.5, 0.9, 1.0] {
+            let x = e.quantile(p);
+            assert!((e.cdf(x) - p).abs() < 1e-9, "p={p} x={x} cdf={}", e.cdf(x));
+        }
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_distribution_on_unit_square_grid() {
+        // 100 points on a 10x10 grid: the distance CDF should put
+        // F(1.0) noticeably above 0 and F(13) == 1 (max distance ~12.7).
+        let mut rows = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                rows.push(vec![i as f32, j as f32]);
+            }
+        }
+        let ds = Dataset::from_rows(rows);
+        let mut rng = Rng::new(9);
+        let f = distance_distribution(ds.view(), 4000, &mut rng);
+        assert!(f.cdf(0.5) < 0.05);
+        assert!(f.cdf(13.0) == 1.0);
+        assert!(f.cdf(5.0) > 0.2 && f.cdf(5.0) < 0.8);
+    }
+
+    #[test]
+    fn marginals_capture_per_dim_ranges() {
+        let ds = Dataset::from_rows(vec![
+            vec![0.0, 100.0],
+            vec![1.0, 200.0],
+            vec![2.0, 300.0],
+            vec![3.0, 400.0],
+        ]);
+        let mut rng = Rng::new(1);
+        let gs = dimension_marginals(ds.view(), 10, &mut rng);
+        assert_eq!(gs.len(), 2);
+        assert_eq!(gs[0].max(), 3.0);
+        assert_eq!(gs[1].min(), 100.0);
+        assert!(gs[1].cdf(250.0) > 0.3 && gs[1].cdf(250.0) < 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_rejected() {
+        let _ = Ecdf::new(vec![]);
+    }
+}

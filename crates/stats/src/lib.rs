@@ -1,0 +1,32 @@
+//! Statistical machinery for the PM-LSH workspace.
+//!
+//! Everything in the paper that is "math rather than data structure" lives
+//! here:
+//!
+//! * [`gamma`] / [`normal`] / [`chi2`] — the special functions behind
+//!   Lemmas 1–3 and Eq. 10 (no maintained special-function crate is on the
+//!   offline allow-list, so these are implemented and pinned to references).
+//! * [`rng`] — a seeded xoshiro256++ generator with Gaussian sampling
+//!   (Box–Muller), the single source of randomness for the workspace.
+//! * [`ecdf`] — empirical CDFs: the distance distribution `F(x)` of Eq. 4
+//!   and the per-dimension marginals `G_i(x)` of Eq. 8.
+//! * [`lemmas`] — the unbiased distance estimator (Lemma 2) and the tunable
+//!   confidence interval (Lemma 3).
+//! * [`dataset_stats`] — RC / LID / HV, the Table 3 difficulty statistics.
+
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod dataset_stats;
+pub mod ecdf;
+pub mod gamma;
+pub mod lemmas;
+pub mod normal;
+pub mod rng;
+
+pub use chi2::{chi2_cdf, chi2_pdf, chi2_quantile, chi2_sf, chi2_upper_quantile};
+pub use ecdf::{dimension_marginals, distance_distribution, Ecdf};
+pub use gamma::{gamma, gamma_p, gamma_q, ln_gamma};
+pub use lemmas::{estimate_original_distance, median_projection_factor, ProjectedInterval};
+pub use normal::{erf, erfc, normal_cdf, normal_pdf, normal_quantile};
+pub use rng::Rng;

@@ -1,0 +1,153 @@
+//! Standard normal distribution: CDF, quantile and error functions.
+//!
+//! Needed by QALSH's collision probability `p(s) = 2Φ(w/2s) − 1`, by the
+//! Wilson–Hilferty initial guess of the χ² quantile, and by SRS parameter
+//! derivations.
+
+use crate::gamma::{gamma_p, gamma_q};
+
+/// The error function `erf(x)`, via the identity `erf(x) = P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`, computed through
+/// the upper incomplete gamma so the positive tail keeps relative precision.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal pdf `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// Acklam's rational approximation (relative error < 1.15e-9) followed by one
+/// Halley refinement step against [`normal_cdf`], which brings the result to
+/// near machine precision.
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p={p} must be in (0,1)");
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: x <- x - e/(φ(x) + e·x/2) where e = Φ(x) − p.
+    let e = normal_cdf(x) - p;
+    let u = e / normal_pdf(x);
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference: Abramowitz & Stegun
+        assert!((erf(0.0)).abs() < 1e-15);
+        assert!((erf(0.5) - 0.520_499_877_813_046_5).abs() < 1e-12);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(2.0) - 0.995_322_265_018_952_7).abs() < 1e-12);
+        assert!((erf(-1.0) + 0.842_700_792_949_714_9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erfc_tail_precision() {
+        // erfc(3) = 2.209049699858544e-5
+        assert!((erfc(3.0) - 2.209_049_699_858_544e-5).abs() / 2.2e-5 < 1e-9);
+        // erfc(-x) + erfc(x) = 2
+        for x in [0.1, 0.7, 1.9, 3.3] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-15);
+        assert!((normal_cdf(1.0) - 0.841_344_746_068_542_9).abs() < 1e-12);
+        assert!((normal_cdf(-1.959_963_984_540_054) - 0.025).abs() < 1e-10);
+        assert!((normal_cdf(2.326_347_874_040_841) - 0.99).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [1e-6, 0.001, 0.025, 0.1405, 0.3679, 0.5, 0.8107, 0.975, 0.999, 1.0 - 1e-6] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-12, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((normal_quantile(0.5)).abs() < 1e-12);
+        assert!((normal_quantile(0.841_344_746_068_542_9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn quantile_rejects_bounds() {
+        let _ = normal_quantile(1.0);
+    }
+}

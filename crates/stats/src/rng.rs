@@ -1,0 +1,279 @@
+//! Deterministic random number generation.
+//!
+//! Everything in this workspace that draws randomness — Gaussian projection
+//! matrices, synthetic dataset generation, query sampling — must be exactly
+//! reproducible from a `u64` seed so experiments can be re-run bit-for-bit.
+//! `rand` offers no Gaussian sampler without the (not allow-listed)
+//! `rand_distr` crate, so we carry a small self-contained generator:
+//! xoshiro256++ seeded through SplitMix64, plus a Box–Muller normal sampler.
+
+/// A seeded xoshiro256++ generator with convenience samplers.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    gauss_spare: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Different seeds give independent
+    /// streams; the same seed always yields the same sequence.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        Self { state, gauss_spare: None }
+    }
+
+    /// Derives an independent child stream. `fork(i) != fork(j)` for `i != j`,
+    /// and forking does not perturb the parent's sequence.
+    pub fn fork(&self, stream: u64) -> Rng {
+        // Mix the parent state with the stream id through SplitMix64.
+        let mut s = self.state[0]
+            ^ self.state[1].rotate_left(17)
+            ^ self.state[2].rotate_left(31)
+            ^ self.state[3].rotate_left(47)
+            ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        Rng { state, gauss_spare: None }
+    }
+
+    /// Next raw 64 random bits (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)` (Lemire's nearly-divisionless method).
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + self.below(hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal draw (Box–Muller, polar form, with spare caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.f64() - 1.0;
+            let v = 2.0 * self.f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Standard normal draw as `f32`.
+    #[inline]
+    pub fn normal_f32(&mut self) -> f32 {
+        self.normal() as f32
+    }
+
+    /// Fills a slice with i.i.d. standard normal `f32` values.
+    pub fn fill_normal(&mut self, out: &mut [f32]) {
+        for v in out {
+            *v = self.normal_f32();
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// `k` distinct indices sampled uniformly from `[0, n)`, in random order.
+    ///
+    /// Uses a partial Fisher–Yates over an index vector for small `n`, or
+    /// Floyd's algorithm when `k << n` to avoid materializing `0..n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        if k * 8 >= n {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = self.range_usize(i, n);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        } else {
+            // Floyd's: guarantees distinctness with k iterations.
+            let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+            let mut out = Vec::with_capacity(k);
+            for j in n - k..n {
+                let t = self.below(j + 1);
+                let pick = if chosen.contains(&t) { j } else { t };
+                chosen.insert(pick);
+                out.push(pick);
+            }
+            self.shuffle(&mut out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let root = Rng::new(7);
+        let mut f1 = root.fork(1);
+        let mut f2 = root.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+        // forking again with the same id reproduces the stream
+        let mut f1b = root.fork(1);
+        assert_eq!(Rng::new(7).fork(1).next_u64(), f1b.next_u64());
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let mut rng = Rng::new(1);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "var={var}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let (mut s1, mut s2, mut s3, mut s4) = (0.0, 0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let x = rng.normal();
+            s1 += x;
+            s2 += x * x;
+            s3 += x * x * x;
+            s4 += x * x * x * x;
+        }
+        let nf = n as f64;
+        assert!((s1 / nf).abs() < 0.02, "mean {}", s1 / nf);
+        assert!((s2 / nf - 1.0).abs() < 0.03, "var {}", s2 / nf);
+        assert!((s3 / nf).abs() < 0.05, "skew numerator {}", s3 / nf);
+        assert!((s4 / nf - 3.0).abs() < 0.15, "kurtosis numerator {}", s4 / nf);
+    }
+
+    #[test]
+    fn below_is_unbiased_over_small_range() {
+        let mut rng = Rng::new(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts={counts:?}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng::new(4);
+        for (n, k) in [(10, 10), (100, 3), (1000, 50), (5, 0)] {
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,73 @@
+//! Side-by-side comparison of all six algorithms from the paper's
+//! evaluation on one dataset — a miniature Table 4.
+//!
+//! ```text
+//! cargo run --release --example compare_methods [audio|deep|nus|mnist|gist|cifar|trevi]
+//! ```
+
+use pm_lsh::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "cifar".to_string());
+    let dataset = match which.to_lowercase().as_str() {
+        "audio" => PaperDataset::Audio,
+        "deep" => PaperDataset::Deep,
+        "nus" => PaperDataset::Nus,
+        "mnist" => PaperDataset::Mnist,
+        "gist" => PaperDataset::Gist,
+        "cifar" => PaperDataset::Cifar,
+        "trevi" => PaperDataset::Trevi,
+        other => panic!("unknown dataset '{other}'"),
+    };
+
+    let k = 10;
+    let generator = dataset.generator(Scale::Smoke);
+    let data = Arc::new(generator.dataset());
+    let queries = generator.queries(20);
+    println!(
+        "{}: {} points in R^{}, {} queries, k = {k}\n",
+        dataset.name(),
+        data.len(),
+        data.dim(),
+        queries.len()
+    );
+    let truth = exact_knn_batch(data.view(), queries.view(), k, 0);
+
+    let algos: Vec<Box<dyn AnnIndex>> = vec![
+        Box::new(PmLsh::build(data.clone(), PmLshParams::paper_defaults())),
+        Box::new(Srs::build(data.clone(), SrsParams::default())),
+        Box::new(Qalsh::build(data.clone(), QalshParams::default())),
+        Box::new(MultiProbe::build(data.clone(), MultiProbeParams::default())),
+        Box::new(RLsh::build(data.clone(), PmLshParams::paper_defaults())),
+        Box::new(LScan::build(data.clone(), LScanParams::default())),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12}",
+        "algorithm", "ms/query", "recall", "ratio", "candidates"
+    );
+    for algo in &algos {
+        let mut total_recall = 0.0;
+        let mut total_ratio = 0.0;
+        let mut total_cand = 0usize;
+        let start = Instant::now();
+        for (qi, q) in queries.iter().enumerate() {
+            let res = algo.query(q, k);
+            total_recall += recall(&res.neighbors, &truth[qi]);
+            total_ratio += overall_ratio(&res.neighbors, &truth[qi]);
+            total_cand += res.candidates_verified;
+        }
+        let nq = queries.len() as f64;
+        println!(
+            "{:<12} {:>10.3} {:>10.3} {:>10.4} {:>12.0}",
+            algo.name(),
+            start.elapsed().as_secs_f64() * 1e3 / nq,
+            total_recall / nq,
+            total_ratio / nq,
+            total_cand as f64 / nq
+        );
+    }
+    println!("\n(paper shape: PM-LSH leads on time and quality; LScan's recall ≈ its scan fraction)");
+}

@@ -1,0 +1,58 @@
+//! Quick start: build a PM-LSH index over synthetic data and answer
+//! (c, k)-ANN queries, comparing against the exact answer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pm_lsh::prelude::*;
+
+fn main() {
+    // A seeded stand-in for the paper's Audio dataset (192 dimensions).
+    // Scale::Smoke keeps this example under a second; use Scale::Bench for
+    // the full 54k points.
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let data = generator.dataset();
+    let queries = generator.queries(10);
+    println!("dataset: {} points in R^{}", data.len(), data.dim());
+
+    // Exact ground truth for quality reporting.
+    let truth = exact_knn_batch(data.view(), queries.view(), 10, 0);
+
+    // Build PM-LSH at the paper's operating point (m = 15 hash functions,
+    // c = 1.5, PM-tree with 5 pivots, β = 0.2809).
+    let start = std::time::Instant::now();
+    let index = PmLsh::build(data, PmLshParams::paper_defaults());
+    println!("built in {:.1} ms", start.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "derived constants: t = {:.3}, alpha2 = {:.4}, beta = {:.4}",
+        index.derived().t,
+        index.derived().alpha2,
+        index.derived().beta
+    );
+
+    let mut total_recall = 0.0;
+    let mut total_ratio = 0.0;
+    let start = std::time::Instant::now();
+    for (qi, q) in queries.iter().enumerate() {
+        let result = index.query(q, 10);
+        total_recall += recall(&result.neighbors, &truth[qi]);
+        total_ratio += overall_ratio(&result.neighbors, &truth[qi]);
+        if qi == 0 {
+            println!(
+                "query 0: {} candidates verified over {} rounds, nn dist {:.3} (exact {:.3})",
+                result.stats.candidates_verified,
+                result.stats.rounds,
+                result.neighbors[0].dist,
+                truth[0][0].dist
+            );
+        }
+    }
+    let n = queries.len() as f64;
+    println!(
+        "avg query time {:.2} ms | recall@10 {:.3} | overall ratio {:.4}",
+        start.elapsed().as_secs_f64() * 1e3 / n,
+        total_recall / n,
+        total_ratio / n
+    );
+}

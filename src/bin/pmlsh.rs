@@ -1,0 +1,288 @@
+//! `pmlsh` — command-line interface to the PM-LSH workspace.
+//!
+//! ```text
+//! pmlsh gen    --dataset cifar --scale smoke --out data.fvecs [--queries queries.fvecs --nq 100]
+//! pmlsh stats  --data data.fvecs
+//! pmlsh query  --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
+//! pmlsh bench  --data data.fvecs --queries queries.fvecs --k 10
+//! ```
+//!
+//! Files ending in `.csv` are parsed as headerless CSV; anything else as
+//! little-endian `fvecs` (the TEXMEX format the paper's real datasets ship
+//! in), so the same binary drives both the synthetic stand-ins and the real
+//! datasets when available.
+
+use pm_lsh::prelude::*;
+use pm_lsh::data::{read_csv, read_fvecs, write_csv, write_fvecs};
+use pm_lsh::stats::dataset_stats::{homogeneity_of_viewpoints, lid_mle, relative_contrast};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "stats" => cmd_stats(&opts),
+        "query" => cmd_query(&opts),
+        "bench" => cmd_bench(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "pmlsh — PM-LSH approximate nearest-neighbor search
+
+USAGE:
+  pmlsh gen    --dataset <audio|deep|nus|mnist|gist|cifar|trevi> --out <file>
+               [--scale smoke|bench|full] [--queries <file>] [--nq <n>]
+  pmlsh stats  --data <file>
+  pmlsh query  --data <file> --queries <file> [--k <n>] [--c <ratio>]
+               [--algo pm-lsh|srs|qalsh|multi-probe|r-lsh|lscan] [--no-truth]
+  pmlsh bench  --data <file> --queries <file> [--k <n>] [--c <ratio>]
+
+Files ending in .csv are headerless CSV; anything else is fvecs.";
+
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = &args[i];
+        if !key.starts_with("--") {
+            return Err(format!("expected --flag, got '{key}'"));
+        }
+        let name = key.trim_start_matches("--").to_string();
+        if name == "no-truth" {
+            map.insert(name, "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).ok_or_else(|| format!("missing value for {key}"))?;
+        map.insert(name, value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "csv") {
+        read_csv(p, None)
+    } else {
+        read_fvecs(p, None)
+    };
+    result.map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn save(path: &str, data: &Dataset) -> Result<(), String> {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "csv") {
+        write_csv(p, data)
+    } else {
+        write_fvecs(p, data)
+    };
+    result.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn dataset_by_name(name: &str) -> Result<PaperDataset, String> {
+    Ok(match name.to_lowercase().as_str() {
+        "audio" => PaperDataset::Audio,
+        "deep" => PaperDataset::Deep,
+        "nus" => PaperDataset::Nus,
+        "mnist" => PaperDataset::Mnist,
+        "gist" => PaperDataset::Gist,
+        "cifar" => PaperDataset::Cifar,
+        "trevi" => PaperDataset::Trevi,
+        other => return Err(format!("unknown dataset '{other}'")),
+    })
+}
+
+fn cmd_gen(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = dataset_by_name(opts.get("dataset").ok_or("gen needs --dataset")?)?;
+    let out = opts.get("out").ok_or("gen needs --out")?;
+    let scale = match opts.get("scale").map(|s| s.as_str()) {
+        None | Some("smoke") => Scale::Smoke,
+        Some("bench") => Scale::Bench,
+        Some("full") => Scale::Full,
+        Some(other) => return Err(format!("unknown scale '{other}'")),
+    };
+    let generator = dataset.generator(scale);
+    let data = generator.dataset();
+    save(out, &data)?;
+    println!("wrote {} points in R^{} to {out}", data.len(), data.dim());
+    if let Some(qpath) = opts.get("queries") {
+        let nq: usize = opts
+            .get("nq")
+            .map(|s| s.parse().map_err(|_| "--nq must be an integer"))
+            .transpose()?
+            .unwrap_or(100);
+        let queries = generator.queries(nq);
+        save(qpath, &queries)?;
+        println!("wrote {nq} queries to {qpath}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = load(opts.get("data").ok_or("stats needs --data")?)?;
+    let mut rng = Rng::new(0xc11);
+    let queries = 30.min(data.len() / 4).max(1);
+    let start = Instant::now();
+    let hv = homogeneity_of_viewpoints(data.view(), 24, 400.min(data.len()), &mut rng);
+    let rc = relative_contrast(data.view(), queries, &mut rng);
+    let lid = lid_mle(data.view(), queries, 100.min(data.len() / 2).max(2), &mut rng);
+    println!("n   = {}", data.len());
+    println!("d   = {}", data.dim());
+    println!("HV  = {hv:.4}");
+    println!("RC  = {rc:.2}");
+    println!("LID = {lid:.1}");
+    println!("({:.1} s)", start.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn build_algo(
+    name: &str,
+    data: Arc<Dataset>,
+    c: f64,
+) -> Result<Box<dyn AnnIndex>, String> {
+    let pm_params = if (c - 1.5).abs() < 1e-9 {
+        PmLshParams::paper_defaults()
+    } else {
+        PmLshParams::default().with_c(c)
+    };
+    Ok(match name.to_lowercase().as_str() {
+        "pm-lsh" | "pmlsh" => Box::new(PmLsh::build(data, pm_params)),
+        "srs" => Box::new(Srs::build(data, SrsParams { c, ..SrsParams::paper_operating_point() })),
+        "qalsh" => Box::new(Qalsh::build(data, QalshParams { c, ..Default::default() })),
+        "multi-probe" | "multiprobe" => {
+            Box::new(MultiProbe::build(data, MultiProbeParams::default()))
+        }
+        "r-lsh" | "rlsh" => Box::new(RLsh::build(data, pm_params)),
+        "lscan" => Box::new(LScan::build(data, LScanParams::default())),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn parse_kc(opts: &HashMap<String, String>) -> Result<(usize, f64), String> {
+    let k: usize = opts
+        .get("k")
+        .map(|s| s.parse().map_err(|_| "--k must be an integer"))
+        .transpose()?
+        .unwrap_or(10);
+    let c: f64 = opts
+        .get("c")
+        .map(|s| s.parse().map_err(|_| "--c must be a float"))
+        .transpose()?
+        .unwrap_or(1.5);
+    if c <= 1.0 {
+        return Err("--c must exceed 1.0".into());
+    }
+    Ok((k, c))
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = Arc::new(load(opts.get("data").ok_or("query needs --data")?)?);
+    let queries = load(opts.get("queries").ok_or("query needs --queries")?)?;
+    if queries.dim() != data.dim() {
+        return Err(format!(
+            "dimension mismatch: data R^{}, queries R^{}",
+            data.dim(),
+            queries.dim()
+        ));
+    }
+    let (k, c) = parse_kc(opts)?;
+    let algo_name = opts.get("algo").map(|s| s.as_str()).unwrap_or("pm-lsh");
+    let with_truth = !opts.contains_key("no-truth");
+
+    let start = Instant::now();
+    let algo = build_algo(algo_name, data.clone(), c)?;
+    println!("built {} over {} points in {:.1} s", algo.name(), data.len(),
+        start.elapsed().as_secs_f64());
+
+    let truth = if with_truth {
+        Some(exact_knn_batch(data.view(), queries.view(), k, 0))
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let mut recall_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let res = algo.query(q, k);
+        if qi < 3 {
+            let ids: Vec<String> =
+                res.neighbors.iter().take(5).map(|n| format!("{}:{:.3}", n.id, n.dist)).collect();
+            println!("query {qi}: [{}]", ids.join(", "));
+        }
+        if let Some(t) = &truth {
+            recall_sum += recall(&res.neighbors, &t[qi]);
+            ratio_sum += overall_ratio(&res.neighbors, &t[qi]);
+        }
+    }
+    let nq = queries.len() as f64;
+    println!("{} queries in {:.2} ms each", queries.len(),
+        start.elapsed().as_secs_f64() * 1e3 / nq);
+    if truth.is_some() {
+        println!("recall@{k} = {:.4}, overall ratio = {:.4}", recall_sum / nq, ratio_sum / nq);
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = Arc::new(load(opts.get("data").ok_or("bench needs --data")?)?);
+    let queries = load(opts.get("queries").ok_or("bench needs --queries")?)?;
+    let (k, c) = parse_kc(opts)?;
+    let truth = exact_knn_batch(data.view(), queries.view(), k, 0);
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>8} {:>8}",
+        "algorithm", "build(s)", "ms/query", "recall", "ratio"
+    );
+    for name in ["pm-lsh", "srs", "qalsh", "multi-probe", "r-lsh", "lscan"] {
+        let b0 = Instant::now();
+        let algo = build_algo(name, data.clone(), c)?;
+        let build_s = b0.elapsed().as_secs_f64();
+        let q0 = Instant::now();
+        let mut recall_sum = 0.0;
+        let mut ratio_sum = 0.0;
+        for (qi, q) in queries.iter().enumerate() {
+            let res = algo.query(q, k);
+            recall_sum += recall(&res.neighbors, &truth[qi]);
+            ratio_sum += overall_ratio(&res.neighbors, &truth[qi]);
+        }
+        let nq = queries.len() as f64;
+        println!(
+            "{:<12} {:>9.2} {:>10.3} {:>8.4} {:>8.4}",
+            algo.name(),
+            build_s,
+            q0.elapsed().as_secs_f64() * 1e3 / nq,
+            recall_sum / nq,
+            ratio_sum / nq
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Cross-substrate consistency: PM-LSH vs R-LSH (identical algorithm over
+//! different trees) and the Table 2 cost-model relationship between them.
+
+use pm_lsh::prelude::*;
+use pm_lsh::hash::GaussianProjector;
+use pm_lsh::pmtree::{PmTree, PmTreeConfig};
+use pm_lsh::rtree::{RTree, RTreeConfig};
+use pm_lsh::stats::{dimension_marginals, distance_distribution};
+use std::sync::Arc;
+
+#[test]
+fn pmlsh_and_rlsh_agree_on_quality() {
+    // Same Eq. 10 constants, same projections seed, same candidate budget:
+    // the two indexes must land in the same recall class.
+    let generator = PaperDataset::Mnist.generator(Scale::Smoke);
+    let data = Arc::new(generator.dataset());
+    let queries = generator.queries(12);
+    let truth = exact_knn_batch(data.view(), queries.view(), 10, 0);
+
+    let params = PmLshParams::paper_defaults();
+    let pm = PmLsh::build(data.clone(), params);
+    let rl = RLsh::build(data, params);
+
+    let (mut pm_recall, mut rl_recall) = (0.0, 0.0);
+    for (qi, q) in queries.iter().enumerate() {
+        pm_recall += recall(&AnnIndex::query(&pm, q, 10).neighbors, &truth[qi]);
+        rl_recall += recall(&rl.query(q, 10).neighbors, &truth[qi]);
+    }
+    let nq = queries.len() as f64;
+    assert!(
+        (pm_recall / nq - rl_recall / nq).abs() < 0.2,
+        "substrate change must not change quality class: pm={} rl={}",
+        pm_recall / nq,
+        rl_recall / nq
+    );
+}
+
+#[test]
+fn cost_model_favors_pmtree_on_projected_data() {
+    // Table 2's claim on the stand-ins: expected distance computations of
+    // the PM-tree at the 8% radius are below the R-tree's.
+    for ds in [PaperDataset::Cifar, PaperDataset::Trevi, PaperDataset::Audio] {
+        let generator = ds.generator(Scale::Smoke);
+        let data = generator.dataset();
+        let mut rng = Rng::new(0xc0de ^ ds as u64);
+        let projector = GaussianProjector::new(data.dim(), 15, &mut rng);
+        let projected = projector.project_all(data.view());
+
+        let pm = PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng);
+        let rt = RTree::build(projected.view(), RTreeConfig::default());
+        let f = distance_distribution(projected.view(), 20_000, &mut rng);
+        let g = dimension_marginals(projected.view(), 2_000, &mut rng);
+        let rq = f.quantile(0.08);
+
+        let cc_pm = pm_lsh::pmtree::expected_distance_computations(&pm, &f, rq);
+        let cc_rt = pm_lsh::rtree::expected_distance_computations(&rt, &g, rq);
+        assert!(
+            cc_pm < cc_rt,
+            "{}: CC_PM {cc_pm:.0} should be below CC_R {cc_rt:.0}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn measured_range_cost_tracks_the_model_ordering() {
+    // The empirical distance-computation counters of the two cursors must
+    // reproduce the model's ordering (PM-tree cheaper) on average.
+    let generator = PaperDataset::Cifar.generator(Scale::Smoke);
+    let data = generator.dataset();
+    let queries = generator.queries(10);
+    let mut rng = Rng::new(0xbeef);
+    let projector = GaussianProjector::new(data.dim(), 15, &mut rng);
+    let projected = projector.project_all(data.view());
+    let proj_queries = projector.project_all(queries.view());
+
+    let pm = PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng);
+    let rt = RTree::build(projected.view(), RTreeConfig::default());
+    let f = distance_distribution(projected.view(), 20_000, &mut rng);
+    let rq = f.quantile(0.08) as f32;
+
+    let (mut pm_comps, mut rt_comps) = (0u64, 0u64);
+    for q in proj_queries.iter() {
+        let mut cur = pm.cursor(q);
+        while cur.next_within(rq).is_some() {}
+        pm_comps += cur.distance_computations();
+
+        let mut cur = rt.cursor(q);
+        while cur.next_within(rq).is_some() {}
+        rt_comps += cur.distance_computations();
+    }
+    assert!(
+        pm_comps < rt_comps,
+        "measured: PM-tree {pm_comps} vs R-tree {rt_comps} distance computations"
+    );
+}
+
+#[test]
+fn projected_range_equivalence_between_trees() {
+    // Both trees index the same projections, so range queries must return
+    // the identical id set — the substrates differ only in cost.
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let data = generator.dataset();
+    let mut rng = Rng::new(0xabba);
+    let projector = GaussianProjector::new(data.dim(), 15, &mut rng);
+    let projected = projector.project_all(data.view());
+    let pm = PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng);
+    let rt = RTree::build(projected.view(), RTreeConfig::default());
+
+    let q = projected.point(11);
+    for radius in [5.0f32, 20.0, 60.0] {
+        let a: std::collections::BTreeSet<u32> =
+            pm.range(q, radius).into_iter().map(|x| x.0).collect();
+        let b: std::collections::BTreeSet<u32> =
+            rt.range(q, radius).into_iter().map(|x| x.0).collect();
+        assert_eq!(a, b, "radius {radius}");
+    }
+}

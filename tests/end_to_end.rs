@@ -1,0 +1,110 @@
+//! Cross-crate integration tests: every algorithm of the evaluation, built
+//! through the facade crate over the dataset registry, scored against exact
+//! ground truth.
+
+use pm_lsh::prelude::*;
+use std::sync::Arc;
+
+fn workload(ds: PaperDataset, nq: usize, k: usize) -> (Arc<Dataset>, Dataset, Vec<Vec<Neighbor>>) {
+    let generator = ds.generator(Scale::Smoke);
+    let data = Arc::new(generator.dataset());
+    let queries = generator.queries(nq);
+    let truth = exact_knn_batch(data.view(), queries.view(), k, 0);
+    (data, queries, truth)
+}
+
+#[test]
+fn all_algorithms_beat_random_on_every_dataset() {
+    // Random guessing recall@10 on n = 2000 is ~0.005; require every
+    // algorithm to be far above it on every stand-in dataset.
+    for ds in PaperDataset::ALL {
+        let (data, queries, truth) = workload(ds, 10, 10);
+        let algos: Vec<Box<dyn AnnIndex>> = vec![
+            Box::new(PmLsh::build(data.clone(), PmLshParams::paper_defaults())),
+            Box::new(Srs::build(data.clone(), SrsParams::default())),
+            Box::new(Qalsh::build(data.clone(), QalshParams::default())),
+            Box::new(MultiProbe::build(data.clone(), MultiProbeParams::default())),
+            Box::new(RLsh::build(data.clone(), PmLshParams::paper_defaults())),
+            Box::new(LScan::build(data.clone(), LScanParams::default())),
+        ];
+        // NUS and GIST are the paper's hard datasets (LID 24.5 / 18.9); at
+        // smoke scale (n = 2000) their distance concentration is extreme, so
+        // guarantee-driven algorithms (SRS's early termination returns a
+        // valid c-approximation, not the exact set) legitimately score lower.
+        let floor = match ds {
+            PaperDataset::Nus | PaperDataset::Gist => 0.08,
+            _ => 0.3,
+        };
+        for algo in &algos {
+            let mut total = 0.0;
+            for (qi, q) in queries.iter().enumerate() {
+                let res = algo.query(q, 10);
+                total += recall(&res.neighbors, &truth[qi]);
+            }
+            let avg = total / queries.len() as f64;
+            assert!(
+                avg > floor,
+                "{} recall {avg:.3} on {} is implausibly low",
+                algo.name(),
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pmlsh_dominates_lscan_quality_at_smoke_scale() {
+    let (data, queries, truth) = workload(PaperDataset::Cifar, 15, 10);
+    let pm = PmLsh::build(data.clone(), PmLshParams::paper_defaults());
+    let scan = LScan::build(data, LScanParams::default());
+    let (mut pm_recall, mut scan_recall) = (0.0, 0.0);
+    for (qi, q) in queries.iter().enumerate() {
+        pm_recall += recall(&AnnIndex::query(&pm, q, 10).neighbors, &truth[qi]);
+        scan_recall += recall(&scan.query(q, 10).neighbors, &truth[qi]);
+    }
+    assert!(
+        pm_recall > scan_recall,
+        "PM-LSH {pm_recall:.2} should beat a 70% scan {scan_recall:.2}"
+    );
+}
+
+#[test]
+fn results_are_deterministic_across_rebuilds() {
+    let (data, queries, _) = workload(PaperDataset::Audio, 5, 5);
+    let a = PmLsh::build(data.clone(), PmLshParams::paper_defaults());
+    let b = PmLsh::build(data, PmLshParams::paper_defaults());
+    for q in queries.iter() {
+        let ra = a.query(q, 5);
+        let rb = b.query(q, 5);
+        assert_eq!(ra.neighbors, rb.neighbors);
+        assert_eq!(ra.stats, rb.stats);
+    }
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    // The doc-advertised workflow compiles and runs through the prelude only.
+    let generator = PaperDataset::Mnist.generator(Scale::Smoke);
+    let data = generator.dataset();
+    let q = data.point(3).to_vec();
+    let index = PmLsh::build(data, PmLshParams::default());
+    let res = index.query(&q, 3);
+    assert_eq!(res.neighbors[0].id, 3);
+    assert_eq!(res.neighbors[0].dist, 0.0);
+}
+
+#[test]
+fn returned_neighbors_are_sorted_and_distances_exact() {
+    let (data, queries, _) = workload(PaperDataset::Deep, 8, 20);
+    let pm = PmLsh::build(data.clone(), PmLshParams::paper_defaults());
+    for q in queries.iter() {
+        let res = pm.query(q, 20);
+        for w in res.neighbors.windows(2) {
+            assert!(w[0].dist <= w[1].dist, "results must be sorted");
+        }
+        for nb in &res.neighbors {
+            let real = pm_lsh::metric::euclidean(q, data.point_id(nb.id));
+            assert!((real - nb.dist).abs() <= 1e-5 * (1.0 + real), "reported distance must be exact");
+        }
+    }
+}

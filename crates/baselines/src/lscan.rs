@@ -21,7 +21,10 @@ pub struct LScanParams {
 
 impl Default for LScanParams {
     fn default() -> Self {
-        Self { fraction: 0.7, seed: 0x5ca1ab1e }
+        Self {
+            fraction: 0.7,
+            seed: 0x5ca1ab1e,
+        }
     }
 }
 
@@ -43,7 +46,11 @@ impl LScan {
         let n = data.len();
         let take = ((n as f64 * params.fraction).round() as usize).clamp(1, n);
         let mut rng = Rng::new(params.seed);
-        let subset = rng.sample_indices(n, take).into_iter().map(|i| i as PointId).collect();
+        let subset = rng
+            .sample_indices(n, take)
+            .into_iter()
+            .map(|i| i as PointId)
+            .collect();
         Self { data, subset }
     }
 
@@ -64,7 +71,10 @@ impl AnnIndex for LScan {
         for &id in &self.subset {
             top.push(euclidean(q, self.data.point_id(id)), id);
         }
-        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: self.subset.len() }
+        AnnResult {
+            neighbors: top.into_sorted_vec(),
+            candidates_verified: self.subset.len(),
+        }
     }
 
     fn len(&self) -> usize {
@@ -91,7 +101,13 @@ mod tests {
     fn full_fraction_is_exact() {
         let ds = blob(300, 8, 1);
         let q = ds.point(5).to_vec();
-        let scan = LScan::build(ds, LScanParams { fraction: 1.0, seed: 2 });
+        let scan = LScan::build(
+            ds,
+            LScanParams {
+                fraction: 1.0,
+                seed: 2,
+            },
+        );
         let res = scan.query(&q, 1);
         assert_eq!(res.neighbors[0].id, 5);
         assert_eq!(res.candidates_verified, 300);
@@ -102,7 +118,13 @@ mod tests {
         // Over many queries, recall@1 of a p-fraction scan ≈ p.
         let ds = blob(2000, 8, 3);
         let queries: Vec<Vec<f32>> = (0..200).map(|i| ds.point(i * 7 % 2000).to_vec()).collect();
-        let scan = LScan::build(ds, LScanParams { fraction: 0.7, seed: 4 });
+        let scan = LScan::build(
+            ds,
+            LScanParams {
+                fraction: 0.7,
+                seed: 4,
+            },
+        );
         let mut hits = 0;
         for (i, q) in queries.iter().enumerate() {
             let res = scan.query(q, 1);

@@ -90,7 +90,13 @@ impl MultiProbe {
             tables.push(g);
             buckets.push(map);
         }
-        Self { data, tables, buckets, params, width }
+        Self {
+            data,
+            tables,
+            buckets,
+            params,
+            width,
+        }
     }
 
     /// The bucket width in effect.
@@ -163,8 +169,12 @@ impl AnnIndex for MultiProbe {
 
         let mut probes = 0usize;
         while probes < self.params.probe_budget {
-            let Some(std::cmp::Reverse((_, t))) = frontier.pop() else { break };
-            let set = pending[t].take().expect("frontier entry without pending set");
+            let Some(std::cmp::Reverse((_, t))) = frontier.pop() else {
+                break;
+            };
+            let set = pending[t]
+                .take()
+                .expect("frontier entry without pending set");
             // Apply the perturbations to the home bucket of table t.
             let mut key = homes[t].clone();
             for p in &set.perturbations {
@@ -180,7 +190,10 @@ impl AnnIndex for MultiProbe {
             pending[t] = next;
         }
 
-        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+        AnnResult {
+            neighbors: top.into_sorted_vec(),
+            candidates_verified: verified,
+        }
     }
 
     fn len(&self) -> usize {
@@ -209,35 +222,56 @@ mod tests {
         let q = ds.point(42).to_vec();
         let mp = MultiProbe::build(ds, MultiProbeParams::default());
         let res = mp.query(&q, 1);
-        assert_eq!(res.neighbors[0].id, 42, "query point hashes to its own bucket");
+        assert_eq!(
+            res.neighbors[0].id, 42,
+            "query point hashes to its own bucket"
+        );
     }
 
     #[test]
     fn more_probes_help() {
         let ds = Arc::new(blob(3000, 24, 21));
-        let queries: Vec<Vec<f32>> = (0..25).map(|i| {
-            // perturb an existing point slightly so the NN is planted
-            let mut v = ds.point(i * 100).to_vec();
-            v[0] += 0.05;
-            v
-        }).collect();
+        let queries: Vec<Vec<f32>> = (0..25)
+            .map(|i| {
+                // perturb an existing point slightly so the NN is planted
+                let mut v = ds.point(i * 100).to_vec();
+                v[0] += 0.05;
+                v
+            })
+            .collect();
 
         let few = MultiProbe::build(
             ds.clone(),
-            MultiProbeParams { probe_budget: 2, ..Default::default() },
+            MultiProbeParams {
+                probe_budget: 2,
+                ..Default::default()
+            },
         );
         let many = MultiProbe::build(
             ds.clone(),
-            MultiProbeParams { probe_budget: 256, ..Default::default() },
+            MultiProbeParams {
+                probe_budget: 256,
+                ..Default::default()
+            },
         );
         let mut hits_few = 0;
         let mut hits_many = 0;
         for (i, q) in queries.iter().enumerate() {
             let want = (i * 100) as u32;
-            if few.query(q, 1).neighbors.first().is_some_and(|n| n.id == want) {
+            if few
+                .query(q, 1)
+                .neighbors
+                .first()
+                .is_some_and(|n| n.id == want)
+            {
                 hits_few += 1;
             }
-            if many.query(q, 1).neighbors.first().is_some_and(|n| n.id == want) {
+            if many
+                .query(q, 1)
+                .neighbors
+                .first()
+                .is_some_and(|n| n.id == want)
+            {
                 hits_many += 1;
             }
         }
@@ -249,9 +283,18 @@ mod tests {
     fn no_duplicate_verifications() {
         let ds = blob(500, 8, 22);
         let q = ds.point(0).to_vec();
-        let mp = MultiProbe::build(ds, MultiProbeParams { probe_budget: 512, ..Default::default() });
+        let mp = MultiProbe::build(
+            ds,
+            MultiProbeParams {
+                probe_budget: 512,
+                ..Default::default()
+            },
+        );
         let res = mp.query(&q, 5);
-        assert!(res.candidates_verified <= 500, "each point verified at most once");
+        assert!(
+            res.candidates_verified <= 500,
+            "each point verified at most once"
+        );
     }
 
     #[test]

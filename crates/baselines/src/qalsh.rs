@@ -88,7 +88,9 @@ pub struct QalshDerived {
 pub fn derive_qalsh(params: &QalshParams, n: usize) -> QalshDerived {
     assert!(params.c > 1.0, "approximation ratio must exceed 1");
     let c = params.c;
-    let w = params.w.unwrap_or_else(|| (8.0 * c * c * c.ln() / (c * c - 1.0)).sqrt());
+    let w = params
+        .w
+        .unwrap_or_else(|| (8.0 * c * c * c.ln() / (c * c - 1.0)).sqrt());
     let p1 = 2.0 * normal_cdf(w / 2.0) - 1.0;
     let p2 = 2.0 * normal_cdf(w / (2.0 * c)) - 1.0;
     let beta = params.beta.unwrap_or_else(|| (100.0 / n as f64).min(0.5));
@@ -98,7 +100,15 @@ pub fn derive_qalsh(params: &QalshParams, n: usize) -> QalshDerived {
     let k_tables = ((1.0 / params.delta).ln() / (2.0 * (p1 - alpha).powi(2))).ceil() as usize;
     let k_tables = k_tables.max(1);
     let threshold = ((alpha * k_tables as f64).ceil() as usize).clamp(1, k_tables);
-    QalshDerived { w, p1, p2, alpha, k_tables, threshold, beta }
+    QalshDerived {
+        w,
+        p1,
+        p2,
+        alpha,
+        k_tables,
+        threshold,
+        beta,
+    }
 }
 
 /// The QALSH index.
@@ -139,7 +149,14 @@ impl Qalsh {
 
         let samples = params.distance_samples.min(n * (n - 1) / 2).max(1);
         let dist_f = distance_distribution(data.view(), samples, &mut rng);
-        Self { data, coeffs, trees, derived, params, dist_f }
+        Self {
+            data,
+            coeffs,
+            trees,
+            derived,
+            params,
+            dist_f,
+        }
     }
 
     /// The derived constants in effect.
@@ -214,7 +231,10 @@ impl AnnIndex for Qalsh {
             radius *= c;
         }
 
-        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+        AnnResult {
+            neighbors: top.into_sorted_vec(),
+            candidates_verified: verified,
+        }
     }
 
     fn len(&self) -> usize {
@@ -229,12 +249,30 @@ mod tests {
     #[test]
     fn derived_constants_match_qalsh_paper_shapes() {
         // c = 2 ⇒ w = sqrt(8·4·ln2/3) ≈ 2.719 (the QALSH paper's example).
-        let d = derive_qalsh(&QalshParams { c: 2.0, ..Default::default() }, 1_000_000);
+        let d = derive_qalsh(
+            &QalshParams {
+                c: 2.0,
+                ..Default::default()
+            },
+            1_000_000,
+        );
         assert!((d.w - 2.7190).abs() < 1e-3, "w={}", d.w);
-        assert!(d.p1 > d.alpha && d.alpha > d.p2, "p1={} α={} p2={}", d.p1, d.alpha, d.p2);
+        assert!(
+            d.p1 > d.alpha && d.alpha > d.p2,
+            "p1={} α={} p2={}",
+            d.p1,
+            d.alpha,
+            d.p2
+        );
         assert!(d.k_tables > 50 && d.k_tables < 400, "K={}", d.k_tables);
         // tighter c needs more tables
-        let d15 = derive_qalsh(&QalshParams { c: 1.5, ..Default::default() }, 1_000_000);
+        let d15 = derive_qalsh(
+            &QalshParams {
+                c: 1.5,
+                ..Default::default()
+            },
+            1_000_000,
+        );
         assert!(d15.k_tables > d.k_tables);
     }
 

@@ -42,12 +42,22 @@ impl RLsh {
         };
         let tree = RTree::build(projected.view(), rcfg);
         let dist_f = if data.len() >= 2 {
-            let pairs = params.distance_samples.min(data.len() * (data.len() - 1) / 2).max(1);
+            let pairs = params
+                .distance_samples
+                .min(data.len() * (data.len() - 1) / 2)
+                .max(1);
             distance_distribution(data.view(), pairs, &mut rng)
         } else {
             Ecdf::new(vec![1.0])
         };
-        Self { data, projector, tree, params, derived, dist_f }
+        Self {
+            data,
+            projector,
+            tree,
+            params,
+            derived,
+            dist_f,
+        }
     }
 
     /// The underlying R-tree (for cost-model experiments).
@@ -59,7 +69,11 @@ impl RLsh {
         let n = self.data.len() as f64;
         let target = (self.derived.beta + k as f64 / n).min(1.0);
         let r = self.dist_f.quantile(target);
-        let r = if r > 0.0 { r } else { self.dist_f.quantile(1.0).max(1e-6) };
+        let r = if r > 0.0 {
+            r
+        } else {
+            self.dist_f.quantile(1.0).max(1e-6)
+        };
         r * self.params.rmin_shrink
     }
 }
@@ -103,7 +117,10 @@ impl AnnIndex for RLsh {
             r *= c;
         }
 
-        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: verified }
+        AnnResult {
+            neighbors: top.into_sorted_vec(),
+            candidates_verified: verified,
+        }
     }
 
     fn len(&self) -> usize {
@@ -149,7 +166,11 @@ mod tests {
         let mut r_hits = 0;
         for (i, q) in queries.iter().enumerate() {
             let want = (i * 31) as u32;
-            if AnnIndex::query(&pmlsh, q, 10).neighbors.iter().any(|n| n.id == want) {
+            if AnnIndex::query(&pmlsh, q, 10)
+                .neighbors
+                .iter()
+                .any(|n| n.id == want)
+            {
                 pm_hits += 1;
             }
             if rlsh.query(q, 10).neighbors.iter().any(|n| n.id == want) {

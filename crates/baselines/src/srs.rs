@@ -65,7 +65,10 @@ impl SrsParams {
     /// Figs. 7–11 SRS rows: the full `T·n` access budget with the early
     /// termination disabled.
     pub fn paper_operating_point() -> Self {
-        Self { early_termination: false, ..Self::default() }
+        Self {
+            early_termination: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -87,7 +90,12 @@ impl Srs {
         let projector = GaussianProjector::new(data.dim(), params.m as usize, &mut rng);
         let projected = projector.project_all(data.view());
         let tree = RTree::build(projected.view(), params.tree);
-        Self { data, projector, tree, params }
+        Self {
+            data,
+            projector,
+            tree,
+            params,
+        }
     }
 
     /// Builds sharing an existing projector (ablations that keep the
@@ -102,7 +110,12 @@ impl Srs {
         assert_eq!(projector.output_dim(), params.m as usize);
         let projected = projector.project_all(data.view());
         let tree = RTree::build(projected.view(), params.tree);
-        Self { data, projector, tree, params }
+        Self {
+            data,
+            projector,
+            tree,
+            params,
+        }
     }
 
     /// The underlying R-tree (for cost-model experiments).
@@ -145,7 +158,10 @@ impl AnnIndex for Srs {
             }
         }
 
-        AnnResult { neighbors: top.into_sorted_vec(), candidates_verified: accessed }
+        AnnResult {
+            neighbors: top.into_sorted_vec(),
+            candidates_verified: accessed,
+        }
     }
 
     fn len(&self) -> usize {
@@ -196,7 +212,14 @@ mod tests {
     #[test]
     fn respects_access_budget() {
         let ds = blob(1000, 16, 3);
-        let srs = Srs::build(ds, SrsParams { max_fraction: 0.05, tau: 0.999_999, ..Default::default() });
+        let srs = Srs::build(
+            ds,
+            SrsParams {
+                max_fraction: 0.05,
+                tau: 0.999_999,
+                ..Default::default()
+            },
+        );
         let mut rng = Rng::new(4);
         let mut q = vec![0.0f32; 16];
         rng.fill_normal(&mut q);

@@ -44,12 +44,15 @@ fn results_sorted_unique_and_bounded() {
             for w in res.neighbors.windows(2) {
                 assert!(w[0].dist <= w[1].dist, "{} unsorted", algo.name());
             }
-            let ids: std::collections::HashSet<u32> =
-                res.neighbors.iter().map(|n| n.id).collect();
+            let ids: std::collections::HashSet<u32> = res.neighbors.iter().map(|n| n.id).collect();
             assert_eq!(ids.len(), res.neighbors.len(), "{} duplicates", algo.name());
             assert!(res.candidates_verified <= data.len(), "{}", algo.name());
             for n in &res.neighbors {
-                assert!((n.id as usize) < data.len(), "{} id out of range", algo.name());
+                assert!(
+                    (n.id as usize) < data.len(),
+                    "{} id out of range",
+                    algo.name()
+                );
                 assert!(n.dist.is_finite());
             }
         }
@@ -60,7 +63,10 @@ fn results_sorted_unique_and_bounded() {
 fn deterministic_across_rebuilds() {
     let data = Arc::new(blob(300, 8, 42));
     let q = data.point(5).to_vec();
-    for (a, b) in all_algorithms(data.clone()).iter().zip(all_algorithms(data.clone()).iter()) {
+    for (a, b) in all_algorithms(data.clone())
+        .iter()
+        .zip(all_algorithms(data.clone()).iter())
+    {
         let ra = a.query(&q, 5);
         let rb = b.query(&q, 5);
         assert_eq!(ra.neighbors, rb.neighbors, "{} not deterministic", a.name());
@@ -79,7 +85,10 @@ fn k_equal_to_n_is_supported() {
         if algo.name() != "LScan" {
             assert_eq!(res.neighbors[0].id, 0, "{}", algo.name());
         } else {
-            assert!(res.neighbors.len() >= 40 * 6 / 10, "LScan must return its subset");
+            assert!(
+                res.neighbors.len() >= 40 * 6 / 10,
+                "LScan must return its subset"
+            );
         }
     }
 }

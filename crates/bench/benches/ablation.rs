@@ -7,7 +7,7 @@
 //! * **Incremental cursor vs restarted range queries** for Algorithm 2's
 //!   radius enlargement — why PM-LSH's "combination of RE and MI" wins.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pm_lsh_bench::micro::Criterion;
 use pm_lsh_data::{PaperDataset, Scale};
 use pm_lsh_hash::GaussianProjector;
 use pm_lsh_pmtree::{PmTree, PmTreeConfig, RefineMode};
@@ -29,12 +29,18 @@ fn bench_ablation(criterion: &mut Criterion) {
     let pm5 = PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng);
     let pm0 = PmTree::build(
         projected.view(),
-        PmTreeConfig { num_pivots: 0, ..Default::default() },
+        PmTreeConfig {
+            num_pivots: 0,
+            ..Default::default()
+        },
         &mut rng,
     );
 
     let mut group = criterion.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     group.bench_function("refine_lazy", |bencher| {
         let mut qi = 0usize;
@@ -114,5 +120,7 @@ fn bench_ablation(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_ablation(&mut criterion);
+}

@@ -1,9 +1,9 @@
-//! Criterion bench behind Table 2: measured (not modeled) range-query cost
+//! Bench (std-only `micro` harness) behind Table 2: measured (not modeled) range-query cost
 //! on the PM-tree vs the R-tree over the same projected points — the
 //! empirical counterpart of the Eq. 7 / Eq. 9 estimates printed by the
 //! `table2_cost_model` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_data::{PaperDataset, Scale};
 use pm_lsh_hash::GaussianProjector;
 use pm_lsh_pmtree::{PmTree, PmTreeConfig};
@@ -27,25 +27,38 @@ fn bench_cost_model(criterion: &mut Criterion) {
     let rq = f.quantile(0.08) as f32;
 
     let mut group = criterion.benchmark_group("table2_range_query");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    group.bench_with_input(BenchmarkId::new("pm_tree", "range8pct"), &rq, |bencher, &rq| {
-        let mut qi = 0usize;
-        bencher.iter(|| {
-            let q = proj_queries.point(qi % proj_queries.len());
-            qi += 1;
-            black_box(pm.range(black_box(q), rq))
-        });
-    });
-    group.bench_with_input(BenchmarkId::new("r_tree", "range8pct"), &rq, |bencher, &rq| {
-        let mut qi = 0usize;
-        bencher.iter(|| {
-            let q = proj_queries.point(qi % proj_queries.len());
-            qi += 1;
-            black_box(rt.range(black_box(q), rq))
-        });
-    });
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_with_input(
+        BenchmarkId::new("pm_tree", "range8pct"),
+        &rq,
+        |bencher, &rq| {
+            let mut qi = 0usize;
+            bencher.iter(|| {
+                let q = proj_queries.point(qi % proj_queries.len());
+                qi += 1;
+                black_box(pm.range(black_box(q), rq))
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("r_tree", "range8pct"),
+        &rq,
+        |bencher, &rq| {
+            let mut qi = 0usize;
+            bencher.iter(|| {
+                let q = proj_queries.point(qi % proj_queries.len());
+                qi += 1;
+                black_box(rt.range(black_box(q), rq))
+            });
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_model);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_cost_model(&mut criterion);
+}

@@ -1,8 +1,8 @@
-//! Criterion bench behind Fig. 3: cost of ranking candidates with each
+//! Bench (std-only `micro` harness) behind Fig. 3: cost of ranking candidates with each
 //! distance estimator. The `fig3_estimators` binary produces the full
 //! recall/ratio curves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_core::{estimator_study, Estimator};
 use pm_lsh_data::{PaperDataset, Scale};
 use std::hint::black_box;
@@ -14,24 +14,38 @@ fn bench_estimators(criterion: &mut Criterion) {
     let queries = generator.queries(4);
 
     let mut group = criterion.benchmark_group("fig3_estimators");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    for est in [Estimator::L2, Estimator::L1, Estimator::Qd(8.0), Estimator::Rand] {
-        group.bench_with_input(BenchmarkId::new("study", est.name()), &est, |bencher, &est| {
-            bencher.iter(|| {
-                black_box(estimator_study(
-                    black_box(&data),
-                    &queries,
-                    15,
-                    20,
-                    &[100, 200],
-                    &[est],
-                    7,
-                ))
-            });
-        });
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    for est in [
+        Estimator::L2,
+        Estimator::L1,
+        Estimator::Qd(8.0),
+        Estimator::Rand,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("study", est.name()),
+            &est,
+            |bencher, &est| {
+                bencher.iter(|| {
+                    black_box(estimator_study(
+                        black_box(&data),
+                        &queries,
+                        15,
+                        20,
+                        &[100, 200],
+                        &[est],
+                        7,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_estimators);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_estimators(&mut criterion);
+}

@@ -1,9 +1,9 @@
-//! Criterion bench behind Fig. 6: PM-LSH query latency at different pivot
+//! Bench (std-only `micro` harness) behind Fig. 6: PM-LSH query latency at different pivot
 //! counts `s` and hash counts `m`. The `fig6_params` binary reports the
 //! accompanying recall/ratio sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pm_lsh_baselines::AnnIndex;
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_core::{PmLsh, PmLshParams};
 use pm_lsh_data::{PaperDataset, Scale};
 use pm_lsh_pmtree::PmTreeConfig;
@@ -16,11 +16,17 @@ fn bench_params(criterion: &mut Criterion) {
     let queries = generator.queries(8);
 
     let mut group = criterion.benchmark_group("fig6_params");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for s in [0usize, 5, 9] {
         let params = PmLshParams {
-            tree: PmTreeConfig { num_pivots: s, ..Default::default() },
+            tree: PmTreeConfig {
+                num_pivots: s,
+                ..Default::default()
+            },
             ..PmLshParams::paper_defaults()
         };
         let index = PmLsh::build(data.clone(), params);
@@ -34,7 +40,10 @@ fn bench_params(criterion: &mut Criterion) {
         });
     }
     for m in [5u32, 15, 25] {
-        let params = PmLshParams { m, ..PmLshParams::paper_defaults() };
+        let params = PmLshParams {
+            m,
+            ..PmLshParams::paper_defaults()
+        };
         let index = PmLsh::build(data.clone(), params);
         group.bench_with_input(BenchmarkId::new("hashes", m), &index, |bencher, index| {
             let mut qi = 0usize;
@@ -48,5 +57,7 @@ fn bench_params(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_params);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_params(&mut criterion);
+}

@@ -1,8 +1,8 @@
-//! Criterion bench behind Table 4: per-query latency of all six algorithms
+//! Bench (std-only `micro` harness) behind Table 4: per-query latency of all six algorithms
 //! on two contrasting datasets (easy Audio vs hard NUS stand-ins) at
 //! smoke scale. The `table4_overview` binary produces the full table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_bench::{build_all, Workbench};
 use pm_lsh_data::{PaperDataset, Scale};
 use std::hint::black_box;
@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench_query_overview(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("table4_query");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for ds in [PaperDataset::Audio, PaperDataset::Nus] {
         let wb = Workbench::prepare(ds, Scale::Smoke, 8, 50);
@@ -33,5 +36,7 @@ fn bench_query_overview(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_overview);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_query_overview(&mut criterion);
+}

@@ -3,7 +3,7 @@
 //! (unrolled kernels, lazy lower bounds) rather than a specific paper
 //! artifact.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion, Throughput};
 use pm_lsh_bptree::BPlusTree;
 use pm_lsh_metric::sq_dist;
 use pm_lsh_pmtree::{PmTree, PmTreeConfig};
@@ -25,7 +25,10 @@ fn random_matrix(n: usize, d: usize, seed: u64) -> pm_lsh_metric::Dataset {
 
 fn bench_substrates(criterion: &mut Criterion) {
     let mut group = criterion.benchmark_group("substrates");
-    group.sample_size(20).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     // distance kernel at the paper's dimensionalities
     for d in [15usize, 192, 960, 4096] {
@@ -46,15 +49,22 @@ fn bench_substrates(criterion: &mut Criterion) {
     group.bench_function("pmtree_build_2k", |bencher| {
         bencher.iter(|| {
             let mut rng = Rng::new(3);
-            black_box(PmTree::build(projected.view(), PmTreeConfig::default(), &mut rng))
+            black_box(PmTree::build(
+                projected.view(),
+                PmTreeConfig::default(),
+                &mut rng,
+            ))
         });
     });
     group.bench_function("rtree_build_2k", |bencher| {
         bencher.iter(|| black_box(RTree::build(projected.view(), RTreeConfig::default())));
     });
     group.bench_function("bptree_bulk_load_2k", |bencher| {
-        let mut pairs: Vec<(f32, u32)> =
-            projected.iter().enumerate().map(|(i, p)| (p[0], i as u32)).collect();
+        let mut pairs: Vec<(f32, u32)> = projected
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p[0], i as u32))
+            .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         bencher.iter(|| black_box(BPlusTree::bulk_load(black_box(&pairs))));
     });
@@ -74,5 +84,7 @@ fn bench_substrates(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_substrates);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_substrates(&mut criterion);
+}

@@ -1,8 +1,8 @@
-//! Criterion bench behind Figs. 10–11: PM-LSH latency as the approximation
+//! Bench (std-only `micro` harness) behind Figs. 10–11: PM-LSH latency as the approximation
 //! ratio c varies (the time axis of the trade-off curves). The
 //! `fig10_11_tradeoff` binary produces the recall/ratio series.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_bench::Workbench;
 use pm_lsh_core::{PmLsh, PmLshParams};
 use pm_lsh_data::{PaperDataset, Scale};
@@ -14,7 +14,10 @@ fn bench_tradeoff(criterion: &mut Criterion) {
     let pm = PmLsh::build(wb.data.clone(), PmLshParams::default());
 
     let mut group = criterion.benchmark_group("fig10_11_tradeoff");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for c in [1.1f64, 1.5, 2.0] {
         group.bench_with_input(
             BenchmarkId::new("PM-LSH_c", format!("{c:.1}")),
@@ -32,5 +35,7 @@ fn bench_tradeoff(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tradeoff);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_tradeoff(&mut criterion);
+}

@@ -1,9 +1,9 @@
-//! Criterion bench behind Figs. 7–9: PM-LSH and SRS latency across k on the
+//! Bench (std-only `micro` harness) behind Figs. 7–9: PM-LSH and SRS latency across k on the
 //! Cifar stand-in (the paper's observation is that time is ~flat in k).
 //! The `fig7_9_vary_k` binary sweeps all algorithms and datasets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pm_lsh_baselines::{AnnIndex, Srs, SrsParams};
+use pm_lsh_bench::micro::{BenchmarkId, Criterion};
 use pm_lsh_bench::Workbench;
 use pm_lsh_core::{PmLsh, PmLshParams};
 use pm_lsh_data::{PaperDataset, Scale};
@@ -16,7 +16,10 @@ fn bench_vary_k(criterion: &mut Criterion) {
     let srs = Srs::build(wb.data.clone(), SrsParams::default());
 
     let mut group = criterion.benchmark_group("fig7_9_vary_k");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
     for k in [1usize, 50, 100] {
         group.bench_with_input(BenchmarkId::new("PM-LSH", k), &k, |bencher, &k| {
             let mut qi = 0usize;
@@ -38,5 +41,7 @@ fn bench_vary_k(criterion: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vary_k);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_vary_k(&mut criterion);
+}

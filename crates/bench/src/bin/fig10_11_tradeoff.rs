@@ -42,7 +42,12 @@ fn main() {
                 let start = std::time::Instant::now();
                 let res = pm.query_with_c(q, k, c);
                 let ms = start.elapsed().as_secs_f64() * 1e3;
-                acc.record(ms, &res.neighbors, &wb.truth[qi][..k], res.stats.candidates_verified);
+                acc.record(
+                    ms,
+                    &res.neighbors,
+                    &wb.truth[qi][..k],
+                    res.stats.candidates_verified,
+                );
             }
             let m = acc.finish();
             table.row(vec![
@@ -65,8 +70,13 @@ fn main() {
             ]);
         }
         for &c in &cs {
-            let srs =
-                Srs::build(wb.data.clone(), SrsParams { c, ..SrsParams::paper_operating_point() });
+            let srs = Srs::build(
+                wb.data.clone(),
+                SrsParams {
+                    c,
+                    ..SrsParams::paper_operating_point()
+                },
+            );
             let m = wb.run(&srs, k);
             table.row(vec![
                 "SRS".into(),
@@ -77,7 +87,13 @@ fn main() {
             ]);
         }
         for &c in &cs {
-            let qalsh = Qalsh::build(wb.data.clone(), QalshParams { c, ..Default::default() });
+            let qalsh = Qalsh::build(
+                wb.data.clone(),
+                QalshParams {
+                    c,
+                    ..Default::default()
+                },
+            );
             let m = wb.run(&qalsh, k);
             table.row(vec![
                 "QALSH".into(),
@@ -90,7 +106,10 @@ fn main() {
         for probes in [8usize, 16, 32, 64, 128, 256, 512] {
             let mp = MultiProbe::build(
                 wb.data.clone(),
-                MultiProbeParams { probe_budget: probes, ..Default::default() },
+                MultiProbeParams {
+                    probe_budget: probes,
+                    ..Default::default()
+                },
             );
             let m = wb.run(&mp, k);
             table.row(vec![
@@ -104,7 +123,10 @@ fn main() {
         for frac in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
             let scan = LScan::build(
                 wb.data.clone(),
-                LScanParams { fraction: frac, ..Default::default() },
+                LScanParams {
+                    fraction: frac,
+                    ..Default::default()
+                },
             );
             let m = wb.run(&scan, k);
             table.row(vec![
@@ -116,7 +138,10 @@ fn main() {
             ]);
         }
 
-        println!("Figs. 10/11 — quality–time trade-off on {} (k = {k})", ds.name());
+        println!(
+            "Figs. 10/11 — quality–time trade-off on {} (k = {k})",
+            ds.name()
+        );
         println!("{}", table.render());
     }
     println!("(paper shape: PM-LSH's curve dominates — higher recall / lower ratio at equal time)");

@@ -32,8 +32,12 @@ fn main() {
     // projected coordinates of Trevi-like data have std ≈ ||o|| which our
     // estimator derives from a small sample inside the study (fixed here at
     // the empirical scale of the stand-in).
-    let estimators =
-        [Estimator::L2, Estimator::L1, Estimator::Qd(qd_width(&data)), Estimator::Rand];
+    let estimators = [
+        Estimator::L2,
+        Estimator::L1,
+        Estimator::Qd(qd_width(&data)),
+        Estimator::Rand,
+    ];
 
     eprintln!(
         "fig3: {} points, {} queries, k = {k}, m = 15",

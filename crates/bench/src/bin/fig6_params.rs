@@ -17,18 +17,30 @@ fn main() {
     let n_queries = queries_from_env();
     let k = 50;
     let wb = Workbench::prepare(PaperDataset::Trevi, scale, n_queries, k);
-    eprintln!("fig6: Trevi stand-in, n = {}, {} queries", wb.data.len(), n_queries);
+    eprintln!(
+        "fig6: Trevi stand-in, n = {}, {} queries",
+        wb.data.len(),
+        n_queries
+    );
 
     // (a) vary the number of pivots s — only the query time moves.
     let mut ta = Table::new(&["s", "time(ms)", "recall", "ratio"]);
     for s in 0..=9usize {
         let params = PmLshParams {
-            tree: PmTreeConfig { num_pivots: s, ..Default::default() },
+            tree: PmTreeConfig {
+                num_pivots: s,
+                ..Default::default()
+            },
             ..PmLshParams::paper_defaults()
         };
         let index = PmLsh::build(wb.data.clone(), params);
         let m = wb.run(&index, k);
-        ta.row(vec![s.to_string(), f(m.avg_query_ms, 2), f(m.recall, 4), f(m.overall_ratio, 4)]);
+        ta.row(vec![
+            s.to_string(),
+            f(m.avg_query_ms, 2),
+            f(m.recall, 4),
+            f(m.overall_ratio, 4),
+        ]);
     }
     println!("Fig. 6(a) — varying the number of pivots s (m = 15)");
     println!("{}", ta.render());
@@ -36,7 +48,10 @@ fn main() {
     // (b–d) vary the number of hash functions m.
     let mut tb = Table::new(&["m", "time(ms)", "recall", "ratio"]);
     for m_hash in [1u32, 5, 10, 15, 20, 25] {
-        let params = PmLshParams { m: m_hash, ..PmLshParams::paper_defaults() };
+        let params = PmLshParams {
+            m: m_hash,
+            ..PmLshParams::paper_defaults()
+        };
         let index = PmLsh::build(wb.data.clone(), params);
         let m = wb.run(&index, k);
         tb.row(vec![

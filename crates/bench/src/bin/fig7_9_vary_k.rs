@@ -26,8 +26,7 @@ fn main() {
         // One run per (k, algorithm); all three figures read the same runs.
         let mut grid: Vec<Vec<WorkloadMetrics>> = Vec::with_capacity(ks.len());
         for &k in &ks {
-            let row: Vec<WorkloadMetrics> =
-                algos.iter().map(|a| wb.run(a.as_ref(), k)).collect();
+            let row: Vec<WorkloadMetrics> = algos.iter().map(|a| wb.run(a.as_ref(), k)).collect();
             eprintln!("  k = {k} done");
             grid.push(row);
         }
@@ -36,11 +35,7 @@ fn main() {
         headers.extend(algos.iter().map(|a| a.name().to_string()));
         let hdr: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
-        for (metric, select) in [
-            ("time(ms)", 0usize),
-            ("recall", 1),
-            ("ratio", 2),
-        ] {
+        for (metric, select) in [("time(ms)", 0usize), ("recall", 1), ("ratio", 2)] {
             let mut table = Table::new(&hdr);
             for (ki, &k) in ks.iter().enumerate() {
                 let mut row = vec![k.to_string()];

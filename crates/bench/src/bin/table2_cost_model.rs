@@ -20,8 +20,7 @@ use pm_lsh_stats::{dimension_marginals, distance_distribution, Rng};
 
 fn main() {
     let scale = scale_from_env();
-    let mut table =
-        Table::new(&["Dataset", "PM-tree CC", "R-tree CC", "Reduction", "paper"]);
+    let mut table = Table::new(&["Dataset", "PM-tree CC", "R-tree CC", "Reduction", "paper"]);
     let paper_reduction = [
         ("Audio", "6%"),
         ("Deep", "5%"),

@@ -16,7 +16,15 @@ use pm_lsh_stats::Rng;
 fn main() {
     let scale = scale_from_env();
     let mut table = Table::new(&[
-        "Dataset", "n", "d", "HV", "HV(paper)", "RC", "RC(paper)", "LID", "LID(paper)",
+        "Dataset",
+        "n",
+        "d",
+        "HV",
+        "HV(paper)",
+        "RC",
+        "RC(paper)",
+        "LID",
+        "LID(paper)",
     ]);
 
     for ds in PaperDataset::ALL {

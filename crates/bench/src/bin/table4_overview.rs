@@ -16,7 +16,14 @@ fn main() {
     let c = 1.5;
 
     let mut table = Table::new(&[
-        "Dataset", "Metric", "PM-LSH", "SRS", "QALSH", "Multi-Probe", "R-LSH", "LScan",
+        "Dataset",
+        "Metric",
+        "PM-LSH",
+        "SRS",
+        "QALSH",
+        "Multi-Probe",
+        "R-LSH",
+        "LScan",
     ]);
 
     for ds in PaperDataset::ALL {
@@ -27,8 +34,13 @@ fn main() {
             .iter()
             .map(|a| {
                 let m = wb.run(a.as_ref(), k);
-                eprintln!("  {:<12} {:>8.2} ms  ratio {:.4}  recall {:.4}",
-                    a.name(), m.avg_query_ms, m.overall_ratio, m.recall);
+                eprintln!(
+                    "  {:<12} {:>8.2} ms  ratio {:.4}  recall {:.4}",
+                    a.name(),
+                    m.avg_query_ms,
+                    m.overall_ratio,
+                    m.recall
+                );
                 m
             })
             .collect();

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod micro;
+
 use pm_lsh_baselines::{
     AnnIndex, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh, QalshParams, RLsh, Srs,
     SrsParams,
@@ -43,7 +45,12 @@ impl Workbench {
         let data = Arc::new(generator.dataset());
         let queries = generator.queries(n_queries);
         let truth = exact_knn_batch(data.view(), queries.view(), k_max, 0);
-        Self { dataset, data, queries, truth }
+        Self {
+            dataset,
+            data,
+            queries,
+            truth,
+        }
     }
 
     /// Runs `algo` over every query at depth `k`, timing each query and
@@ -58,7 +65,12 @@ impl Workbench {
             let start = Instant::now();
             let res = algo.query(q, k);
             let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
-            acc.record(elapsed_ms, &res.neighbors, &self.truth[qi][..k], res.candidates_verified);
+            acc.record(
+                elapsed_ms,
+                &res.neighbors,
+                &self.truth[qi][..k],
+                res.candidates_verified,
+            );
         }
         acc.finish()
     }
@@ -79,9 +91,18 @@ pub fn build_all(data: Arc<Dataset>, c: f64) -> Vec<Box<dyn AnnIndex>> {
         Box::new(PmLsh::build(data.clone(), pm_params)),
         Box::new(Srs::build(
             data.clone(),
-            SrsParams { c, ..SrsParams::paper_operating_point() },
+            SrsParams {
+                c,
+                ..SrsParams::paper_operating_point()
+            },
         )),
-        Box::new(Qalsh::build(data.clone(), QalshParams { c, ..Default::default() })),
+        Box::new(Qalsh::build(
+            data.clone(),
+            QalshParams {
+                c,
+                ..Default::default()
+            },
+        )),
         Box::new(MultiProbe::build(data.clone(), MultiProbeParams::default())),
         Box::new(RLsh::build(data.clone(), pm_params)),
         Box::new(LScan::build(data, LScanParams::default())),
@@ -115,7 +136,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header arity).

@@ -1,0 +1,260 @@
+//! A std-only micro-benchmark harness with a Criterion-shaped API.
+//!
+//! No external bench framework is on the offline allow-list, so the bench
+//! targets under `benches/` (all `harness = false`) drive this module
+//! instead. The API mirrors the subset of Criterion the workspace uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`] —
+//! so a bench file reads the same either way.
+//!
+//! Methodology: one calibration call sizes the per-sample iteration count so
+//! a sample lasts roughly `measurement_time / sample_size`, a warm-up phase
+//! runs the closure until `warm_up_time` elapses, then `sample_size` timed
+//! samples are collected and the min / median / max per-iteration times are
+//! reported (plus element throughput when [`BenchmarkGroup::throughput`]
+//! was set).
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every bench function; hands out groups.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` label, mirroring Criterion's two-part ids.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A group of measurements sharing sampling configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget the samples should roughly add up to (default 2 s).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling (default 500 ms).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measures one closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchLabel,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = id.into_label();
+        self.run(&label, &mut f);
+        self
+    }
+
+    /// Measures one closure with an explicit input (mirrors Criterion; the
+    /// input is simply passed through).
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchLabel,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.into_label();
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibration: one iteration tells us how many fit in a sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter_ns = (b.elapsed.as_nanos() as u64).max(1);
+        let sample_budget_ns =
+            (self.measurement_time.as_nanos() as u64 / self.sample_size as u64).max(1);
+        let iters = (sample_budget_ns / per_iter_ns).clamp(1, 10_000_000);
+
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = samples_ns[0];
+        let median = samples_ns[samples_ns.len() / 2];
+        let max = samples_ns[samples_ns.len() - 1];
+
+        let mut line = format!(
+            "{}/{label:<32} time: [{} {} {}]",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                let eps = n as f64 * 1e9 / median;
+                line.push_str(&format!("  thrpt: {eps:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                let bps = n as f64 * 1e9 / median;
+                line.push_str(&format!("  thrpt: {:.1} MiB/s", bps / (1024.0 * 1024.0)));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Runs the timed iterations of one sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`, accumulating into the sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("micro_self_test");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 3, "closure must actually run ({calls} calls)");
+    }
+
+    #[test]
+    fn benchmark_id_formats_two_parts() {
+        assert_eq!(BenchmarkId::new("algo", 42).into_label(), "algo/42");
+    }
+}

@@ -24,13 +24,22 @@ impl<'t> ExpandingCursor<'t> {
     /// Starts a cursor centered at `anchor`.
     pub fn new(tree: &'t BPlusTree, anchor: f32) -> Self {
         assert!(!anchor.is_nan(), "anchor must not be NaN");
-        Self { tree, anchor, right: tree.seek(anchor), left: tree.seek_before(anchor) }
+        Self {
+            tree,
+            anchor,
+            right: tree.seek(anchor),
+            left: tree.seek_before(anchor),
+        }
     }
 
     /// The absolute offset of the next entry, or `None` when exhausted.
     pub fn peek_offset(&self) -> Option<f32> {
-        let r = self.right.map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
-        let l = self.left.map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
+        let r = self
+            .right
+            .map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
+        let l = self
+            .left
+            .map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
         match (l, r) {
             (None, None) => None,
             (Some(x), None) | (None, Some(x)) => Some(x),
@@ -41,8 +50,12 @@ impl<'t> ExpandingCursor<'t> {
     /// The next entry in order of `|key − anchor|` as
     /// `(key, value, signed_offset)`.
     pub fn next_nearest(&mut self) -> Option<(f32, PointId, f32)> {
-        let r_off = self.right.map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
-        let l_off = self.left.map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
+        let r_off = self
+            .right
+            .map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
+        let l_off = self
+            .left
+            .map(|p| (self.tree.entry_at(p).0 - self.anchor).abs());
         let take_right = match (l_off, r_off) {
             (None, None) => return None,
             (None, Some(_)) => true,
@@ -78,8 +91,7 @@ mod tests {
     use super::*;
 
     fn sample_tree() -> BPlusTree {
-        let pairs: Vec<(f32, PointId)> =
-            (0..100).map(|i| (i as f32 * 0.5, i as PointId)).collect();
+        let pairs: Vec<(f32, PointId)> = (0..100).map(|i| (i as f32 * 0.5, i as PointId)).collect();
         BPlusTree::bulk_load(&pairs)
     }
 

@@ -85,7 +85,10 @@ impl BPlusTree {
         for w in pairs.windows(2) {
             assert!(w[0].0 <= w[1].0, "bulk_load requires sorted keys");
         }
-        assert!(pairs.iter().all(|p| !p.0.is_nan()), "NaN keys are not allowed");
+        assert!(
+            pairs.iter().all(|p| !p.0.is_nan()),
+            "NaN keys are not allowed"
+        );
         let mut tree = Self::with_order(order);
         if pairs.is_empty() {
             return tree;
@@ -102,7 +105,11 @@ impl BPlusTree {
             tree.nodes.push(Node::Leaf(LeafNode {
                 keys: chunk.iter().map(|p| p.0).collect(),
                 vals: chunk.iter().map(|p| p.1).collect(),
-                prev: if leaf_ids.is_empty() { None } else { Some(id - 1) },
+                prev: if leaf_ids.is_empty() {
+                    None
+                } else {
+                    Some(id - 1)
+                },
                 next: None,
             }));
             if let Some(&prev) = leaf_ids.last() {
@@ -192,7 +199,10 @@ impl BPlusTree {
         assert!(!key.is_nan(), "NaN keys are not allowed");
         self.len += 1;
         if let Some((split_key, right)) = self.insert_rec(self.root, key, value) {
-            let new_root = InnerNode { keys: vec![split_key], children: vec![self.root, right] };
+            let new_root = InnerNode {
+                keys: vec![split_key],
+                children: vec![self.root, right],
+            };
             self.root = self.nodes.len() as u32;
             self.nodes.push(Node::Inner(new_root));
         }
@@ -216,7 +226,9 @@ impl BPlusTree {
                 let old_next = leaf.next;
                 let right_id = self.nodes.len() as u32;
                 {
-                    let Node::Leaf(leaf) = &mut self.nodes[node as usize] else { unreachable!() };
+                    let Node::Leaf(leaf) = &mut self.nodes[node as usize] else {
+                        unreachable!()
+                    };
                     leaf.next = Some(right_id);
                 }
                 self.nodes.push(Node::Leaf(LeafNode {
@@ -236,7 +248,9 @@ impl BPlusTree {
                 let idx = inner.keys.partition_point(|&k| k <= key);
                 let child = inner.children[idx];
                 let split = self.insert_rec(child, key, value)?;
-                let Node::Inner(inner) = &mut self.nodes[node as usize] else { unreachable!() };
+                let Node::Inner(inner) = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
                 inner.keys.insert(idx, split.0);
                 inner.children.insert(idx + 1, split.1);
                 if inner.keys.len() <= order {
@@ -266,7 +280,9 @@ impl BPlusTree {
         }
         let mut leaf = self.leaf_for(lo);
         loop {
-            let Node::Leaf(l) = &self.nodes[leaf as usize] else { unreachable!() };
+            let Node::Leaf(l) = &self.nodes[leaf as usize] else {
+                unreachable!()
+            };
             let start = l.keys.partition_point(|&k| k < lo);
             for i in start..l.keys.len() {
                 if l.keys[i] > hi {
@@ -289,7 +305,9 @@ impl BPlusTree {
         }
         let mut leaf = self.leaf_for(key);
         loop {
-            let Node::Leaf(l) = &self.nodes[leaf as usize] else { unreachable!() };
+            let Node::Leaf(l) = &self.nodes[leaf as usize] else {
+                unreachable!()
+            };
             let idx = l.keys.partition_point(|&k| k < key);
             if idx < l.keys.len() {
                 return Some((leaf, idx));
@@ -309,7 +327,9 @@ impl BPlusTree {
         }
         let mut leaf = self.leaf_for(key);
         loop {
-            let Node::Leaf(l) = &self.nodes[leaf as usize] else { unreachable!() };
+            let Node::Leaf(l) = &self.nodes[leaf as usize] else {
+                unreachable!()
+            };
             let idx = l.keys.partition_point(|&k| k < key);
             if idx > 0 {
                 return Some((leaf, idx - 1));
@@ -322,18 +342,24 @@ impl BPlusTree {
     }
 
     pub(crate) fn entry_at(&self, pos: (u32, usize)) -> (f32, PointId) {
-        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else { unreachable!() };
+        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else {
+            unreachable!()
+        };
         (l.keys[pos.1], l.vals[pos.1])
     }
 
     pub(crate) fn next_pos(&self, pos: (u32, usize)) -> Option<(u32, usize)> {
-        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else { unreachable!() };
+        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else {
+            unreachable!()
+        };
         if pos.1 + 1 < l.keys.len() {
             return Some((pos.0, pos.1 + 1));
         }
         let mut leaf = l.next;
         while let Some(n) = leaf {
-            let Node::Leaf(l) = &self.nodes[n as usize] else { unreachable!() };
+            let Node::Leaf(l) = &self.nodes[n as usize] else {
+                unreachable!()
+            };
             if !l.keys.is_empty() {
                 return Some((n, 0));
             }
@@ -346,10 +372,14 @@ impl BPlusTree {
         if pos.1 > 0 {
             return Some((pos.0, pos.1 - 1));
         }
-        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else { unreachable!() };
+        let Node::Leaf(l) = &self.nodes[pos.0 as usize] else {
+            unreachable!()
+        };
         let mut leaf = l.prev;
         while let Some(p) = leaf {
-            let Node::Leaf(l) = &self.nodes[p as usize] else { unreachable!() };
+            let Node::Leaf(l) = &self.nodes[p as usize] else {
+                unreachable!()
+            };
             if !l.keys.is_empty() {
                 return Some((p, l.keys.len() - 1));
             }
@@ -382,7 +412,10 @@ impl BPlusTree {
             leaf = l.next;
         }
         if count != self.len {
-            return Err(format!("leaf chain holds {count} keys, len says {}", self.len));
+            return Err(format!(
+                "leaf chain holds {count} keys, len says {}",
+                self.len
+            ));
         }
         // (2) uniform leaf depth
         fn depth(tree: &BPlusTree, node: u32) -> Result<usize, String> {

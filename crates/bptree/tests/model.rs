@@ -5,8 +5,11 @@ use pm_lsh_bptree::BPlusTree;
 use proptest::prelude::*;
 
 fn model_range(model: &[(f32, u32)], lo: f32, hi: f32) -> Vec<(f32, u32)> {
-    let mut out: Vec<(f32, u32)> =
-        model.iter().copied().filter(|&(k, _)| k >= lo && k <= hi).collect();
+    let mut out: Vec<(f32, u32)> = model
+        .iter()
+        .copied()
+        .filter(|&(k, _)| k >= lo && k <= hi)
+        .collect();
     out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     out
 }

@@ -151,7 +151,11 @@ pub fn estimator_study(
                 points: ts
                     .iter()
                     .zip(&sums)
-                    .map(|(&t, &(r, o))| EstimatorPoint { t, recall: r / nq, ratio: o / nq })
+                    .map(|(&t, &(r, o))| EstimatorPoint {
+                        t,
+                        recall: r / nq,
+                        ratio: o / nq,
+                    })
                     .collect(),
             }
         })
@@ -179,7 +183,11 @@ fn score_against_truth(
             counted += 1;
         }
     }
-    let ratio = if counted == 0 { 1.0 } else { ratio_acc / counted as f64 };
+    let ratio = if counted == 0 {
+        1.0
+    } else {
+        ratio_acc / counted as f64
+    };
     (recall, ratio.max(1.0))
 }
 
@@ -216,7 +224,13 @@ mod tests {
         let rand = &curves[1];
         // L2 recall must dominate Rand at every T
         for (a, b) in l2.points.iter().zip(&rand.points) {
-            assert!(a.recall > b.recall, "T={}: L2 {} vs Rand {}", a.t, a.recall, b.recall);
+            assert!(
+                a.recall > b.recall,
+                "T={}: L2 {} vs Rand {}",
+                a.t,
+                a.recall,
+                b.recall
+            );
             assert!(a.ratio <= b.ratio + 1e-9);
         }
         // and be monotone in T
@@ -238,10 +252,23 @@ mod tests {
             &[Estimator::L2, Estimator::Qd(4.0), Estimator::Rand],
             6,
         );
-        let (l2, qd, rand) =
-            (curves[0].points[0], curves[1].points[0], curves[2].points[0]);
-        assert!(l2.recall >= qd.recall - 0.05, "L2 {} vs QD {}", l2.recall, qd.recall);
-        assert!(qd.recall > rand.recall, "QD {} vs Rand {}", qd.recall, rand.recall);
+        let (l2, qd, rand) = (
+            curves[0].points[0],
+            curves[1].points[0],
+            curves[2].points[0],
+        );
+        assert!(
+            l2.recall >= qd.recall - 0.05,
+            "L2 {} vs QD {}",
+            l2.recall,
+            qd.recall
+        );
+        assert!(
+            qd.recall > rand.recall,
+            "QD {} vs Rand {}",
+            qd.recall,
+            rand.recall
+        );
     }
 
     #[test]
@@ -249,8 +276,7 @@ mod tests {
         // T = n makes every estimator perfect (all points verified).
         let data = blob(300, 16, 7);
         let queries = blob(4, 16, 8);
-        let curves =
-            estimator_study(&data, &queries, 15, 10, &[300], &[Estimator::Rand], 9);
+        let curves = estimator_study(&data, &queries, 15, 10, &[300], &[Estimator::Rand], 9);
         let p = curves[0].points[0];
         assert!((p.recall - 1.0).abs() < 1e-9);
         assert!((p.ratio - 1.0).abs() < 1e-9);

@@ -20,6 +20,50 @@ pub struct QueryStats {
     pub rounds: u32,
 }
 
+impl QueryStats {
+    /// Accumulates another query's counters into this one (saturating, so
+    /// long-running aggregations cannot wrap).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.candidates_verified = self
+            .candidates_verified
+            .saturating_add(other.candidates_verified);
+        self.projected_dist_computations = self
+            .projected_dist_computations
+            .saturating_add(other.projected_dist_computations);
+        self.rounds = self.rounds.saturating_add(other.rounds);
+    }
+}
+
+impl std::ops::AddAssign<&QueryStats> for QueryStats {
+    fn add_assign(&mut self, rhs: &QueryStats) {
+        self.merge(rhs);
+    }
+}
+
+impl std::ops::AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for QueryStats {
+    fn sum<I: Iterator<Item = QueryStats>>(iter: I) -> Self {
+        iter.fold(QueryStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
+impl<'a> std::iter::Sum<&'a QueryStats> for QueryStats {
+    fn sum<I: Iterator<Item = &'a QueryStats>>(iter: I) -> Self {
+        iter.fold(QueryStats::default(), |mut acc, s| {
+            acc += s;
+            acc
+        })
+    }
+}
+
 /// Result of a `(c, k)`-ANN query: neighbors sorted by ascending original
 /// distance plus the execution counters.
 #[derive(Clone, Debug)]
@@ -85,20 +129,38 @@ impl PmLsh {
     ) -> Self {
         let data = data.into();
         assert!(!data.is_empty(), "cannot index an empty dataset");
-        assert_eq!(projector.input_dim(), data.dim(), "projector dimensionality mismatch");
-        assert_eq!(projector.output_dim(), params.m as usize, "projector m mismatch");
+        assert_eq!(
+            projector.input_dim(),
+            data.dim(),
+            "projector dimensionality mismatch"
+        );
+        assert_eq!(
+            projector.output_dim(),
+            params.m as usize,
+            "projector m mismatch"
+        );
         let derived = params.derive();
         let projected = projector.project_all(data.view());
         let tree = PmTree::build(projected.view(), params.tree, rng);
         let dist_f = if data.len() >= 2 {
-            let pairs = params.distance_samples.min(data.len() * (data.len() - 1) / 2).max(1);
+            let pairs = params
+                .distance_samples
+                .min(data.len() * (data.len() - 1) / 2)
+                .max(1);
             distance_distribution(data.view(), pairs, rng)
         } else {
             // Degenerate single-point dataset: any start radius works, the
             // radius enlargement of Algorithm 2 takes over immediately.
             Ecdf::new(vec![1.0])
         };
-        Self { data, projector, tree, params, derived, dist_f }
+        Self {
+            data,
+            projector,
+            tree,
+            params,
+            derived,
+            dist_f,
+        }
     }
 
     /// The indexed dataset.
@@ -142,7 +204,11 @@ impl PmLsh {
         let n = self.data.len() as f64;
         let target = (self.derived.beta + k as f64 / n).min(1.0);
         let r = self.dist_f.quantile(target);
-        let r = if r > 0.0 { r } else { self.dist_f.quantile(1.0).max(1e-6) };
+        let r = if r > 0.0 {
+            r
+        } else {
+            self.dist_f.quantile(1.0).max(1e-6)
+        };
         r * self.params.rmin_shrink
     }
 
@@ -164,7 +230,12 @@ impl PmLsh {
         } else {
             // A pinned β (paper operating point) applies to the build-time c
             // only; sweeps over c re-derive the budget from Eq. 10.
-            PmLshParams { c, beta_override: None, ..self.params }.derive()
+            PmLshParams {
+                c,
+                beta_override: None,
+                ..self.params
+            }
+            .derive()
         };
 
         let n = self.data.len();
@@ -258,19 +329,31 @@ impl PmLsh {
     /// Answers a batch of queries in parallel over `threads` OS threads
     /// (0 = available parallelism). The index is immutable after build, so
     /// queries share it without synchronization; results keep query order.
+    ///
+    /// The threads are spawned per call, which suits one-shot workloads
+    /// with no extra dependencies. For sustained serving — a persistent
+    /// pool, request coalescing and latency statistics — use
+    /// `pm_lsh_engine::Engine::query_batch`, which returns bit-identical
+    /// results.
     pub fn query_batch(
         &self,
         queries: pm_lsh_metric::MatrixView<'_>,
         k: usize,
         threads: usize,
     ) -> Vec<QueryResult> {
-        assert_eq!(queries.dim(), self.data.dim(), "queries have wrong dimensionality");
+        assert_eq!(
+            queries.dim(),
+            self.data.dim(),
+            "queries have wrong dimensionality"
+        );
         let nq = queries.len();
         if nq == 0 {
             return Vec::new();
         }
         let threads = if threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             threads
         }
@@ -287,7 +370,10 @@ impl PmLsh {
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("all query slots filled")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all query slots filled"))
+            .collect()
     }
 }
 
@@ -305,6 +391,37 @@ mod tests {
             ds.push(&buf);
         }
         ds
+    }
+
+    #[test]
+    fn query_stats_merge_and_sum_agree() {
+        let a = QueryStats {
+            candidates_verified: 3,
+            projected_dist_computations: 10,
+            rounds: 1,
+        };
+        let b = QueryStats {
+            candidates_verified: 4,
+            projected_dist_computations: 22,
+            rounds: 2,
+        };
+        let mut m = a;
+        m += b;
+        assert_eq!(
+            m,
+            QueryStats {
+                candidates_verified: 7,
+                projected_dist_computations: 32,
+                rounds: 3
+            }
+        );
+        assert_eq!([a, b].iter().sum::<QueryStats>(), m);
+        let mut saturate = QueryStats {
+            rounds: u32::MAX,
+            ..a
+        };
+        saturate += &b;
+        assert_eq!(saturate.rounds, u32::MAX, "rounds must saturate, not wrap");
     }
 
     #[test]

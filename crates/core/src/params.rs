@@ -67,7 +67,10 @@ impl PmLshParams {
     /// The configuration of the paper's Section 6 experiments: `m = 15`,
     /// `c = 1.5`, `s = 5`, `α₁ = 1/e` and the published `β = 0.2809`.
     pub fn paper_defaults() -> Self {
-        Self { beta_override: Some(0.2809), ..Self::default() }
+        Self {
+            beta_override: Some(0.2809),
+            ..Self::default()
+        }
     }
 
     /// Same settings with a different approximation ratio (β re-derived from
@@ -82,7 +85,10 @@ impl PmLshParams {
     pub fn derive(&self) -> DerivedParams {
         assert!(self.m >= 1, "need at least one hash function");
         assert!(self.c > 1.0, "approximation ratio must exceed 1");
-        assert!(self.alpha1 > 0.0 && self.alpha1 < 1.0, "alpha1 must be in (0,1)");
+        assert!(
+            self.alpha1 > 0.0 && self.alpha1 < 1.0,
+            "alpha1 must be in (0,1)"
+        );
         let t_sq = chi2_upper_quantile(self.alpha1, self.m);
         let t = t_sq.sqrt();
         let alpha2 = chi2_cdf(t_sq / (self.c * self.c), self.m);
@@ -140,9 +146,20 @@ mod tests {
 
     #[test]
     fn t_grows_with_smaller_alpha1() {
-        let strict = PmLshParams { alpha1: 0.05, ..Default::default() }.derive();
-        let loose = PmLshParams { alpha1: 0.5, ..Default::default() }.derive();
-        assert!(strict.t > loose.t, "smaller tail mass needs a wider interval");
+        let strict = PmLshParams {
+            alpha1: 0.05,
+            ..Default::default()
+        }
+        .derive();
+        let loose = PmLshParams {
+            alpha1: 0.5,
+            ..Default::default()
+        }
+        .derive();
+        assert!(
+            strict.t > loose.t,
+            "smaller tail mass needs a wider interval"
+        );
     }
 
     #[test]
@@ -170,7 +187,10 @@ mod tests {
             }
         }
         let fail_rate = e1_fail as f64 / trials as f64;
-        assert!((fail_rate - p.alpha1).abs() < 0.01, "E1 fail rate {fail_rate}");
+        assert!(
+            (fail_rate - p.alpha1).abs() < 0.01,
+            "E1 fail rate {fail_rate}"
+        );
 
         // E2: point at distance c·r has projected distance < t·r w.p. α2
         let mut e2_hit = 0usize;

@@ -7,8 +7,9 @@ use pm_lsh_stats::Rng;
 
 fn clustered(n: usize, d: usize, seed: u64) -> Dataset {
     let mut rng = Rng::new(seed);
-    let centers: Vec<Vec<f32>> =
-        (0..20).map(|_| (0..d).map(|_| rng.normal_f32() * 8.0).collect()).collect();
+    let centers: Vec<Vec<f32>> = (0..20)
+        .map(|_| (0..d).map(|_| rng.normal_f32() * 8.0).collect())
+        .collect();
     let mut ds = Dataset::with_capacity(d, n);
     let mut buf = vec![0.0f32; d];
     for i in 0..n {
@@ -74,7 +75,11 @@ fn high_recall_with_paper_beta() {
         let truth = exact_knn(index.data(), q, 10);
         let truth_ids: std::collections::HashSet<u32> = truth.iter().map(|n| n.id).collect();
         let res = index.query(q, 10);
-        let hits = res.neighbors.iter().filter(|n| truth_ids.contains(&n.id)).count();
+        let hits = res
+            .neighbors
+            .iter()
+            .filter(|n| truth_ids.contains(&n.id))
+            .count();
         recall_sum += hits as f64 / 10.0;
     }
     let recall = recall_sum / queries.len() as f64;
@@ -173,7 +178,13 @@ fn bc_query_statistical_contract() {
             }
         }
     }
-    assert!(answered >= 20, "BC query answered only {answered}/40 non-empty balls");
+    assert!(
+        answered >= 20,
+        "BC query answered only {answered}/40 non-empty balls"
+    );
     // E1 ∧ E2 holds w.p. >= 1/2 - 1/e; in practice violations are rare.
-    assert!(violations * 5 <= answered, "{violations}/{answered} violations");
+    assert!(
+        violations * 5 <= answered,
+        "{violations}/{answered} violations"
+    );
 }

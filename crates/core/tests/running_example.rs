@@ -10,21 +10,21 @@ use pm_lsh_stats::Rng;
 /// The 15 points of Fig. 1(a)/(c), ids o1..o15 mapping to 0..14.
 fn example_points() -> Dataset {
     Dataset::from_rows(vec![
-        vec![0.0, 1.0],   // o1
-        vec![6.0, 6.0],   // o2
-        vec![9.0, 2.0],   // o3
-        vec![10.0, 5.0],  // o4
-        vec![2.0, 6.0],   // o5
-        vec![4.0, 3.0],   // o6
-        vec![6.0, 3.0],   // o7
-        vec![10.0, 6.0],  // o8
-        vec![2.0, 3.0],   // o9
-        vec![9.0, 8.0],   // o10
-        vec![6.0, 10.0],  // o11
-        vec![4.0, 7.0],   // o12
-        vec![3.0, 4.0],   // o13
-        vec![4.0, 6.0],   // o14
-        vec![7.0, 2.0],   // o15
+        vec![0.0, 1.0],  // o1
+        vec![6.0, 6.0],  // o2
+        vec![9.0, 2.0],  // o3
+        vec![10.0, 5.0], // o4
+        vec![2.0, 6.0],  // o5
+        vec![4.0, 3.0],  // o6
+        vec![6.0, 3.0],  // o7
+        vec![10.0, 6.0], // o8
+        vec![2.0, 3.0],  // o9
+        vec![9.0, 8.0],  // o10
+        vec![6.0, 10.0], // o11
+        vec![4.0, 7.0],  // o12
+        vec![3.0, 4.0],  // o13
+        vec![4.0, 6.0],  // o14
+        vec![7.0, 2.0],  // o15
     ])
 }
 
@@ -48,8 +48,11 @@ fn example_1_exact_nns() {
 
     // "any object in {o2, o14, o12, o13, o6, o7}" is a valid 2-ANN result
     let bound = 2.0 * sqrt2;
-    let valid: std::collections::BTreeSet<usize> =
-        dists.iter().filter(|&&(d, _)| d <= bound + 1e-6).map(|&(_, i)| i).collect();
+    let valid: std::collections::BTreeSet<usize> = dists
+        .iter()
+        .filter(|&&(d, _)| d <= bound + 1e-6)
+        .map(|&(_, i)| i)
+        .collect();
     assert_eq!(valid, [1usize, 13, 11, 12, 5, 6].into());
 }
 
@@ -63,7 +66,11 @@ fn end_to_end_ann_on_running_example() {
         m: 2,
         c: 2.0,
         // tiny dataset: keep every candidate budget meaningful
-        tree: PmTreeConfig { capacity: 4, num_pivots: 2, pivot_sample: 16 },
+        tree: PmTreeConfig {
+            capacity: 4,
+            num_pivots: 2,
+            pivot_sample: 16,
+        },
         distance_samples: 512,
         ..Default::default()
     };
@@ -90,7 +97,11 @@ fn example_4_radius_enlargement_retrieves_neighbors() {
         m: 2,
         c: 2.0,
         beta_override: Some(0.3), // β·n ≈ 4.5, mirroring the example's βn = 4
-        tree: PmTreeConfig { capacity: 4, num_pivots: 2, pivot_sample: 16 },
+        tree: PmTreeConfig {
+            capacity: 4,
+            num_pivots: 2,
+            pivot_sample: 16,
+        },
         distance_samples: 512,
         ..Default::default()
     };
@@ -117,7 +128,11 @@ fn bc_query_example_2_semantics() {
     let params = PmLshParams {
         m: 2,
         c: 2.0,
-        tree: PmTreeConfig { capacity: 4, num_pivots: 2, pivot_sample: 16 },
+        tree: PmTreeConfig {
+            capacity: 4,
+            num_pivots: 2,
+            pivot_sample: 16,
+        },
         distance_samples: 512,
         ..Default::default()
     };
@@ -125,8 +140,13 @@ fn bc_query_example_2_semantics() {
     let index = PmLsh::build_with_projector(ds, projector, params, &mut rng);
 
     if let Some(hit) = index.query_bc(&Q, 1.0) {
-        assert!(hit.dist <= 2.0, "(1,2)-BC must only return points within c·r");
+        assert!(
+            hit.dist <= 2.0,
+            "(1,2)-BC must only return points within c·r"
+        );
     }
-    let hit = index.query_bc(&Q, 1.5).expect("ball contains o2/o14, must answer");
+    let hit = index
+        .query_bc(&Q, 1.5)
+        .expect("ball contains o2/o14, must answer");
     assert!(hit.dist <= 3.0);
 }

@@ -30,7 +30,9 @@ pub fn exact_knn_batch(
         return Vec::new();
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     }

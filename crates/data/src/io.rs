@@ -63,7 +63,9 @@ pub fn read_fvecs_from(mut reader: impl Read, limit: Option<usize>) -> Result<Da
         }
         let dim = u32::from_le_bytes(dim_buf) as usize;
         if dim == 0 || dim > 1_000_000 {
-            return Err(IoError::Format(format!("implausible vector dimension {dim}")));
+            return Err(IoError::Format(format!(
+                "implausible vector dimension {dim}"
+            )));
         }
         let mut payload = vec![0u8; dim * 4];
         reader
@@ -156,11 +158,12 @@ pub fn read_csv(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Dataset,
         if trimmed.is_empty() {
             continue;
         }
-        let row: Result<Vec<f32>, _> =
-            trimmed.split(',').map(|tok| tok.trim().parse::<f32>()).collect();
-        let row = row.map_err(|e| {
-            IoError::Format(format!("line {}: unparsable float ({e})", lineno + 1))
-        })?;
+        let row: Result<Vec<f32>, _> = trimmed
+            .split(',')
+            .map(|tok| tok.trim().parse::<f32>())
+            .collect();
+        let row = row
+            .map_err(|e| IoError::Format(format!("line {}: unparsable float ({e})", lineno + 1)))?;
         match &mut data {
             None => {
                 let mut ds = Dataset::with_capacity(row.len().max(1), 1024);
@@ -245,7 +248,10 @@ mod tests {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&3u32.to_le_bytes());
         bytes.extend_from_slice(&1.0f32.to_le_bytes()); // only 1 of 3 floats
-        assert!(matches!(read_fvecs_from(&bytes[..], None), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_fvecs_from(&bytes[..], None),
+            Err(IoError::Format(_))
+        ));
 
         let mut bytes = Vec::new();
         for dim in [2u32, 3u32] {
@@ -254,7 +260,10 @@ mod tests {
                 bytes.extend_from_slice(&0.0f32.to_le_bytes());
             }
         }
-        assert!(matches!(read_fvecs_from(&bytes[..], None), Err(IoError::Format(_))));
+        assert!(matches!(
+            read_fvecs_from(&bytes[..], None),
+            Err(IoError::Format(_))
+        ));
     }
 
     #[test]

@@ -91,27 +91,55 @@ impl PaperDataset {
     /// The paper's Table 3 reference row.
     pub fn paper_stats(&self) -> PaperStats {
         match self {
-            PaperDataset::Audio => {
-                PaperStats { n: 54_000, dim: 192, hv: 0.9273, rc: 2.97, lid: 5.6 }
-            }
-            PaperDataset::Deep => {
-                PaperStats { n: 1_000_000, dim: 256, hv: 0.9393, rc: 1.96, lid: 12.1 }
-            }
-            PaperDataset::Nus => {
-                PaperStats { n: 269_000, dim: 500, hv: 0.9995, rc: 1.67, lid: 24.5 }
-            }
-            PaperDataset::Mnist => {
-                PaperStats { n: 60_000, dim: 784, hv: 0.9531, rc: 2.38, lid: 6.5 }
-            }
-            PaperDataset::Gist => {
-                PaperStats { n: 983_000, dim: 960, hv: 0.9670, rc: 1.94, lid: 18.9 }
-            }
-            PaperDataset::Cifar => {
-                PaperStats { n: 50_000, dim: 1024, hv: 0.9457, rc: 1.97, lid: 9.0 }
-            }
-            PaperDataset::Trevi => {
-                PaperStats { n: 100_000, dim: 4096, hv: 0.9432, rc: 2.95, lid: 9.2 }
-            }
+            PaperDataset::Audio => PaperStats {
+                n: 54_000,
+                dim: 192,
+                hv: 0.9273,
+                rc: 2.97,
+                lid: 5.6,
+            },
+            PaperDataset::Deep => PaperStats {
+                n: 1_000_000,
+                dim: 256,
+                hv: 0.9393,
+                rc: 1.96,
+                lid: 12.1,
+            },
+            PaperDataset::Nus => PaperStats {
+                n: 269_000,
+                dim: 500,
+                hv: 0.9995,
+                rc: 1.67,
+                lid: 24.5,
+            },
+            PaperDataset::Mnist => PaperStats {
+                n: 60_000,
+                dim: 784,
+                hv: 0.9531,
+                rc: 2.38,
+                lid: 6.5,
+            },
+            PaperDataset::Gist => PaperStats {
+                n: 983_000,
+                dim: 960,
+                hv: 0.9670,
+                rc: 1.94,
+                lid: 18.9,
+            },
+            PaperDataset::Cifar => PaperStats {
+                n: 50_000,
+                dim: 1024,
+                hv: 0.9457,
+                rc: 1.97,
+                lid: 9.0,
+            },
+            PaperDataset::Trevi => PaperStats {
+                n: 100_000,
+                dim: 4096,
+                hv: 0.9432,
+                rc: 2.95,
+                lid: 9.2,
+            },
         }
     }
 
@@ -192,13 +220,20 @@ mod tests {
     fn bench_scale_fits_memory_envelope() {
         for ds in PaperDataset::ALL {
             let floats = ds.n_at(Scale::Bench) * ds.paper_stats().dim;
-            assert!(floats <= 52_000_000, "{} too large at bench scale", ds.name());
+            assert!(
+                floats <= 52_000_000,
+                "{} too large at bench scale",
+                ds.name()
+            );
         }
     }
 
     #[test]
     fn names_and_order_match_table3() {
         let names: Vec<&str> = PaperDataset::ALL.iter().map(|d| d.name()).collect();
-        assert_eq!(names, vec!["Audio", "Deep", "NUS", "MNIST", "GIST", "Cifar", "Trevi"]);
+        assert_eq!(
+            names,
+            vec!["Audio", "Deep", "NUS", "MNIST", "GIST", "Cifar", "Trevi"]
+        );
     }
 }

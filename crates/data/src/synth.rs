@@ -64,7 +64,11 @@ impl Generator {
         for b in bases.iter_mut() {
             *b *= scale;
         }
-        Self { spec, centers, bases }
+        Self {
+            spec,
+            centers,
+            bases,
+        }
     }
 
     /// The spec in effect.
@@ -82,8 +86,8 @@ impl Generator {
         for i in 0..count {
             let c = i % spec.clusters;
             let center = &self.centers[c * spec.dim..(c + 1) * spec.dim];
-            let basis = &self.bases
-                [c * spec.dim * spec.latent_dim..(c + 1) * spec.dim * spec.latent_dim];
+            let basis =
+                &self.bases[c * spec.dim * spec.latent_dim..(c + 1) * spec.dim * spec.latent_dim];
             for z in latent.iter_mut() {
                 *z = rng.normal_f32() * spec.within_scale;
             }
@@ -146,7 +150,11 @@ mod tests {
     #[test]
     fn latent_dim_controls_lid() {
         let low = Generator::new(small_spec(4, 1.0)).dataset();
-        let high = Generator::new(SynthSpec { seed: 78, ..small_spec(24, 1.0) }).dataset();
+        let high = Generator::new(SynthSpec {
+            seed: 78,
+            ..small_spec(24, 1.0)
+        })
+        .dataset();
         let mut r1 = Rng::new(1);
         let mut r2 = Rng::new(1);
         let lid_low = lid_mle(low.view(), 25, 60, &mut r1);

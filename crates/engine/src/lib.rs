@@ -1,0 +1,439 @@
+//! `pm-lsh-engine` — a concurrent, batched query engine and TCP serving
+//! layer over the PM-LSH index.
+//!
+//! The sibling crates answer one query at a time on the calling thread;
+//! this crate turns the immutable [`PmLsh`] index into a serving system:
+//!
+//! * [`Engine`] wraps an `Arc<PmLsh>` snapshot plus a fixed pool of worker
+//!   threads (`std::thread` + `std::sync::mpsc`, like everything else in
+//!   the workspace: no external dependencies). [`Engine::query`] is a
+//!   blocking call that travels through the micro-batching request queue;
+//!   [`Engine::query_batch`] shards a whole query set across the pool and
+//!   returns results in input order.
+//! * The micro-batcher (a bounded channel and a collector thread) groups
+//!   up to `batch_size` concurrent requests, waiting at most `max_wait`
+//!   after the first, before handing them to the pool — one channel send
+//!   per worker per batch instead of one per query, and a natural
+//!   backpressure point when the queue fills.
+//! * [`EngineStats`] aggregates throughput, p50/p99 latency and the summed
+//!   per-query [`QueryStats`] counters, so benchmarks can draw scaling
+//!   curves against thread count.
+//! * [`serve`] exposes the engine over TCP with a newline-delimited text
+//!   protocol (see [`server`] for the exact grammar).
+//!
+//! Queries on a built index are pure reads, so the engine needs no locks on
+//! the hot path; the compile-time assertions at the bottom of this module
+//! pin down that [`PmLsh`] and [`Dataset`] stay `Send + Sync`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pm_lsh_core::{PmLsh, PmLshParams};
+//! use pm_lsh_engine::{Engine, EngineConfig};
+//! use pm_lsh_metric::Dataset;
+//! use pm_lsh_stats::Rng;
+//!
+//! let mut rng = Rng::new(9);
+//! let mut data = Dataset::with_capacity(32, 400);
+//! let mut buf = [0.0f32; 32];
+//! for _ in 0..400 {
+//!     rng.fill_normal(&mut buf);
+//!     data.push(&buf);
+//! }
+//! let queries: Vec<Vec<f32>> = (0..8).map(|i| data.point(i).to_vec()).collect();
+//!
+//! let index = PmLsh::build(data, PmLshParams::default());
+//! let engine = Engine::new(index, EngineConfig { threads: 4, ..Default::default() });
+//!
+//! let results = engine.query_batch(&queries, 5);
+//! assert_eq!(results.len(), 8);
+//! assert_eq!(results[3].neighbors[0].id, 3); // input order is preserved
+//! assert_eq!(engine.stats().queries, 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod pool;
+pub mod server;
+mod stats;
+
+pub use server::{serve, ServerHandle};
+pub use stats::EngineStats;
+
+use crate::batch::{BatchQueue, Request};
+use crate::pool::{QueryJob, WorkerPool};
+use crate::stats::StatsCollector;
+use pm_lsh_core::{PmLsh, QueryResult, QueryStats};
+use pm_lsh_metric::Dataset;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads in the pool. `0` means available parallelism.
+    pub threads: usize,
+    /// Most requests one micro-batch may coalesce.
+    pub batch_size: usize,
+    /// Longest the batcher waits after a batch's first request.
+    pub max_wait: Duration,
+    /// Bounded request-queue capacity; full means callers block.
+    pub queue_depth: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            batch_size: 32,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The effective thread count (`threads`, or available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// A concurrent query engine over one immutable PM-LSH snapshot.
+///
+/// Cloning is cheap and shares the pool, the queue and the statistics
+/// (everything is behind `Arc`s), so one engine can serve many threads —
+/// the TCP layer clones it into every connection handler.
+#[derive(Clone)]
+pub struct Engine {
+    index: Arc<PmLsh>,
+    pool: Arc<WorkerPool>,
+    queue: Arc<BatchQueue>,
+    stats: Arc<StatsCollector>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Spins up the worker pool and batcher over a built index.
+    pub fn new(index: impl Into<Arc<PmLsh>>, config: EngineConfig) -> Self {
+        let index = index.into();
+        let stats = Arc::new(StatsCollector::new());
+        let pool = Arc::new(WorkerPool::new(
+            Arc::clone(&index),
+            config.effective_threads(),
+            Arc::clone(&stats),
+        ));
+        let queue = Arc::new(BatchQueue::new(
+            Arc::clone(&pool),
+            Arc::clone(&stats),
+            config.batch_size,
+            config.max_wait,
+            config.queue_depth,
+        ));
+        Self {
+            index,
+            pool,
+            queue,
+            stats,
+            config,
+        }
+    }
+
+    /// The served index snapshot.
+    pub fn index(&self) -> &Arc<PmLsh> {
+        &self.index
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Worker threads actually running.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Answers one `(c, k)`-ANN query, blocking until a worker replies.
+    ///
+    /// The request travels through the micro-batching queue, so concurrent
+    /// callers (e.g. TCP connections) are coalesced automatically. Results
+    /// are bit-identical to [`PmLsh::query`] — the engine adds concurrency,
+    /// never approximation. `k` larger than the indexed point count is
+    /// clamped to it (a kNN answer can never exceed `n`), which also keeps
+    /// an absurd client-supplied `k` from forcing a giant allocation.
+    ///
+    /// # Panics
+    ///
+    /// On a dimension mismatch, a non-finite query component, or `k == 0`.
+    pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
+        self.validate(q, k);
+        let (reply, receive) = channel();
+        self.queue.enqueue(Request {
+            query: q.to_vec(),
+            k: k.min(self.index.len()),
+            enqueued: Instant::now(),
+            reply,
+        });
+        let (_slot, result) = receive
+            .recv()
+            .expect("query execution panicked in the engine worker pool");
+        result
+    }
+
+    /// Answers a batch of queries across the whole pool, preserving input
+    /// order. The batch bypasses the micro-batcher (it is already a batch)
+    /// and is sharded into one contiguous chunk per worker. `k` is clamped
+    /// to the indexed point count, as in [`Engine::query`].
+    ///
+    /// # Panics
+    ///
+    /// On a dimension mismatch, a non-finite query component, or `k == 0`.
+    pub fn query_batch(&self, queries: &[impl AsRef<[f32]>], k: usize) -> Vec<QueryResult> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        for q in queries {
+            self.validate(q.as_ref(), k);
+        }
+        let k = k.min(self.index.len());
+        let enqueued = Instant::now();
+        let (reply, receive) = channel();
+        let jobs: Vec<QueryJob> = queries
+            .iter()
+            .enumerate()
+            .map(|(slot, q)| QueryJob {
+                slot,
+                query: q.as_ref().to_vec(),
+                k,
+                enqueued,
+                reply: reply.clone(),
+            })
+            .collect();
+        self.pool.submit_sharded(jobs);
+        drop(reply);
+
+        let mut results: Vec<Option<QueryResult>> = (0..queries.len()).map(|_| None).collect();
+        for _ in 0..queries.len() {
+            let (slot, result) = receive
+                .recv()
+                .expect("query execution panicked in the engine worker pool");
+            results[slot] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot answered"))
+            .collect()
+    }
+
+    /// A point-in-time snapshot of the serving statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.stats.snapshot()
+    }
+
+    fn validate(&self, q: &[f32], k: usize) {
+        assert_eq!(
+            q.len(),
+            self.index.data().dim(),
+            "query has wrong dimensionality for the served index"
+        );
+        assert!(k >= 1, "k must be positive");
+        // Reject NaN/inf on the caller's thread: a non-finite component
+        // would otherwise take down the worker that draws the job (and the
+        // caller would only see a dropped reply channel).
+        assert!(
+            q.iter().all(|v| v.is_finite()),
+            "query contains a non-finite component"
+        );
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("points", &self.index.len())
+            .field("dim", &self.index.data().dim())
+            .field("threads", &self.pool.threads())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+// The engine's whole premise is lock-free shared reads of one snapshot:
+// everything it shares across threads must stay `Send + Sync`. These
+// compile-time assertions (hand-rolled `static_assertions`) catch any
+// future `Rc`/`Cell`/raw-pointer regression in the index stack at build
+// time rather than at `thread::spawn` call sites.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Dataset>();
+    assert_send_sync::<PmLsh>();
+    assert_send_sync::<QueryResult>();
+    assert_send_sync::<QueryStats>();
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineStats>();
+    assert_send_sync::<ServerHandle>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_core::PmLshParams;
+    use pm_lsh_stats::Rng;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    #[test]
+    fn single_query_matches_index() {
+        let data = blob(500, 16, 1);
+        let q = data.point(7).to_vec();
+        let index = Arc::new(PmLsh::build(data, PmLshParams::default()));
+        let engine = Engine::new(Arc::clone(&index), EngineConfig::default());
+        let direct = index.query(&q, 5);
+        let served = engine.query(&q, 5);
+        assert_eq!(served.neighbors, direct.neighbors);
+        assert_eq!(served.stats, direct.stats);
+        assert_eq!(engine.stats().queries, 1);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_sequential() {
+        let data = blob(600, 12, 2);
+        let queries: Vec<Vec<f32>> = (0..17).map(|i| data.point(i).to_vec()).collect();
+        let index = Arc::new(PmLsh::build(data, PmLshParams::default()));
+        let engine = Engine::new(
+            Arc::clone(&index),
+            EngineConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let batch = engine.query_batch(&queries, 3);
+        assert_eq!(batch.len(), 17);
+        for (qi, q) in queries.iter().enumerate() {
+            let single = index.query(q, 3);
+            assert_eq!(batch[qi].neighbors, single.neighbors, "query {qi}");
+            assert_eq!(batch[qi].stats, single.stats, "query {qi}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 17);
+        assert_eq!(
+            stats.query_stats,
+            batch.iter().map(|r| r.stats).sum(),
+            "aggregated counters must equal the per-query sum"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let data = blob(100, 8, 3);
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let no_queries: &[Vec<f32>] = &[];
+        assert!(engine.query_batch(no_queries, 4).is_empty());
+        assert_eq!(engine.stats().queries, 0);
+    }
+
+    #[test]
+    fn concurrent_callers_share_one_engine() {
+        let data = blob(400, 10, 4);
+        let queries: Vec<Vec<f32>> = (0..24).map(|i| data.point(i).to_vec()).collect();
+        let index = Arc::new(PmLsh::build(data, PmLshParams::default()));
+        let engine = Engine::new(
+            Arc::clone(&index),
+            EngineConfig {
+                threads: 3,
+                batch_size: 8,
+                max_wait: Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            for chunk in queries.chunks(6) {
+                let engine = engine.clone();
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    for q in chunk {
+                        let served = engine.query(q, 4);
+                        let direct = index.query(q, 4);
+                        assert_eq!(served.neighbors, direct.neighbors);
+                    }
+                });
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.queries, 24);
+        assert!(stats.batches >= 1 && stats.batches <= 24);
+        assert!(stats.mean_batch >= 1.0);
+    }
+
+    #[test]
+    fn absurd_k_is_clamped_to_n() {
+        let data = blob(60, 6, 7);
+        let q = data.point(0).to_vec();
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        // Would be a multi-terabyte TopK allocation if not clamped.
+        let res = engine.query(&q, usize::MAX / 2);
+        assert_eq!(res.neighbors.len(), 60);
+        let batch = engine.query_batch(&[&q[..]], usize::MAX / 2);
+        assert_eq!(batch[0].neighbors.len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite component")]
+    fn non_finite_query_panics_on_the_caller_thread() {
+        let data = blob(50, 8, 6);
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let mut q = [0.5f32; 8];
+        q[3] = f32::NAN;
+        engine.query(&q, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimensionality")]
+    fn dimension_mismatch_panics_on_the_caller_thread() {
+        let data = blob(50, 8, 5);
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        engine.query(&[0.0f32; 4], 1);
+    }
+}

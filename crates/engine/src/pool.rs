@@ -1,0 +1,130 @@
+//! A fixed pool of query workers over `std::thread` + `std::sync::mpsc`.
+//!
+//! Workers share one immutable [`PmLsh`] snapshot behind an `Arc` — the
+//! index is read-only after build, so queries need no synchronization at
+//! all; the only shared mutable state is the job channel and the stats
+//! collector. Jobs travel in small vectors (a micro-batch shard), so one
+//! channel receive and one mutex acquisition amortize over several queries.
+
+use crate::stats::StatsCollector;
+use pm_lsh_core::{PmLsh, QueryResult};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One kNN request travelling through the pool.
+pub(crate) struct QueryJob {
+    /// Caller-side position, so batched results keep input order.
+    pub slot: usize,
+    /// The query point (owned: the caller may return before workers run).
+    pub query: Vec<f32>,
+    /// Neighbors requested.
+    pub k: usize,
+    /// When the request entered the engine; latency is measured from here.
+    pub enqueued: Instant,
+    /// Where the worker sends `(slot, result)`.
+    pub reply: Sender<(usize, QueryResult)>,
+}
+
+/// The fixed worker pool. Dropping it closes the job channel and joins
+/// every worker.
+pub(crate) struct WorkerPool {
+    jobs: Option<Sender<Vec<QueryJob>>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(index: Arc<PmLsh>, threads: usize, stats: Arc<StatsCollector>) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::<Vec<QueryJob>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let index = Arc::clone(&index);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("pmlsh-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &index, &stats))
+                    .expect("failed to spawn engine worker thread")
+            })
+            .collect();
+        Self {
+            jobs: Some(tx),
+            workers,
+            threads,
+        }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Hands a shard of jobs to whichever worker picks it up first.
+    pub(crate) fn submit(&self, shard: Vec<QueryJob>) {
+        if shard.is_empty() {
+            return;
+        }
+        self.jobs
+            .as_ref()
+            .expect("worker pool already shut down")
+            .send(shard)
+            .expect("all engine workers exited");
+    }
+
+    /// Splits `jobs` into one contiguous shard per worker and submits them,
+    /// so a batch costs at most `threads` channel sends while still
+    /// spreading across the whole pool. The single place sharding policy
+    /// lives — both the batcher and `Engine::query_batch` go through here.
+    pub(crate) fn submit_sharded(&self, mut jobs: Vec<QueryJob>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let shard_len = jobs.len().div_ceil(self.threads);
+        while jobs.len() > shard_len {
+            let tail = jobs.split_off(shard_len);
+            self.submit(std::mem::replace(&mut jobs, tail));
+        }
+        self.submit(jobs);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv() fail and exit.
+        drop(self.jobs.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, index: &PmLsh, stats: &StatsCollector) {
+    loop {
+        // Hold the mutex only for the receive itself, never during a query.
+        let shard = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling worker panicked mid-recv
+        };
+        let Ok(shard) = shard else { return };
+        for job in shard {
+            // Isolate panics to the offending job: the worker survives (the
+            // pool never respawns threads), the rest of the shard still
+            // runs, and only the panicking job's caller sees its reply
+            // channel close.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                index.query(&job.query, job.k)
+            }));
+            match outcome {
+                Ok(result) => {
+                    stats.record_query(job.enqueued.elapsed(), &result.stats);
+                    // A dropped receiver means the caller gave up waiting.
+                    let _ = job.reply.send((job.slot, result));
+                }
+                Err(_) => drop(job.reply),
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! TCP serving layer: a newline-delimited text protocol over the engine.
+//!
+//! # Wire protocol
+//!
+//! One request per line, one response line per request, UTF-8, fields
+//! separated by single spaces:
+//!
+//! ```text
+//! QUERY <k> <v1> <v2> ... <vd>   ->  OK <id>:<dist>,<id>:<dist>,...
+//! PING                           ->  PONG
+//! STATS                          ->  STATS <EngineStats as one line>
+//! QUIT                           ->  BYE (and the server closes the connection)
+//! anything else                  ->  ERR <message>
+//! ```
+//!
+//! `<k>` is a positive integer, each `<v>` a float; a `QUERY` must carry
+//! exactly as many components as the served index's dimensionality, or the
+//! server answers `ERR ...` and keeps the connection open. Distances are
+//! printed with `{}` (shortest round-trippable `f32` form). Malformed
+//! input never takes the server down: every parse failure is an `ERR`
+//! response, every I/O failure closes only that connection, a `k` beyond
+//! the indexed point count is clamped (a kNN answer can never exceed `n`),
+//! and request lines are capped at `64 + 32·d` bytes — a client that
+//! streams bytes without a newline gets one final `ERR` and is
+//! disconnected instead of growing the read buffer without bound.
+//!
+//! The accept loop runs on its own thread and spawns one handler thread
+//! per connection; handlers funnel all queries into the shared [`Engine`],
+//! whose micro-batcher coalesces concurrent requests before they reach the
+//! worker pool. Binding port 0 picks a free port — [`ServerHandle::addr`]
+//! reports it, which is how the loopback tests run without port clashes.
+
+use crate::Engine;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server: the accept thread plus its shutdown switch.
+///
+/// Dropping the handle shuts the server down and joins the accept thread;
+/// call [`ServerHandle::join`] instead to serve until the process dies.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the accept thread exits (i.e. forever, unless another
+    /// handle clone... there is none — effectively: serve until killed).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting connections and joins the accept thread. Already
+    /// established connections finish their current line and then close.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it with a throwaway
+        // connection so it observes the flag. An unspecified bind address
+        // (0.0.0.0 / ::) is not connectable on every platform, so aim the
+        // poke at the loopback of the same family instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(1));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `("127.0.0.1", 0)` or `"0.0.0.0:7878"`) and serves
+/// the engine until the returned handle is shut down or dropped.
+pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::Builder::new()
+        .name("pmlsh-accept".to_string())
+        .spawn(move || accept_loop(&listener, &engine, &accept_stop))?;
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, engine: &Engine, stop: &AtomicBool) {
+    // Handler threads detach; the engine they clone keeps the pool alive
+    // for as long as any connection is still being served.
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = incoming else { continue };
+        let engine = engine.clone();
+        let spawned = std::thread::Builder::new()
+            .name("pmlsh-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, &engine);
+            });
+        if spawned.is_err() {
+            // Out of threads: drop the connection rather than the server.
+            continue;
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // A legitimate line is `QUERY <k> <v1..vd>`: ~32 bytes per float is
+    // generous. Reading through a cap keeps a client that streams bytes
+    // without a newline from growing the buffer without bound.
+    let line_cap = 64 + 32 * engine.index().data().dim();
+    let mut line = Vec::with_capacity(256);
+    loop {
+        line.clear();
+        let n =
+            std::io::Read::take(&mut reader, (line_cap + 1) as u64).read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // EOF
+        }
+        if line.last() != Some(&b'\n') && n > line_cap {
+            writer.write_all(b"ERR line exceeds protocol maximum\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        let text = String::from_utf8_lossy(&line);
+        match respond(&text, engine) {
+            Response::Line(text) => {
+                writer.write_all(text.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Response::Close => {
+                writer.write_all(b"BYE\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Response::Ignore => {}
+        }
+    }
+}
+
+enum Response {
+    Line(String),
+    Close,
+    Ignore,
+}
+
+fn respond(line: &str, engine: &Engine) -> Response {
+    let line = line.trim();
+    if line.is_empty() {
+        return Response::Ignore;
+    }
+    let mut fields = line.split_ascii_whitespace();
+    match fields.next() {
+        Some("QUERY") => Response::Line(answer_query(fields, engine)),
+        Some("PING") => Response::Line("PONG".to_string()),
+        Some("STATS") => Response::Line(format!("STATS {}", engine.stats())),
+        Some("QUIT") => Response::Close,
+        Some(other) => Response::Line(format!("ERR unknown command '{other}'")),
+        None => Response::Ignore,
+    }
+}
+
+fn answer_query<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine) -> String {
+    let k: usize = match fields.next().map(str::parse) {
+        Some(Ok(k)) if k >= 1 => k,
+        _ => return "ERR QUERY needs a positive integer k".to_string(),
+    };
+    let dim = engine.index().data().dim();
+    let mut query = Vec::with_capacity(dim);
+    for field in fields {
+        match field.parse::<f32>() {
+            Ok(v) if v.is_finite() => query.push(v),
+            _ => return format!("ERR bad vector component '{field}'"),
+        }
+    }
+    if query.len() != dim {
+        return format!(
+            "ERR query has {} components, index dimensionality is {dim}",
+            query.len()
+        );
+    }
+    let result = engine.query(&query, k);
+    let mut out = String::with_capacity(16 * result.neighbors.len() + 3);
+    out.push_str("OK ");
+    for (i, n) in result.neighbors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", n.id, n.dist));
+    }
+    out
+}
+
+/// Parses one `OK` response line back into `(id, dist)` pairs — the client
+/// half of the protocol, used by `pmlsh` tooling and the loopback tests.
+pub fn parse_ok_response(line: &str) -> Result<Vec<(u32, f32)>, String> {
+    let rest = line
+        .strip_prefix("OK")
+        .ok_or_else(|| format!("expected 'OK ...', got '{line}'"))?
+        .trim();
+    if rest.is_empty() {
+        return Ok(Vec::new());
+    }
+    rest.split(',')
+        .map(|pair| {
+            let (id, dist) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("malformed neighbor '{pair}'"))?;
+            Ok((
+                id.parse().map_err(|_| format!("bad id '{id}'"))?,
+                dist.parse().map_err(|_| format!("bad distance '{dist}'"))?,
+            ))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ok_roundtrip() {
+        let parsed = parse_ok_response("OK 3:0.5,17:1.25,9:2").unwrap();
+        assert_eq!(parsed, vec![(3, 0.5), (17, 1.25), (9, 2.0)]);
+        assert!(parse_ok_response("ERR nope").is_err());
+        assert!(parse_ok_response("OK").unwrap().is_empty());
+        assert!(parse_ok_response("OK 1:x").is_err());
+    }
+}

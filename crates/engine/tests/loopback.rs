@@ -1,0 +1,219 @@
+//! Loopback test of the TCP serving layer: a server on port 0, 100
+//! concurrent client queries, and recall checked against the sequential
+//! in-process run.
+
+use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_data::{exact_knn_batch, recall, PaperDataset, Scale};
+use pm_lsh_engine::server::parse_ok_response;
+use pm_lsh_engine::{serve, Engine, EngineConfig};
+use pm_lsh_metric::Neighbor;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const K: usize = 10;
+const CLIENTS: usize = 10;
+const QUERIES_PER_CLIENT: usize = 10;
+
+fn query_line(q: &[f32], k: usize) -> String {
+    let mut line = format!("QUERY {k}");
+    for v in q {
+        line.push(' ');
+        line.push_str(&v.to_string());
+    }
+    line.push('\n');
+    line
+}
+
+#[test]
+fn hundred_concurrent_tcp_queries_match_sequential_recall() {
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let data = Arc::new(generator.dataset());
+    let queries = generator.queries(CLIENTS * QUERIES_PER_CLIENT);
+    let index = Arc::new(PmLsh::build(
+        Arc::clone(&data),
+        PmLshParams::paper_defaults(),
+    ));
+
+    let engine = Engine::new(
+        Arc::clone(&index),
+        EngineConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine.clone(), ("127.0.0.1", 0)).expect("bind port 0");
+    let addr = handle.addr();
+
+    // CLIENTS threads, each its own connection, QUERIES_PER_CLIENT each.
+    let mut tcp_neighbors: Vec<Option<Vec<Neighbor>>> = vec![None; queries.len()];
+    std::thread::scope(|scope| {
+        let chunks: Vec<(usize, Vec<Vec<f32>>)> = (0..CLIENTS)
+            .map(|ci| {
+                let start = ci * QUERIES_PER_CLIENT;
+                let qs = (start..start + QUERIES_PER_CLIENT)
+                    .map(|qi| queries.point(qi).to_vec())
+                    .collect();
+                (start, qs)
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for (start, qs) in chunks {
+            handles.push(scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect to loopback server");
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut answers = Vec::with_capacity(qs.len());
+                for q in &qs {
+                    writer.write_all(query_line(q, K).as_bytes()).unwrap();
+                    let mut response = String::new();
+                    reader.read_line(&mut response).unwrap();
+                    let pairs = parse_ok_response(response.trim()).expect("OK response");
+                    answers.push(
+                        pairs
+                            .into_iter()
+                            .map(|(id, dist)| Neighbor::new(dist, id))
+                            .collect(),
+                    );
+                }
+                (start, answers)
+            }));
+        }
+        for h in handles {
+            let (start, answers) = h.join().expect("client thread");
+            for (i, a) in answers.into_iter().enumerate() {
+                tcp_neighbors[start + i] = Some(a);
+            }
+        }
+    });
+
+    let truth = exact_knn_batch(data.view(), queries.view(), K, 0);
+    let nq = queries.len() as f64;
+    let mut tcp_recall = 0.0;
+    let mut seq_recall = 0.0;
+    for (qi, q) in queries.iter().enumerate() {
+        let served = tcp_neighbors[qi].as_ref().expect("every query answered");
+        let sequential = index.query(q, K).neighbors;
+        // The engine adds transport, not approximation: same ids in order.
+        assert_eq!(
+            served.iter().map(|n| n.id).collect::<Vec<_>>(),
+            sequential.iter().map(|n| n.id).collect::<Vec<_>>(),
+            "query {qi}: TCP ids diverged from sequential"
+        );
+        tcp_recall += recall(served, &truth[qi]);
+        seq_recall += recall(&sequential, &truth[qi]);
+    }
+    assert!(
+        tcp_recall / nq >= seq_recall / nq - 1e-9,
+        "TCP recall {:.4} fell below sequential {:.4}",
+        tcp_recall / nq,
+        seq_recall / nq
+    );
+    assert_eq!(engine.stats().queries, queries.len() as u64);
+
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_control_commands_and_errors() {
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let data = generator.dataset();
+    let dim = data.dim();
+    let engine = Engine::new(
+        PmLsh::build(data, PmLshParams::paper_defaults()),
+        EngineConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim().to_string()
+    };
+
+    assert_eq!(roundtrip("PING"), "PONG");
+    assert!(roundtrip("STATS").starts_with("STATS queries="));
+    assert!(roundtrip("FROB 1 2 3").starts_with("ERR unknown command"));
+    assert!(roundtrip("QUERY").starts_with("ERR QUERY needs"));
+    assert!(roundtrip("QUERY 0 1.0").starts_with("ERR QUERY needs"));
+    assert!(roundtrip("QUERY 3 1.0 2.0").starts_with("ERR query has 2 components"));
+    assert!(roundtrip("QUERY 3 nan").starts_with("ERR bad vector component"));
+
+    // A well-formed query still works on the same connection after errors.
+    let q = vec![0.25f32; dim];
+    let ok = roundtrip(query_line(&q, 3).trim());
+    let pairs = parse_ok_response(&ok).expect("OK after ERRs");
+    assert_eq!(pairs.len(), 3);
+
+    // An absurd k is clamped to the indexed point count, not allocated.
+    let huge = roundtrip(query_line(&q, 999_999_999_999_999).trim());
+    let pairs = parse_ok_response(&huge).expect("OK for huge k");
+    assert_eq!(pairs.len(), 2000, "k beyond n must clamp to n");
+
+    assert_eq!(roundtrip("QUIT"), "BYE");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_line_is_rejected_and_connection_closed() {
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let engine = Engine::new(
+        PmLsh::build(generator.dataset(), PmLshParams::paper_defaults()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    // Stream far past the per-line cap without ever sending a newline.
+    let blob = vec![b'9'; 1 << 20];
+    // The server may close mid-write; either way it must answer ERR first.
+    let _ = writer.write_all(&blob);
+    let _ = writer.flush();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(
+        response.starts_with("ERR line exceeds"),
+        "expected length-cap rejection, got '{}'",
+        response.trim()
+    );
+    let mut rest = String::new();
+    let n = reader.read_line(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection must be closed after an oversized line");
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_stops_accepting() {
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let engine = Engine::new(
+        PmLsh::build(generator.dataset(), PmLshParams::paper_defaults()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+    let addr = handle.addr();
+    handle.shutdown();
+    // The listener is gone: either the connection is refused outright or
+    // it closes without ever answering.
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut reader = BufReader::new(&stream);
+        (&stream).write_all(b"PING\n").ok();
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).unwrap_or(0);
+        assert_eq!(n, 0, "server answered '{}' after shutdown", response.trim());
+    }
+}

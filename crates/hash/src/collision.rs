@@ -25,7 +25,8 @@ pub fn collision_probability(tau: f64, w: f64) -> f64 {
         return 1.0;
     }
     let r = w / tau;
-    2.0 * normal_cdf(r) - 1.0
+    2.0 * normal_cdf(r)
+        - 1.0
         - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * r) * (1.0 - (-r * r / 2.0).exp())
 }
 

@@ -89,7 +89,10 @@ impl ProbeSequence {
         sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
 
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { score: sorted[0].0, positions: vec![1] });
+        heap.push(HeapEntry {
+            score: sorted[0].0,
+            positions: vec![1],
+        });
         Self { sorted, heap }
     }
 
@@ -117,7 +120,10 @@ impl ProbeSequence {
     }
 
     fn set_score(&self, positions: &[u32]) -> f64 {
-        positions.iter().map(|&p| self.sorted[(p - 1) as usize].0).sum()
+        positions
+            .iter()
+            .map(|&p| self.sorted[(p - 1) as usize].0)
+            .sum()
     }
 
     /// Pushes the *shift* and *expand* successors of `entry`.
@@ -128,12 +134,18 @@ impl ProbeSequence {
             let mut shifted = entry.positions.clone();
             *shifted.last_mut().unwrap() = max_pos + 1;
             let score = self.set_score(&shifted);
-            self.heap.push(HeapEntry { score, positions: shifted });
+            self.heap.push(HeapEntry {
+                score,
+                positions: shifted,
+            });
             // expand: add the successor
             let mut expanded = entry.positions.clone();
             expanded.push(max_pos + 1);
             let score = self.set_score(&expanded);
-            self.heap.push(HeapEntry { score, positions: expanded });
+            self.heap.push(HeapEntry {
+                score,
+                positions: expanded,
+            });
         }
     }
 }
@@ -154,7 +166,10 @@ impl Iterator for ProbeSequence {
                         Perturbation { func, delta }
                     })
                     .collect();
-                return Some(ProbeSet { score: entry.score, perturbations });
+                return Some(ProbeSet {
+                    score: entry.score,
+                    perturbations,
+                });
             }
             // invalid sets still spawn successors (done above) but are skipped
         }
@@ -173,7 +188,12 @@ mod tests {
         let sets: Vec<ProbeSet> = seq.take(50).collect();
         assert!(!sets.is_empty());
         for w in sets.windows(2) {
-            assert!(w[0].score <= w[1].score + 1e-12, "{} > {}", w[0].score, w[1].score);
+            assert!(
+                w[0].score <= w[1].score + 1e-12,
+                "{} > {}",
+                w[0].score,
+                w[1].score
+            );
         }
     }
 
@@ -198,7 +218,11 @@ mod tests {
             let mut funcs: Vec<usize> = set.perturbations.iter().map(|p| p.func).collect();
             funcs.sort_unstable();
             funcs.dedup();
-            assert_eq!(funcs.len(), set.perturbations.len(), "duplicate function in set");
+            assert_eq!(
+                funcs.len(),
+                set.perturbations.len(),
+                "duplicate function in set"
+            );
         }
     }
 
@@ -209,8 +233,11 @@ mod tests {
         let seq = ProbeSequence::new(&offsets, &widths);
         let mut seen = std::collections::HashSet::new();
         for set in seq.take(200) {
-            let mut key: Vec<(usize, i8)> =
-                set.perturbations.iter().map(|p| (p.func, p.delta)).collect();
+            let mut key: Vec<(usize, i8)> = set
+                .perturbations
+                .iter()
+                .map(|p| (p.func, p.delta))
+                .collect();
             key.sort_unstable();
             assert!(seen.insert(key), "duplicate perturbation set emitted");
         }
@@ -224,6 +251,11 @@ mod tests {
         let widths = [4.0, 4.0];
         let seq = ProbeSequence::new(&offsets, &widths);
         let sets: Vec<ProbeSet> = seq.take(64).collect();
-        assert_eq!(sets.len(), 8, "expected all 8 valid sets, got {}", sets.len());
+        assert_eq!(
+            sets.len(),
+            8,
+            "expected all 8 valid sets, got {}",
+            sets.len()
+        );
     }
 }

@@ -58,7 +58,10 @@ impl Dataset {
     /// An empty dataset with a fixed dimensionality, ready for [`Self::push`].
     pub fn with_capacity(dim: usize, points: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
-        Self { data: Vec::with_capacity(dim * points), dim }
+        Self {
+            data: Vec::with_capacity(dim * points),
+            dim,
+        }
     }
 
     /// Appends one point.

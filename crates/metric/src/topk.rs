@@ -69,7 +69,10 @@ impl TopK {
     /// A collector for the `k` nearest neighbors. `k` must be positive.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Offers a candidate; keeps it only if it is among the best `k` so far.

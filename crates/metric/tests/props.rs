@@ -1,6 +1,6 @@
 //! Property tests for the distance kernels and top-k collector.
 
-use pm_lsh_metric::{sq_dist, euclidean, Dataset, TopK};
+use pm_lsh_metric::{euclidean, sq_dist, Dataset, TopK};
 use proptest::prelude::*;
 
 fn vec_pair(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {

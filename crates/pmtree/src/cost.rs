@@ -17,16 +17,15 @@ use crate::tree::{Node, PmTree};
 use pm_lsh_stats::Ecdf;
 
 /// Eq. 6: access probability of the node behind routing entry `e`.
-fn access_probability(
-    f: &Ecdf,
-    radius: f64,
-    rings: &[crate::entry::Ring],
-    rq: f64,
-) -> f64 {
+fn access_probability(f: &Ecdf, radius: f64, rings: &[crate::entry::Ring], rq: f64) -> f64 {
     let mut pr = f.cdf(radius + rq);
     for ring in rings {
         let hi = f.cdf(ring.max as f64 + rq);
-        let lo = if (ring.min as f64 - rq) <= 0.0 { 0.0 } else { f.cdf(ring.min as f64 - rq) };
+        let lo = if (ring.min as f64 - rq) <= 0.0 {
+            0.0
+        } else {
+            f.cdf(ring.min as f64 - rq)
+        };
         pr *= (hi - lo).clamp(0.0, 1.0);
     }
     pr.clamp(0.0, 1.0)
@@ -113,7 +112,10 @@ mod tests {
         assert!(cc <= total_entries + 1e-6, "cc={cc} total={total_entries}");
         // and for a selective radius, pruning should beat the full scan
         let cc_small = expected_distance_computations(&tree, &f, f.quantile(0.02));
-        assert!(cc_small < total_entries * 0.9, "cc_small={cc_small} total={total_entries}");
+        assert!(
+            cc_small < total_entries * 0.9,
+            "cc_small={cc_small} total={total_entries}"
+        );
     }
 
     #[test]
@@ -125,12 +127,18 @@ mod tests {
         let mut rng_b = Rng::new(4);
         let with_pivots = PmTree::build(
             ds.view(),
-            PmTreeConfig { num_pivots: 5, ..Default::default() },
+            PmTreeConfig {
+                num_pivots: 5,
+                ..Default::default()
+            },
             &mut rng_a,
         );
         let plain = PmTree::build(
             ds.view(),
-            PmTreeConfig { num_pivots: 0, ..Default::default() },
+            PmTreeConfig {
+                num_pivots: 0,
+                ..Default::default()
+            },
             &mut rng_b,
         );
         let mut rng = Rng::new(5);

@@ -114,7 +114,13 @@ impl<'t> RangeCursor<'t> {
             mode,
         };
         if !tree.is_empty() {
-            cursor.push(0.0, ItemKind::InnerReady { child: tree.root, dq_center: f32::NAN });
+            cursor.push(
+                0.0,
+                ItemKind::InnerReady {
+                    child: tree.root,
+                    dq_center: f32::NAN,
+                },
+            );
         }
         cursor
     }
@@ -180,9 +186,21 @@ impl<'t> RangeCursor<'t> {
                             let dqc = euclidean(&self.query, &e.center);
                             self.dist_computations += 1;
                             let lb = lb.max((dqc - e.radius).max(0.0));
-                            self.push(lb, ItemKind::InnerReady { child: e.child, dq_center: dqc });
+                            self.push(
+                                lb,
+                                ItemKind::InnerReady {
+                                    child: e.child,
+                                    dq_center: dqc,
+                                },
+                            );
                         } else {
-                            self.push(lb, ItemKind::InnerApprox { node, idx: i as u32 });
+                            self.push(
+                                lb,
+                                ItemKind::InnerApprox {
+                                    node,
+                                    idx: i as u32,
+                                },
+                            );
                         }
                     }
                 }
@@ -193,7 +211,13 @@ impl<'t> RangeCursor<'t> {
                         let lb = self
                             .inner_cheap_bound(e, dq_center)
                             .max((dqc - e.radius).max(0.0));
-                        self.push(lb, ItemKind::InnerReady { child: e.child, dq_center: dqc });
+                        self.push(
+                            lb,
+                            ItemKind::InnerReady {
+                                child: e.child,
+                                dq_center: dqc,
+                            },
+                        );
                     }
                 }
             },
@@ -202,14 +226,24 @@ impl<'t> RangeCursor<'t> {
                     for (i, e) in entries.iter().enumerate() {
                         let lb = self.leaf_cheap_bound(e, dq_center);
                         if lb <= radius {
-                            let dist = euclidean(
-                                &self.query,
-                                self.tree.points.point(e.internal as usize),
-                            );
+                            let dist =
+                                euclidean(&self.query, self.tree.points.point(e.internal as usize));
                             self.dist_computations += 1;
-                            self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                            self.push(
+                                dist,
+                                ItemKind::LeafExact {
+                                    external: e.external,
+                                    dist,
+                                },
+                            );
                         } else {
-                            self.push(lb, ItemKind::LeafApprox { node, idx: i as u32 });
+                            self.push(
+                                lb,
+                                ItemKind::LeafApprox {
+                                    node,
+                                    idx: i as u32,
+                                },
+                            );
                         }
                     }
                 }
@@ -218,7 +252,13 @@ impl<'t> RangeCursor<'t> {
                         let dist =
                             euclidean(&self.query, self.tree.points.point(e.internal as usize));
                         self.dist_computations += 1;
-                        self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                        self.push(
+                            dist,
+                            ItemKind::LeafExact {
+                                external: e.external,
+                                dist,
+                            },
+                        );
                     }
                 }
             },
@@ -247,7 +287,13 @@ impl<'t> RangeCursor<'t> {
                     let dq_center = euclidean(&self.query, &e.center);
                     self.dist_computations += 1;
                     let key = top.key.max((dq_center - e.radius).max(0.0));
-                    self.push(key, ItemKind::InnerReady { child: e.child, dq_center });
+                    self.push(
+                        key,
+                        ItemKind::InnerReady {
+                            child: e.child,
+                            dq_center,
+                        },
+                    );
                 }
                 ItemKind::InnerReady { child, dq_center } => {
                     self.expand(child, dq_center, radius);
@@ -257,10 +303,15 @@ impl<'t> RangeCursor<'t> {
                         unreachable!()
                     };
                     let e = &entries[idx as usize];
-                    let dist =
-                        euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                    let dist = euclidean(&self.query, self.tree.points.point(e.internal as usize));
                     self.dist_computations += 1;
-                    self.push(dist, ItemKind::LeafExact { external: e.external, dist });
+                    self.push(
+                        dist,
+                        ItemKind::LeafExact {
+                            external: e.external,
+                            dist,
+                        },
+                    );
                 }
                 ItemKind::LeafExact { external, dist } => {
                     return Some((external, dist));

@@ -21,7 +21,10 @@ pub struct Ring {
 
 impl Ring {
     /// An empty ring, absorbing any update.
-    pub const EMPTY: Ring = Ring { min: f32::INFINITY, max: f32::NEG_INFINITY };
+    pub const EMPTY: Ring = Ring {
+        min: f32::INFINITY,
+        max: f32::NEG_INFINITY,
+    };
 
     /// Expands the ring to include a single distance.
     #[inline]
@@ -101,7 +104,10 @@ impl InnerEntry {
         if dq_center > self.radius + r {
             return false;
         }
-        self.rings.iter().zip(qp_dists).all(|(ring, &qp)| ring.intersects(qp, r))
+        self.rings
+            .iter()
+            .zip(qp_dists)
+            .all(|(ring, &qp)| ring.intersects(qp, r))
     }
 }
 

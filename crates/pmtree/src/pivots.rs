@@ -26,8 +26,11 @@ pub fn select_pivots(
     }
     let n = view.len();
     assert!(n > 0, "cannot select pivots from an empty dataset");
-    let sample: Vec<usize> =
-        if n <= sample_size { (0..n).collect() } else { rng.sample_indices(n, sample_size) };
+    let sample: Vec<usize> = if n <= sample_size {
+        (0..n).collect()
+    } else {
+        rng.sample_indices(n, sample_size)
+    };
     let dim = view.dim();
 
     // Centroid of the sample.
@@ -54,8 +57,10 @@ pub fn select_pivots(
 
     let mut pivots: Vec<Box<[f32]>> = vec![view.point(first).into()];
     // min distance from each sampled point to the chosen pivot set
-    let mut min_dist: Vec<f32> =
-        sample.iter().map(|&i| euclidean(view.point(i), &pivots[0])).collect();
+    let mut min_dist: Vec<f32> = sample
+        .iter()
+        .map(|&i| euclidean(view.point(i), &pivots[0]))
+        .collect();
 
     while pivots.len() < s {
         let (best_idx, _) = min_dist
@@ -97,7 +102,10 @@ mod tests {
         let mut rng = Rng::new(2);
         for _ in 0..50 {
             for &(cx, cy) in &corners {
-                rows.push(vec![cx + rng.normal_f32() * 0.1, cy + rng.normal_f32() * 0.1]);
+                rows.push(vec![
+                    cx + rng.normal_f32() * 0.1,
+                    cy + rng.normal_f32() * 0.1,
+                ]);
             }
         }
         let ds = Dataset::from_rows(rows);

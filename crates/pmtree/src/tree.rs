@@ -30,7 +30,11 @@ pub struct PmTreeConfig {
 
 impl Default for PmTreeConfig {
     fn default() -> Self {
-        Self { capacity: 16, num_pivots: 5, pivot_sample: 1024 }
+        Self {
+            capacity: 16,
+            num_pivots: 5,
+            pivot_sample: 1024,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ impl PmTree {
     pub fn new(dim: usize, cfg: PmTreeConfig, pivots: Vec<Box<[f32]>>) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(cfg.capacity >= 2, "node capacity must be at least 2");
-        assert_eq!(pivots.len(), cfg.num_pivots, "pivot count must match config");
+        assert_eq!(
+            pivots.len(),
+            cfg.num_pivots,
+            "pivot count must match config"
+        );
         for p in &pivots {
             assert_eq!(p.len(), dim, "pivot has wrong dimensionality");
         }
@@ -174,7 +182,9 @@ impl PmTree {
         let is_leaf = matches!(self.nodes[node as usize], Node::Leaf(_));
         if is_leaf {
             let capacity = self.cfg.capacity;
-            let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Leaf(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             entries.push(LeafEntry {
                 internal,
                 external: self.externals[internal as usize],
@@ -196,7 +206,9 @@ impl PmTree {
                 self.build_dist_computations += 2;
             }
             let capacity = self.cfg.capacity;
-            let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Inner(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             entries[best] = e1;
             entries.push(e2);
             if entries.len() > capacity {
@@ -218,7 +230,10 @@ impl PmTree {
         let Node::Inner(entries) = &mut self.nodes[node as usize] else {
             unreachable!("choose_subtree on a leaf")
         };
-        let dists: Vec<f32> = entries.iter().map(|e| euclidean(vector, &e.center)).collect();
+        let dists: Vec<f32> = entries
+            .iter()
+            .map(|e| euclidean(vector, &e.center))
+            .collect();
         self.build_dist_computations += entries.len() as u64;
 
         let mut best = usize::MAX;
@@ -257,7 +272,9 @@ impl PmTree {
     /// entries (their `parent_dist` is filled in by the caller).
     fn split_leaf(&mut self, node: NodeId, _parent: Option<&[f32]>) -> (InnerEntry, InnerEntry) {
         let entries = {
-            let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Leaf(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             std::mem::take(entries)
         };
         let n = entries.len();
@@ -327,7 +344,9 @@ impl PmTree {
     /// Splits an overflowing inner node.
     fn split_inner(&mut self, node: NodeId, _parent: Option<&[f32]>) -> (InnerEntry, InnerEntry) {
         let entries = {
-            let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Inner(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             std::mem::take(entries)
         };
         let n = entries.len();
@@ -553,4 +572,3 @@ fn promote_mm_rad(
         .collect();
     (pi, pj, assign)
 }
-

@@ -78,7 +78,10 @@ fn knn_matches_brute_force() {
 fn plain_mtree_without_pivots_also_correct() {
     let ds = random_dataset(500, 8, 5);
     let mut rng = Rng::new(6);
-    let cfg = PmTreeConfig { num_pivots: 0, ..Default::default() };
+    let cfg = PmTreeConfig {
+        num_pivots: 0,
+        ..Default::default()
+    };
     let tree = PmTree::build(ds.view(), cfg, &mut rng);
     tree.verify_invariants().unwrap();
     let mut qbuf = vec![0.0f32; 8];
@@ -147,7 +150,11 @@ fn duplicate_points_are_all_returned() {
         ds.push(&[10.0 + i as f32, 0.0, 0.0, 0.0]);
     }
     let mut rng = Rng::new(11);
-    let cfg = PmTreeConfig { capacity: 4, num_pivots: 2, pivot_sample: 64 };
+    let cfg = PmTreeConfig {
+        capacity: 4,
+        num_pivots: 2,
+        pivot_sample: 64,
+    };
     let tree = PmTree::build(ds.view(), cfg, &mut rng);
     tree.verify_invariants().unwrap();
     let hits = tree.range(&[1.0, 2.0, 3.0, 4.0], 0.0);
@@ -158,10 +165,17 @@ fn duplicate_points_are_all_returned() {
 fn small_capacity_deep_tree_still_correct() {
     let ds = random_dataset(300, 6, 12);
     let mut rng = Rng::new(13);
-    let cfg = PmTreeConfig { capacity: 3, num_pivots: 3, pivot_sample: 128 };
+    let cfg = PmTreeConfig {
+        capacity: 3,
+        num_pivots: 3,
+        pivot_sample: 128,
+    };
     let tree = PmTree::build(ds.view(), cfg, &mut rng);
     tree.verify_invariants().unwrap();
-    assert!(tree.height() >= 3, "capacity 3 with 300 points must be deep");
+    assert!(
+        tree.height() >= 3,
+        "capacity 3 with 300 points must be deep"
+    );
     let q = vec![0.0f32; 6];
     let got = tree.range(&q, 2.0);
     let want = brute_range(&ds, &q, 2.0);

@@ -1,0 +1,78 @@
+//! Collection strategies (`proptest::collection::vec` compatible).
+
+use crate::{Strategy, TestRng};
+use std::ops::Range;
+
+/// A vector length specification: an exact length or a half-open range.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::from_name("vec_lengths");
+        for _ in 0..200 {
+            assert_eq!(vec(0i32..5, 7usize).generate(&mut rng).len(), 7);
+            let ranged = vec(0i32..5, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_vec() {
+        let mut rng = TestRng::from_name("nested");
+        let grid = vec(vec(-1.0f32..1.0, 4usize), 1..3).generate(&mut rng);
+        assert!(!grid.is_empty());
+        assert!(grid.iter().all(|row| row.len() == 4));
+    }
+}

@@ -1,0 +1,372 @@
+//! A minimal, offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The workspace's property tests were written against real proptest, but
+//! no external crate is on the offline allow-list, so this local shim
+//! implements exactly the surface those tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(...)]` inner
+//!   attribute and `pattern in strategy` arguments),
+//! * [`Strategy`] for primitive `Range`s, tuples, [`collection::vec`],
+//!   [`Strategy::prop_map`] and [`Strategy::prop_flat_map`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: cases are
+//! drawn from a deterministic per-test RNG (seeded from the test's module
+//! path, so failures reproduce without a persistence file), and there is
+//! no shrinking — a failing case panics with the values it drew still
+//! computable by re-running. Case count defaults to 64 and can be raised
+//! with the `PROPTEST_CASES` environment variable, mirroring real
+//! proptest's knob.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+
+use std::ops::Range;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Why a single case did not pass: a genuine failure, or an input the test
+/// asked to skip ([`prop_assume!`]). Test bodies run inside a closure
+/// returning `Result<(), TestCaseError>`, so `?` works on
+/// `.map_err(TestCaseError::fail)` chains exactly as with real proptest.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case failed; the test panics with this message.
+    Fail(String),
+    /// The case was rejected by an assumption; it is skipped, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail<T: std::fmt::Display>(reason: T) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// A rejection (skip) with the given reason.
+    pub fn reject<T: std::fmt::Display>(reason: T) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "test case failed: {reason}"),
+            TestCaseError::Reject(reason) => write!(f, "test case rejected: {reason}"),
+        }
+    }
+}
+
+/// Per-test configuration (only the case count is meaningful here).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Deterministic test RNG (splitmix64 seeded from the test's name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the `proptest!` macro passes the
+    /// test's `module_path!()::name`).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a, then a splitmix64 scramble so short names diverge fast.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values — the (shrinking-free) core of proptest's
+/// trait of the same name.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Feeds the produced value into `f` to obtain a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let width = (self.end as i128) - (self.start as i128);
+                ((self.start as i128) + (rng.next_u64() as i128).rem_euclid(width)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float strategy range");
+                let u = rng.unit_f64() as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Float rounding (u as f32 can round up to 1.0, and the
+                // affine map itself can land on `end` for narrow ranges)
+                // must not violate the half-open contract.
+                if v >= self.end {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Runs each contained `fn name(pattern in strategy, ...) { ... }` as a
+/// `#[test]` over `ProptestConfig::cases` random cases.
+///
+/// An optional leading `#![proptest_config(expr)]` sets the config, same
+/// as real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strategy:expr ),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $( let $pat = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                // The closure gives `?` on Result<_, TestCaseError> a place
+                // to land, exactly like real proptest's test runner.
+                #[allow(unused_mut)]
+                let mut one_case =
+                    move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    };
+                match one_case() {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => continue,
+                    Err($crate::TestCaseError::Fail(reason)) => {
+                        panic!("proptest case {case} failed: {reason}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::from_name("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = crate::Strategy::generate(&(-50i32..-10), &mut rng);
+            assert!((-50..-10).contains(&i));
+            let wide = crate::Strategy::generate(&(0u64..u64::MAX / 2), &mut rng);
+            assert!(wide < u64::MAX / 2);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let mut c = crate::TestRng::from_name("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_loops(
+            n in 1usize..10,
+            (lo, span) in (0i32..100, 1i32..5),
+            mut items in crate::collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(lo >= 0 && span >= 1);
+            prop_assert!(items.len() >= 2 && items.len() < 6);
+            items.sort_by(|a, b| a.total_cmp(b));
+            prop_assert!(items.iter().all(|v| (0.0..1.0).contains(v)));
+            prop_assume!(span != 3);
+            prop_assert_ne!(span, 3);
+        }
+
+        #[test]
+        fn flat_map_produces_dependent_sizes(v in (1usize..8).prop_flat_map(|len| {
+            crate::collection::vec(-1.0f32..1.0, len)
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+    }
+}

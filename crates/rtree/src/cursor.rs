@@ -111,12 +111,16 @@ impl<'t> NnCursor<'t> {
                     }
                     Node::Leaf(entries) => {
                         for e in entries {
-                            let d = euclidean(
-                                &self.query,
-                                self.tree.points.point(e.internal as usize),
-                            );
+                            let d =
+                                euclidean(&self.query, self.tree.points.point(e.internal as usize));
                             self.dist_computations += 1;
-                            self.push(d, ItemKind::Point { external: e.external, dist: d });
+                            self.push(
+                                d,
+                                ItemKind::Point {
+                                    external: e.external,
+                                    dist: d,
+                                },
+                            );
                         }
                     }
                 },

@@ -12,7 +12,10 @@ pub struct Mbr {
 impl Mbr {
     /// The degenerate rectangle covering a single point.
     pub fn from_point(p: &[f32]) -> Self {
-        Self { lo: p.into(), hi: p.into() }
+        Self {
+            lo: p.into(),
+            hi: p.into(),
+        }
     }
 
     /// Dimensionality.
@@ -102,7 +105,11 @@ impl Mbr {
 
     /// `true` when `p` lies inside (inclusive).
     pub fn contains_point(&self, p: &[f32]) -> bool {
-        self.lo.iter().zip(self.hi.iter()).zip(p).all(|((&l, &h), &v)| l <= v && v <= h)
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .zip(p)
+            .all(|((&l, &h), &v)| l <= v && v <= h)
     }
 }
 

@@ -40,7 +40,10 @@ pub struct RTreeConfig {
 
 impl Default for RTreeConfig {
     fn default() -> Self {
-        Self { capacity: 16, min_fill: 6 }
+        Self {
+            capacity: 16,
+            min_fill: 6,
+        }
     }
 }
 
@@ -60,7 +63,10 @@ impl RTree {
     pub fn new(dim: usize, cfg: RTreeConfig) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert!(cfg.capacity >= 2, "capacity must be at least 2");
-        assert!(cfg.min_fill >= 1 && cfg.min_fill <= cfg.capacity / 2, "bad min_fill");
+        assert!(
+            cfg.min_fill >= 1 && cfg.min_fill <= cfg.capacity / 2,
+            "bad min_fill"
+        );
         Self {
             dim,
             cfg,
@@ -138,8 +144,13 @@ impl RTree {
         match &self.nodes[node as usize] {
             Node::Leaf(_) => {
                 let capacity = self.cfg.capacity;
-                let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
-                entries.push(LeafEntry { internal, external: self.externals[internal as usize] });
+                let Node::Leaf(entries) = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
+                entries.push(LeafEntry {
+                    internal,
+                    external: self.externals[internal as usize],
+                });
                 if entries.len() > capacity {
                     return Some(self.split_leaf(node));
                 }
@@ -163,7 +174,9 @@ impl RTree {
                 let child = entries[best].child;
                 let split = self.insert_rec(child, internal);
                 let capacity = self.cfg.capacity;
-                let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+                let Node::Inner(entries) = &mut self.nodes[node as usize] else {
+                    unreachable!()
+                };
                 match split {
                     None => {
                         entries[best].mbr.include_point(&vector);
@@ -184,7 +197,9 @@ impl RTree {
 
     fn split_leaf(&mut self, node: NodeId) -> (InnerEntry, InnerEntry) {
         let entries = {
-            let Node::Leaf(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Leaf(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             std::mem::take(entries)
         };
         let mbrs: Vec<Mbr> = entries
@@ -194,19 +209,39 @@ impl RTree {
         let (g1, g2, m1, m2) = quadratic_split(entries, &mbrs, self.cfg.min_fill);
         self.nodes[node as usize] = Node::Leaf(g1);
         let new_node = self.alloc(Node::Leaf(g2));
-        (InnerEntry { mbr: m1, child: node }, InnerEntry { mbr: m2, child: new_node })
+        (
+            InnerEntry {
+                mbr: m1,
+                child: node,
+            },
+            InnerEntry {
+                mbr: m2,
+                child: new_node,
+            },
+        )
     }
 
     fn split_inner(&mut self, node: NodeId) -> (InnerEntry, InnerEntry) {
         let entries = {
-            let Node::Inner(entries) = &mut self.nodes[node as usize] else { unreachable!() };
+            let Node::Inner(entries) = &mut self.nodes[node as usize] else {
+                unreachable!()
+            };
             std::mem::take(entries)
         };
         let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
         let (g1, g2, m1, m2) = quadratic_split(entries, &mbrs, self.cfg.min_fill);
         self.nodes[node as usize] = Node::Inner(g1);
         let new_node = self.alloc(Node::Inner(g2));
-        (InnerEntry { mbr: m1, child: node }, InnerEntry { mbr: m2, child: new_node })
+        (
+            InnerEntry {
+                mbr: m1,
+                child: node,
+            },
+            InnerEntry {
+                mbr: m2,
+                child: new_node,
+            },
+        )
     }
 
     /// Validates MBR containment and point reachability; used by tests.

@@ -57,7 +57,11 @@ fn incremental_nn_is_globally_sorted() {
     while let Some((_, d)) = cursor.next() {
         dists.push(d);
     }
-    assert_eq!(dists.len(), 500, "incremental NN must enumerate every point");
+    assert_eq!(
+        dists.len(),
+        500,
+        "incremental NN must enumerate every point"
+    );
     for w in dists.windows(2) {
         assert!(w[0] <= w[1], "incSearch order violated");
     }
@@ -72,8 +76,11 @@ fn knn_matches_brute_force() {
     for _ in 0..10 {
         rng.fill_normal(&mut q);
         let got = tree.knn(&q, 8);
-        let mut all: Vec<(u32, f32)> =
-            ds.iter().enumerate().map(|(i, p)| (i as u32, euclidean(&q, p))).collect();
+        let mut all: Vec<(u32, f32)> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u32, euclidean(&q, p)))
+            .collect();
         all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         let want: Vec<f32> = all[..8].iter().map(|x| x.1).collect();
         let got_d: Vec<f32> = got.iter().map(|x| x.1).collect();
@@ -107,7 +114,10 @@ fn radius_enlarging_over_rtree() {
 #[test]
 fn small_capacity_tree_is_deep_and_correct() {
     let ds = random_dataset(300, 6, 28);
-    let cfg = RTreeConfig { capacity: 4, min_fill: 2 };
+    let cfg = RTreeConfig {
+        capacity: 4,
+        min_fill: 2,
+    };
     let tree = RTree::build(ds.view(), cfg);
     tree.verify_invariants().unwrap();
     assert!(tree.height() >= 3);

@@ -72,7 +72,11 @@ pub fn chi2_quantile(p: f64, m: u32) -> f64 {
         let mut next = if d > 0.0 { x - f / d } else { x };
         if next <= lo || next >= hi || !next.is_finite() {
             // Newton left the bracket; bisect instead.
-            next = if hi.is_finite() { (lo + hi) / 2.0 } else { lo * 2.0 + 1.0 };
+            next = if hi.is_finite() {
+                (lo + hi) / 2.0
+            } else {
+                lo * 2.0 + 1.0
+            };
         }
         if (next - x).abs() < 1e-14 * x.max(1.0) {
             x = next;
@@ -123,7 +127,16 @@ mod tests {
     #[test]
     fn cdf_inverts_quantile() {
         for m in [1u32, 2, 5, 15, 30, 64] {
-            for p in [0.001, 0.05, 0.1405, 1.0 / std::f64::consts::E, 0.5, 0.8107, 0.99, 0.9999] {
+            for p in [
+                0.001,
+                0.05,
+                0.1405,
+                1.0 / std::f64::consts::E,
+                0.5,
+                0.8107,
+                0.99,
+                0.9999,
+            ] {
                 let x = chi2_quantile(p, m);
                 let back = chi2_cdf(x, m);
                 assert!((back - p).abs() < 1e-10, "m={m} p={p} x={x} back={back}");

@@ -24,7 +24,10 @@ impl Ecdf {
     /// Panics if `samples` is empty or contains NaN.
     pub fn new(mut samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "ECDF needs at least one sample");
-        assert!(samples.iter().all(|x| !x.is_nan()), "ECDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF samples must not be NaN"
+        );
         samples.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         Self { sorted: samples }
     }
@@ -118,8 +121,11 @@ pub fn distance_distribution(view: MatrixView<'_>, pairs: usize, rng: &mut Rng) 
 pub fn dimension_marginals(view: MatrixView<'_>, sample: usize, rng: &mut Rng) -> Vec<Ecdf> {
     let n = view.len();
     let dim = view.dim();
-    let ids: Vec<usize> =
-        if sample >= n { (0..n).collect() } else { rng.sample_indices(n, sample) };
+    let ids: Vec<usize> = if sample >= n {
+        (0..n).collect()
+    } else {
+        rng.sample_indices(n, sample)
+    };
     let mut per_dim: Vec<Vec<f64>> = vec![Vec::with_capacity(ids.len()); dim];
     for &i in &ids {
         let p = view.point(i);

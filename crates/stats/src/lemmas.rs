@@ -35,7 +35,10 @@ impl ProjectedInterval {
     /// Derives the interval multipliers for `m` hash functions and per-tail
     /// probability `alpha`.
     pub fn derive(m: u32, alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha < 0.5, "per-tail alpha must be in (0, 0.5)");
+        assert!(
+            alpha > 0.0 && alpha < 0.5,
+            "per-tail alpha must be in (0, 0.5)"
+        );
         Self {
             lo_factor: chi2_upper_quantile(1.0 - alpha, m).sqrt(),
             hi_factor: chi2_upper_quantile(alpha, m).sqrt(),

@@ -44,7 +44,10 @@ pub fn normal_pdf(x: f64) -> f64 {
 /// # Panics
 /// Panics if `p` is outside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile: p={p} must be in (0,1)");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile: p={p} must be in (0,1)"
+    );
 
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -132,7 +135,18 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for p in [1e-6, 0.001, 0.025, 0.1405, 0.3679, 0.5, 0.8107, 0.975, 0.999, 1.0 - 1e-6] {
+        for p in [
+            1e-6,
+            0.001,
+            0.025,
+            0.1405,
+            0.3679,
+            0.5,
+            0.8107,
+            0.975,
+            0.999,
+            1.0 - 1e-6,
+        ] {
             let x = normal_quantile(p);
             assert!((normal_cdf(x) - p).abs() < 1e-12, "p={p} x={x}");
         }

@@ -29,8 +29,16 @@ impl Rng {
     /// streams; the same seed always yields the same sequence.
     pub fn new(seed: u64) -> Self {
         let mut s = seed;
-        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
-        Self { state, gauss_spare: None }
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Self {
+            state,
+            gauss_spare: None,
+        }
     }
 
     /// Derives an independent child stream. `fork(i) != fork(j)` for `i != j`,
@@ -42,8 +50,16 @@ impl Rng {
             ^ self.state[2].rotate_left(31)
             ^ self.state[3].rotate_left(47)
             ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
-        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
-        Rng { state, gauss_spare: None }
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Rng {
+            state,
+            gauss_spare: None,
+        }
     }
 
     /// Next raw 64 random bits (xoshiro256++).
@@ -240,7 +256,11 @@ mod tests {
         assert!((s1 / nf).abs() < 0.02, "mean {}", s1 / nf);
         assert!((s2 / nf - 1.0).abs() < 0.03, "var {}", s2 / nf);
         assert!((s3 / nf).abs() < 0.05, "skew numerator {}", s3 / nf);
-        assert!((s4 / nf - 3.0).abs() < 0.15, "kurtosis numerator {}", s4 / nf);
+        assert!(
+            (s4 / nf - 3.0).abs() < 0.15,
+            "kurtosis numerator {}",
+            s4 / nf
+        );
     }
 
     #[test]

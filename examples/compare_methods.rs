@@ -10,7 +10,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "cifar".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cifar".to_string());
     let dataset = match which.to_lowercase().as_str() {
         "audio" => PaperDataset::Audio,
         "deep" => PaperDataset::Deep,
@@ -69,5 +71,7 @@ fn main() {
             total_cand as f64 / nq
         );
     }
-    println!("\n(paper shape: PM-LSH leads on time and quality; LScan's recall ≈ its scan fraction)");
+    println!(
+        "\n(paper shape: PM-LSH leads on time and quality; LScan's recall ≈ its scan fraction)"
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
     let probe_truth = exact_knn(catalog.view(), catalog.point(0), 2);
     let nn_dist = probe_truth[1].dist; // [0] is the point itself
     let r_dup = (nn_dist * 0.25) as f64;
-    println!("typical NN distance {:.2}; duplicate radius {:.2}", nn_dist, r_dup);
+    println!(
+        "typical NN distance {:.2}; duplicate radius {:.2}",
+        nn_dist, r_dup
+    );
 
     let index = PmLsh::build(catalog, PmLshParams::paper_defaults());
 
@@ -64,7 +67,13 @@ fn main() {
         elapsed / uploads.len() as f64
     );
     println!("duplicates caught: {true_pos}/50, missed: {false_neg}, false alarms: {false_pos}");
-    assert!(true_pos >= 45, "BC query should catch nearly all planted duplicates");
-    assert!(false_pos <= 5, "fresh images should rarely sit within c·r of the catalog");
+    assert!(
+        true_pos >= 45,
+        "BC query should catch nearly all planted duplicates"
+    );
+    assert!(
+        false_pos <= 5,
+        "fresh images should rarely sit within c·r of the catalog"
+    );
     println!("ok: ball-cover screening behaves as Lemma 5 promises");
 }

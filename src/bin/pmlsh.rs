@@ -1,10 +1,12 @@
 //! `pmlsh` — command-line interface to the PM-LSH workspace.
 //!
 //! ```text
-//! pmlsh gen    --dataset cifar --scale smoke --out data.fvecs [--queries queries.fvecs --nq 100]
-//! pmlsh stats  --data data.fvecs
-//! pmlsh query  --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
-//! pmlsh bench  --data data.fvecs --queries queries.fvecs --k 10
+//! pmlsh gen         --dataset cifar --scale smoke --out data.fvecs [--queries queries.fvecs --nq 100]
+//! pmlsh stats       --data data.fvecs
+//! pmlsh query       --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
+//! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
+//! pmlsh batch-query --data data.fvecs --queries queries.fvecs --k 10 [--threads 4]
+//! pmlsh serve       --data data.fvecs --port 7878 [--threads 4]
 //! ```
 //!
 //! Files ending in `.csv` are parsed as headerless CSV; anything else as
@@ -12,8 +14,8 @@
 //! in), so the same binary drives both the synthetic stand-ins and the real
 //! datasets when available.
 
-use pm_lsh::prelude::*;
 use pm_lsh::data::{read_csv, read_fvecs, write_csv, write_fvecs};
+use pm_lsh::prelude::*;
 use pm_lsh::stats::dataset_stats::{homogeneity_of_viewpoints, lid_mle, relative_contrast};
 use std::collections::HashMap;
 use std::path::Path;
@@ -35,10 +37,33 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd.as_str() {
-        "gen" => cmd_gen(&opts),
-        "stats" => cmd_stats(&opts),
-        "query" => cmd_query(&opts),
-        "bench" => cmd_bench(&opts),
+        "gen" => known_opts(&opts, &["dataset", "out", "scale", "queries", "nq"])
+            .and_then(|()| cmd_gen(&opts)),
+        "stats" => known_opts(&opts, &["data"]).and_then(|()| cmd_stats(&opts)),
+        "query" => known_opts(&opts, &["data", "queries", "k", "c", "algo", "no-truth"])
+            .and_then(|()| cmd_query(&opts)),
+        "bench" => {
+            known_opts(&opts, &["data", "queries", "k", "c"]).and_then(|()| cmd_bench(&opts))
+        }
+        "batch-query" => known_opts(
+            &opts,
+            &[
+                "data",
+                "queries",
+                "k",
+                "c",
+                "no-truth",
+                "threads",
+                "batch-size",
+                "max-wait-us",
+            ],
+        )
+        .and_then(|()| cmd_batch_query(&opts)),
+        "serve" => known_opts(
+            &opts,
+            &["data", "port", "c", "threads", "batch-size", "max-wait-us"],
+        )
+        .and_then(|()| cmd_serve(&opts)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -63,8 +88,15 @@ USAGE:
   pmlsh query  --data <file> --queries <file> [--k <n>] [--c <ratio>]
                [--algo pm-lsh|srs|qalsh|multi-probe|r-lsh|lscan] [--no-truth]
   pmlsh bench  --data <file> --queries <file> [--k <n>] [--c <ratio>]
+  pmlsh batch-query --data <file> --queries <file> [--k <n>] [--c <ratio>]
+               [--threads <n>] [--no-truth]
+  pmlsh serve  --data <file> --port <p> [--threads <n>] [--c <ratio>]
+               [--batch-size <n>] [--max-wait-us <µs>]
 
-Files ending in .csv are headerless CSV; anything else is fvecs.";
+Files ending in .csv are headerless CSV; anything else is fvecs.
+`serve` speaks a newline-delimited protocol: `QUERY <k> <v1> ... <vd>` is
+answered with `OK <id>:<dist>,...`; also PING, STATS and QUIT.
+`--threads 0` (the default) uses all available cores.";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -80,11 +112,24 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
             i += 1;
             continue;
         }
-        let value = args.get(i + 1).ok_or_else(|| format!("missing value for {key}"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for {key}"))?;
         map.insert(name, value.clone());
         i += 2;
     }
     Ok(map)
+}
+
+/// Rejects misspelled flags instead of silently ignoring them (a typo'd
+/// `--thread 4` would otherwise run single-threaded without a word).
+fn known_opts(opts: &HashMap<String, String>, allowed: &[&str]) -> Result<(), String> {
+    for key in opts.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!("unknown option '--{key}'"));
+        }
+    }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
@@ -153,7 +198,12 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     let start = Instant::now();
     let hv = homogeneity_of_viewpoints(data.view(), 24, 400.min(data.len()), &mut rng);
     let rc = relative_contrast(data.view(), queries, &mut rng);
-    let lid = lid_mle(data.view(), queries, 100.min(data.len() / 2).max(2), &mut rng);
+    let lid = lid_mle(
+        data.view(),
+        queries,
+        100.min(data.len() / 2).max(2),
+        &mut rng,
+    );
     println!("n   = {}", data.len());
     println!("d   = {}", data.dim());
     println!("HV  = {hv:.4}");
@@ -163,20 +213,34 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn build_algo(
-    name: &str,
-    data: Arc<Dataset>,
-    c: f64,
-) -> Result<Box<dyn AnnIndex>, String> {
-    let pm_params = if (c - 1.5).abs() < 1e-9 {
+/// PM-LSH parameters at the paper's operating point when `c` is the
+/// default 1.5, Eq. 10-derived otherwise.
+fn pmlsh_params(c: f64) -> PmLshParams {
+    if (c - 1.5).abs() < 1e-9 {
         PmLshParams::paper_defaults()
     } else {
         PmLshParams::default().with_c(c)
-    };
+    }
+}
+
+fn build_algo(name: &str, data: Arc<Dataset>, c: f64) -> Result<Box<dyn AnnIndex>, String> {
+    let pm_params = pmlsh_params(c);
     Ok(match name.to_lowercase().as_str() {
         "pm-lsh" | "pmlsh" => Box::new(PmLsh::build(data, pm_params)),
-        "srs" => Box::new(Srs::build(data, SrsParams { c, ..SrsParams::paper_operating_point() })),
-        "qalsh" => Box::new(Qalsh::build(data, QalshParams { c, ..Default::default() })),
+        "srs" => Box::new(Srs::build(
+            data,
+            SrsParams {
+                c,
+                ..SrsParams::paper_operating_point()
+            },
+        )),
+        "qalsh" => Box::new(Qalsh::build(
+            data,
+            QalshParams {
+                c,
+                ..Default::default()
+            },
+        )),
         "multi-probe" | "multiprobe" => {
             Box::new(MultiProbe::build(data, MultiProbeParams::default()))
         }
@@ -192,6 +256,10 @@ fn parse_kc(opts: &HashMap<String, String>) -> Result<(usize, f64), String> {
         .map(|s| s.parse().map_err(|_| "--k must be an integer"))
         .transpose()?
         .unwrap_or(10);
+    Ok((k, parse_c(opts)?))
+}
+
+fn parse_c(opts: &HashMap<String, String>) -> Result<f64, String> {
     let c: f64 = opts
         .get("c")
         .map(|s| s.parse().map_err(|_| "--c must be a float"))
@@ -200,7 +268,7 @@ fn parse_kc(opts: &HashMap<String, String>) -> Result<(usize, f64), String> {
     if c <= 1.0 {
         return Err("--c must exceed 1.0".into());
     }
-    Ok((k, c))
+    Ok(c)
 }
 
 fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
@@ -219,8 +287,12 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
 
     let start = Instant::now();
     let algo = build_algo(algo_name, data.clone(), c)?;
-    println!("built {} over {} points in {:.1} s", algo.name(), data.len(),
-        start.elapsed().as_secs_f64());
+    println!(
+        "built {} over {} points in {:.1} s",
+        algo.name(),
+        data.len(),
+        start.elapsed().as_secs_f64()
+    );
 
     let truth = if with_truth {
         Some(exact_knn_batch(data.view(), queries.view(), k, 0))
@@ -234,8 +306,12 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     for (qi, q) in queries.iter().enumerate() {
         let res = algo.query(q, k);
         if qi < 3 {
-            let ids: Vec<String> =
-                res.neighbors.iter().take(5).map(|n| format!("{}:{:.3}", n.id, n.dist)).collect();
+            let ids: Vec<String> = res
+                .neighbors
+                .iter()
+                .take(5)
+                .map(|n| format!("{}:{:.3}", n.id, n.dist))
+                .collect();
             println!("query {qi}: [{}]", ids.join(", "));
         }
         if let Some(t) = &truth {
@@ -244,12 +320,124 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     let nq = queries.len() as f64;
-    println!("{} queries in {:.2} ms each", queries.len(),
-        start.elapsed().as_secs_f64() * 1e3 / nq);
+    println!(
+        "{} queries in {:.2} ms each",
+        queries.len(),
+        start.elapsed().as_secs_f64() * 1e3 / nq
+    );
     if truth.is_some() {
-        println!("recall@{k} = {:.4}, overall ratio = {:.4}", recall_sum / nq, ratio_sum / nq);
+        println!(
+            "recall@{k} = {:.4}, overall ratio = {:.4}",
+            recall_sum / nq,
+            ratio_sum / nq
+        );
     }
     Ok(())
+}
+
+fn parse_engine_config(opts: &HashMap<String, String>) -> Result<EngineConfig, String> {
+    let mut config = EngineConfig::default();
+    if let Some(t) = opts.get("threads") {
+        config.threads = t.parse().map_err(|_| "--threads must be an integer")?;
+    }
+    if let Some(b) = opts.get("batch-size") {
+        config.batch_size = b.parse().map_err(|_| "--batch-size must be an integer")?;
+    }
+    if let Some(w) = opts.get("max-wait-us") {
+        let us: u64 = w.parse().map_err(|_| "--max-wait-us must be an integer")?;
+        config.max_wait = std::time::Duration::from_micros(us);
+    }
+    Ok(config)
+}
+
+fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = Arc::new(load(opts.get("data").ok_or("batch-query needs --data")?)?);
+    let queries = load(opts.get("queries").ok_or("batch-query needs --queries")?)?;
+    if queries.dim() != data.dim() {
+        return Err(format!(
+            "dimension mismatch: data R^{}, queries R^{}",
+            data.dim(),
+            queries.dim()
+        ));
+    }
+    let (k, c) = parse_kc(opts)?;
+    let config = parse_engine_config(opts)?;
+    let with_truth = !opts.contains_key("no-truth");
+
+    let start = Instant::now();
+    let index = build_pmlsh(data.clone(), c);
+    println!(
+        "built PM-LSH over {} points in {:.1} s",
+        data.len(),
+        start.elapsed().as_secs_f64()
+    );
+    let engine = Engine::new(index, config);
+    println!("engine: {} worker thread(s)", engine.threads());
+
+    let query_vecs: Vec<&[f32]> = queries.iter().collect();
+    let start = Instant::now();
+    let results = engine.query_batch(&query_vecs, k);
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    println!(
+        "{} queries in {:.3} s  ({:.0} queries/s, {:.3} ms each)",
+        results.len(),
+        elapsed,
+        results.len() as f64 / elapsed,
+        elapsed * 1e3 / results.len() as f64
+    );
+    println!("engine stats: {stats}");
+
+    if with_truth {
+        let truth = exact_knn_batch(data.view(), queries.view(), k, 0);
+        let nq = results.len() as f64;
+        let (mut recall_sum, mut ratio_sum) = (0.0, 0.0);
+        for (res, t) in results.iter().zip(&truth) {
+            recall_sum += recall(&res.neighbors, t);
+            ratio_sum += overall_ratio(&res.neighbors, t);
+        }
+        println!(
+            "recall@{k} = {:.4}, overall ratio = {:.4}",
+            recall_sum / nq,
+            ratio_sum / nq
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let data = Arc::new(load(opts.get("data").ok_or("serve needs --data")?)?);
+    let port: u16 = opts
+        .get("port")
+        .ok_or("serve needs --port")?
+        .parse()
+        .map_err(|_| "--port must be 0..=65535")?;
+    let c = parse_c(opts)?;
+    let config = parse_engine_config(opts)?;
+
+    let start = Instant::now();
+    let index = build_pmlsh(data.clone(), c);
+    println!(
+        "built PM-LSH over {} points in R^{} in {:.1} s",
+        data.len(),
+        data.dim(),
+        start.elapsed().as_secs_f64()
+    );
+    let engine = Engine::new(index, config);
+    let handle = serve(engine.clone(), ("0.0.0.0", port))
+        .map_err(|e| format!("binding port {port}: {e}"))?;
+    println!(
+        "serving on {} with {} worker thread(s); protocol: QUERY <k> <v1..v{}> | PING | STATS | QUIT",
+        handle.addr(),
+        engine.threads(),
+        data.dim()
+    );
+    handle.join();
+    Ok(())
+}
+
+fn build_pmlsh(data: Arc<Dataset>, c: f64) -> PmLsh {
+    PmLsh::build(data, pmlsh_params(c))
 }
 
 fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {

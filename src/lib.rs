@@ -14,6 +14,11 @@
 //!   cost models of Section 4.2.
 //! * [`hash`] — p-stable hash families, collision probabilities and
 //!   multi-probe perturbation sequences.
+//! * [`engine`] — the serving subsystem: a fixed worker pool and
+//!   micro-batching queue over one immutable index snapshot
+//!   ([`engine::Engine`]), aggregate throughput/latency statistics
+//!   ([`engine::EngineStats`]), and a newline-delimited TCP protocol
+//!   ([`engine::serve`], wire grammar in [`engine::server`]).
 //! * [`baselines`] — the evaluation's competitors: SRS, QALSH, Multi-Probe
 //!   LSH, R-LSH and LScan, behind one [`baselines::AnnIndex`] trait.
 //! * [`data`] — seeded synthetic stand-ins for the paper's seven datasets,
@@ -44,6 +49,7 @@ pub use pm_lsh_baselines as baselines;
 pub use pm_lsh_bptree as bptree;
 pub use pm_lsh_core as core;
 pub use pm_lsh_data as data;
+pub use pm_lsh_engine as engine;
 pub use pm_lsh_hash as hash;
 pub use pm_lsh_metric as metric;
 pub use pm_lsh_pmtree as pmtree;
@@ -53,14 +59,15 @@ pub use pm_lsh_stats as stats;
 /// The most common imports in one place.
 pub mod prelude {
     pub use pm_lsh_baselines::{
-        AnnIndex, AnnResult, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh,
-        QalshParams, RLsh, Srs, SrsParams,
+        AnnIndex, AnnResult, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh, QalshParams,
+        RLsh, Srs, SrsParams,
     };
     pub use pm_lsh_core::{PmLsh, PmLshParams, QueryResult, QueryStats};
     pub use pm_lsh_data::{
         exact_knn, exact_knn_batch, overall_ratio, recall, Generator, PaperDataset, Scale,
         SynthSpec,
     };
+    pub use pm_lsh_engine::{serve, Engine, EngineConfig, EngineStats, ServerHandle};
     pub use pm_lsh_metric::{Dataset, Neighbor, PointId};
     pub use pm_lsh_stats::Rng;
 }

@@ -1,9 +1,9 @@
 //! Cross-substrate consistency: PM-LSH vs R-LSH (identical algorithm over
 //! different trees) and the Table 2 cost-model relationship between them.
 
-use pm_lsh::prelude::*;
 use pm_lsh::hash::GaussianProjector;
 use pm_lsh::pmtree::{PmTree, PmTreeConfig};
+use pm_lsh::prelude::*;
 use pm_lsh::rtree::{RTree, RTreeConfig};
 use pm_lsh::stats::{dimension_marginals, distance_distribution};
 use std::sync::Arc;
@@ -39,7 +39,11 @@ fn pmlsh_and_rlsh_agree_on_quality() {
 fn cost_model_favors_pmtree_on_projected_data() {
     // Table 2's claim on the stand-ins: expected distance computations of
     // the PM-tree at the 8% radius are below the R-tree's.
-    for ds in [PaperDataset::Cifar, PaperDataset::Trevi, PaperDataset::Audio] {
+    for ds in [
+        PaperDataset::Cifar,
+        PaperDataset::Trevi,
+        PaperDataset::Audio,
+    ] {
         let generator = ds.generator(Scale::Smoke);
         let data = generator.dataset();
         let mut rng = Rng::new(0xc0de ^ ds as u64);

@@ -104,7 +104,10 @@ fn returned_neighbors_are_sorted_and_distances_exact() {
         }
         for nb in &res.neighbors {
             let real = pm_lsh::metric::euclidean(q, data.point_id(nb.id));
-            assert!((real - nb.dist).abs() <= 1e-5 * (1.0 + real), "reported distance must be exact");
+            assert!(
+                (real - nb.dist).abs() <= 1e-5 * (1.0 + real),
+                "reported distance must be exact"
+            );
         }
     }
 }

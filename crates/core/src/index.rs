@@ -1,6 +1,7 @@
 //! The PM-LSH index: build, (r,c)-BC queries (Algorithm 1) and (c,k)-ANN
 //! queries (Algorithm 2).
 
+use crate::build::BuildOptions;
 use crate::params::{DerivedParams, PmLshParams};
 use pm_lsh_hash::GaussianProjector;
 use pm_lsh_metric::{euclidean, Dataset, Neighbor, TopK};
@@ -119,6 +120,39 @@ impl PmLsh {
         Self::build_with_projector(data, projector, params, &mut rng)
     }
 
+    /// Builds the index in parallel. `opts.threads` workers split the
+    /// Gaussian projection by row chunk and the PM-tree bulk-load by pivot
+    /// region; the result is identical for every thread count (see
+    /// [`BuildOptions`]), so `opts` trades wall-clock time only.
+    ///
+    /// ```
+    /// use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
+    /// use pm_lsh_metric::Dataset;
+    /// use pm_lsh_stats::Rng;
+    ///
+    /// let mut rng = Rng::new(3);
+    /// let mut ds = Dataset::with_capacity(16, 600);
+    /// let mut buf = [0.0f32; 16];
+    /// for _ in 0..600 {
+    ///     rng.fill_normal(&mut buf);
+    ///     ds.push(&buf);
+    /// }
+    /// let a = PmLsh::build_with_opts(ds.clone(), PmLshParams::default(), BuildOptions::with_threads(1));
+    /// let b = PmLsh::build_with_opts(ds.clone(), PmLshParams::default(), BuildOptions::with_threads(4));
+    /// let q = ds.point(5);
+    /// assert_eq!(a.query(q, 5).neighbors, b.query(q, 5).neighbors);
+    /// ```
+    pub fn build_with_opts(
+        data: impl Into<Arc<Dataset>>,
+        params: PmLshParams,
+        opts: BuildOptions,
+    ) -> Self {
+        let data = data.into();
+        let mut rng = Rng::new(params.seed);
+        let projector = GaussianProjector::new(data.dim(), params.m as usize, &mut rng);
+        Self::build_inner(data, projector, params, &mut rng, Some(opts))
+    }
+
     /// Builds with a caller-supplied projector (used by ablations that share
     /// one projection across algorithms, and by the running-example tests).
     pub fn build_with_projector(
@@ -126,6 +160,21 @@ impl PmLsh {
         projector: GaussianProjector,
         params: PmLshParams,
         rng: &mut Rng,
+    ) -> Self {
+        Self::build_inner(data, projector, params, rng, None)
+    }
+
+    /// Shared build pipeline. `opts: None` keeps the incremental (insert
+    /// one point at a time) PM-tree construction that `build` has always
+    /// used; `Some(opts)` routes through the parallel bulk loader, whose
+    /// output is invariant in the thread count but differs in tree shape
+    /// from the incremental path.
+    fn build_inner(
+        data: impl Into<Arc<Dataset>>,
+        projector: GaussianProjector,
+        params: PmLshParams,
+        rng: &mut Rng,
+        opts: Option<BuildOptions>,
     ) -> Self {
         let data = data.into();
         assert!(!data.is_empty(), "cannot index an empty dataset");
@@ -140,8 +189,12 @@ impl PmLsh {
             "projector m mismatch"
         );
         let derived = params.derive();
-        let projected = projector.project_all(data.view());
-        let tree = PmTree::build(projected.view(), params.tree, rng);
+        let threads = opts.map(|o| o.effective_threads()).unwrap_or(1);
+        let projected = projector.project_all_threaded(data.view(), threads);
+        let tree = match opts {
+            Some(_) => PmTree::build_parallel(projected.view(), params.tree, rng, threads),
+            None => PmTree::build(projected.view(), params.tree, rng),
+        };
         let dist_f = if data.len() >= 2 {
             let pairs = params
                 .distance_samples
@@ -422,6 +475,27 @@ mod tests {
         };
         saturate += &b;
         assert_eq!(saturate.rounds, u32::MAX, "rounds must saturate, not wrap");
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        let data = blob(1200, 12, 71);
+        let queries = blob(20, 12, 72);
+        let params = PmLshParams::default();
+        let base = PmLsh::build_with_opts(data.clone(), params, crate::BuildOptions::default());
+        for threads in [0usize, 2, 4, 8] {
+            let other = PmLsh::build_with_opts(
+                data.clone(),
+                params,
+                crate::BuildOptions::with_threads(threads),
+            );
+            for q in queries.iter() {
+                let a = base.query(q, 7);
+                let b = other.query(q, 7);
+                assert_eq!(a.neighbors, b.neighbors, "{threads}-thread build diverged");
+                assert_eq!(a.stats, b.stats, "{threads}-thread traversal diverged");
+            }
+        }
     }
 
     #[test]

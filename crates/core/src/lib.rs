@@ -37,10 +37,12 @@
 
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod estimator_study;
 pub mod index;
 pub mod params;
 
+pub use build::BuildOptions;
 pub use estimator_study::{estimator_study, Estimator, EstimatorCurve, EstimatorPoint};
 pub use index::{PmLsh, QueryResult, QueryStats};
 pub use params::{DerivedParams, PmLshParams};

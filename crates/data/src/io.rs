@@ -45,6 +45,20 @@ pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Datase
     read_fvecs_from(BufReader::new(file), limit)
 }
 
+/// Reads a dataset file, dispatching on the extension: `.csv` parses as
+/// headerless CSV ([`read_csv`]), anything else as little-endian fvecs
+/// ([`read_fvecs`]). The single place this convention lives — the `pmlsh`
+/// CLI and the TCP `REINDEX` verb both resolve paths through here, so
+/// they can never disagree about a file's format.
+pub fn read_auto(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Dataset, IoError> {
+    let path = path.as_ref();
+    if path.extension().is_some_and(|e| e == "csv") {
+        read_csv(path, limit)
+    } else {
+        read_fvecs(path, limit)
+    }
+}
+
 /// Reads `fvecs` records from any reader.
 pub fn read_fvecs_from(mut reader: impl Read, limit: Option<usize>) -> Result<Dataset, IoError> {
     let mut dim_buf = [0u8; 4];

@@ -17,7 +17,7 @@ pub mod registry;
 pub mod synth;
 
 pub use ground_truth::{exact_knn, exact_knn_batch};
-pub use io::{read_csv, read_fvecs, read_ivecs, write_csv, write_fvecs, IoError};
+pub use io::{read_auto, read_csv, read_fvecs, read_ivecs, write_csv, write_fvecs, IoError};
 pub use metrics::{overall_ratio, recall, MetricsAccumulator, WorkloadMetrics};
 pub use registry::{PaperDataset, PaperStats, Scale};
 pub use synth::{Generator, SynthSpec};

@@ -11,7 +11,7 @@
 
 use crate::pool::{QueryJob, WorkerPool};
 use crate::stats::StatsCollector;
-use pm_lsh_core::QueryResult;
+use pm_lsh_core::{PmLsh, QueryResult};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -19,6 +19,8 @@ use std::time::{Duration, Instant};
 
 /// One request waiting to be micro-batched.
 pub(crate) struct Request {
+    /// The snapshot pinned for this request at enqueue time.
+    pub snapshot: Arc<PmLsh>,
     pub query: Vec<f32>,
     pub k: usize,
     pub enqueued: Instant,
@@ -103,6 +105,7 @@ fn collector_loop(
             .into_iter()
             .map(|request| QueryJob {
                 slot: 0,
+                snapshot: request.snapshot,
                 query: request.query,
                 k: request.k,
                 enqueued: request.enqueued,

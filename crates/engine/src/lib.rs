@@ -2,14 +2,25 @@
 //! layer over the PM-LSH index.
 //!
 //! The sibling crates answer one query at a time on the calling thread;
-//! this crate turns the immutable [`PmLsh`] index into a serving system:
+//! this crate turns the [`PmLsh`] index into a serving system. It is the
+//! deployment-facing layer the paper itself stops short of (index
+//! construction and query answering are Sections 4–5; serving them under
+//! concurrent traffic is ours):
 //!
-//! * [`Engine`] wraps an `Arc<PmLsh>` snapshot plus a fixed pool of worker
-//!   threads (`std::thread` + `std::sync::mpsc`, like everything else in
-//!   the workspace: no external dependencies). [`Engine::query`] is a
-//!   blocking call that travels through the micro-batching request queue;
-//!   [`Engine::query_batch`] shards a whole query set across the pool and
-//!   returns results in input order.
+//! * [`Engine`] holds the current `Arc<PmLsh>` snapshot in an atomic
+//!   snapshot cell plus a fixed pool of worker threads (`std::thread` +
+//!   `std::sync::mpsc`, like everything else in the workspace: no external
+//!   dependencies). [`Engine::query`] is a blocking call that travels
+//!   through the micro-batching request queue; [`Engine::query_batch`]
+//!   shards a whole query set across the pool and returns results in input
+//!   order.
+//! * [`Engine::reindex`] rebuilds the index over a new dataset on a
+//!   background thread and atomically swaps the snapshot in. Queries are
+//!   never blocked and never fail during a reindex: every request pins
+//!   the current snapshot when it enters the engine (a batch pins one
+//!   snapshot for all its queries), so in-flight work completes on the
+//!   index it started with while new work sees the new one.
+//!   [`Engine::info`] reports the snapshot generation ([`IndexInfo`]).
 //! * The micro-batcher (a bounded channel and a collector thread) groups
 //!   up to `batch_size` concurrent requests, waiting at most `max_wait`
 //!   after the first, before handing them to the pool — one channel send
@@ -19,11 +30,13 @@
 //!   per-query [`QueryStats`] counters, so benchmarks can draw scaling
 //!   curves against thread count.
 //! * [`serve`] exposes the engine over TCP with a newline-delimited text
-//!   protocol (see [`server`] for the exact grammar).
+//!   protocol (see [`server`] for the exact grammar, or
+//!   `docs/PROTOCOL.md` in the repository for the full specification).
 //!
-//! Queries on a built index are pure reads, so the engine needs no locks on
-//! the hot path; the compile-time assertions at the bottom of this module
-//! pin down that [`PmLsh`] and [`Dataset`] stay `Send + Sync`.
+//! Queries on a built snapshot are pure reads, so the hot path takes no
+//! locks beyond one snapshot load per request (one per *batch* for
+//! [`Engine::query_batch`]); the compile-time assertions at the bottom of
+//! this module pin down that [`PmLsh`] and [`Dataset`] stay `Send + Sync`.
 //!
 //! # Quick start
 //!
@@ -56,6 +69,7 @@
 mod batch;
 mod pool;
 pub mod server;
+mod snapshot;
 mod stats;
 
 pub use server::{serve, ServerHandle};
@@ -63,11 +77,13 @@ pub use stats::EngineStats;
 
 use crate::batch::{BatchQueue, Request};
 use crate::pool::{QueryJob, WorkerPool};
+use crate::snapshot::SnapshotCell;
 use crate::stats::StatsCollector;
-use pm_lsh_core::{PmLsh, QueryResult, QueryStats};
+use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
 use pm_lsh_metric::Dataset;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for an [`Engine`].
@@ -114,7 +130,7 @@ impl EngineConfig {
 /// the TCP layer clones it into every connection handler.
 #[derive(Clone)]
 pub struct Engine {
-    index: Arc<PmLsh>,
+    snapshot: Arc<SnapshotCell>,
     pool: Arc<WorkerPool>,
     queue: Arc<BatchQueue>,
     stats: Arc<StatsCollector>,
@@ -124,10 +140,9 @@ pub struct Engine {
 impl Engine {
     /// Spins up the worker pool and batcher over a built index.
     pub fn new(index: impl Into<Arc<PmLsh>>, config: EngineConfig) -> Self {
-        let index = index.into();
+        let snapshot = Arc::new(SnapshotCell::new(index.into()));
         let stats = Arc::new(StatsCollector::new());
         let pool = Arc::new(WorkerPool::new(
-            Arc::clone(&index),
             config.effective_threads(),
             Arc::clone(&stats),
         ));
@@ -139,7 +154,7 @@ impl Engine {
             config.queue_depth,
         ));
         Self {
-            index,
+            snapshot,
             pool,
             queue,
             stats,
@@ -147,9 +162,120 @@ impl Engine {
         }
     }
 
-    /// The served index snapshot.
-    pub fn index(&self) -> &Arc<PmLsh> {
-        &self.index
+    /// The currently served index snapshot.
+    ///
+    /// The returned `Arc` stays fully usable for as long as the caller
+    /// holds it, even across a concurrent [`Engine::reindex`] — it just
+    /// stops being *current* once a swap lands. Load it once per logical
+    /// operation rather than caching it long-term.
+    pub fn index(&self) -> Arc<PmLsh> {
+        self.snapshot.load()
+    }
+
+    /// The snapshot generation: 0 at construction, +1 per completed
+    /// [`Engine::reindex`] swap.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// A summary of the served snapshot (the TCP `INDEXINFO` payload).
+    /// Snapshot fields and `epoch` are read under one lock, so the pair is
+    /// always consistent; `reindexing` is inherently transient.
+    pub fn info(&self) -> IndexInfo {
+        let (index, epoch) = self.snapshot.load_with_epoch();
+        IndexInfo {
+            points: index.len(),
+            dim: index.data().dim(),
+            m: index.params().m,
+            c: index.params().c,
+            epoch,
+            reindexing: self.snapshot.is_rebuilding(),
+        }
+    }
+
+    /// Rebuilds the served index over `data` on a background thread and
+    /// atomically swaps it in, without ever blocking concurrent queries:
+    /// in-flight work finishes on the snapshot it started with, work
+    /// arriving after the swap runs on the new one, and no query can
+    /// observe a half-built index.
+    ///
+    /// Returns immediately with a [`ReindexTicket`]; call
+    /// [`ReindexTicket::wait`] for the completion report (or drop the
+    /// ticket to let the rebuild finish unobserved). Only one reindex may
+    /// run at a time, and the new dataset must keep the served
+    /// dimensionality — connected clients hold protocol state derived
+    /// from `dim`.
+    pub fn begin_reindex(
+        &self,
+        data: impl Into<Arc<Dataset>>,
+        params: PmLshParams,
+        opts: BuildOptions,
+    ) -> Result<ReindexTicket, ReindexError> {
+        let data = data.into();
+        if data.is_empty() {
+            return Err(ReindexError::EmptyDataset);
+        }
+        let served_dim = self.snapshot.load().data().dim();
+        if data.dim() != served_dim {
+            return Err(ReindexError::DimensionMismatch {
+                served: served_dim,
+                offered: data.dim(),
+            });
+        }
+        // A NaN/Inf component would panic deep inside the build (pivot
+        // selection compares distances with `partial_cmp().unwrap()`).
+        // Validate here so a poisoned dataset file is an ERR reply on the
+        // wire, not a dead build thread — the same policy as query
+        // validation, and what keeps `ReindexTicket::wait`'s no-panic
+        // claim true.
+        if !data.as_flat().iter().all(|v| v.is_finite()) {
+            return Err(ReindexError::NonFiniteData);
+        }
+        if !self.snapshot.try_begin_rebuild() {
+            return Err(ReindexError::InProgress);
+        }
+        let snapshot = Arc::clone(&self.snapshot);
+        let handle = std::thread::Builder::new()
+            .name("pmlsh-reindex".to_string())
+            .spawn(move || {
+                // Release the rebuild slot even if the build panics, so a
+                // poisoned dataset cannot wedge reindexing forever.
+                struct RebuildSlot(Arc<SnapshotCell>);
+                impl Drop for RebuildSlot {
+                    fn drop(&mut self) {
+                        self.0.end_rebuild();
+                    }
+                }
+                let _slot = RebuildSlot(Arc::clone(&snapshot));
+                let start = Instant::now();
+                let points = data.len();
+                let next = Arc::new(PmLsh::build_with_opts(data, params, opts));
+                let epoch = snapshot.swap(next);
+                ReindexReport {
+                    epoch,
+                    points,
+                    build_secs: start.elapsed().as_secs_f64(),
+                }
+            });
+        match handle {
+            Ok(handle) => Ok(ReindexTicket { handle }),
+            Err(_) => {
+                self.snapshot.end_rebuild();
+                Err(ReindexError::SpawnFailed)
+            }
+        }
+    }
+
+    /// [`Engine::begin_reindex`] + [`ReindexTicket::wait`]: blocks the
+    /// *calling* thread until the swap lands (concurrent queries keep
+    /// flowing the whole time) and returns the completion report.
+    pub fn reindex(
+        &self,
+        data: impl Into<Arc<Dataset>>,
+        params: PmLshParams,
+        opts: BuildOptions,
+    ) -> Result<ReindexReport, ReindexError> {
+        Ok(self.begin_reindex(data, params, opts)?.wait())
     }
 
     /// The configuration the engine was built with.
@@ -175,11 +301,14 @@ impl Engine {
     ///
     /// On a dimension mismatch, a non-finite query component, or `k == 0`.
     pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
-        self.validate(q, k);
+        let snapshot = self.snapshot.load();
+        self.validate(&snapshot, q, k);
         let (reply, receive) = channel();
+        let k = k.min(snapshot.len());
         self.queue.enqueue(Request {
+            snapshot,
             query: q.to_vec(),
-            k: k.min(self.index.len()),
+            k,
             enqueued: Instant::now(),
             reply,
         });
@@ -201,17 +330,21 @@ impl Engine {
         if queries.is_empty() {
             return Vec::new();
         }
+        let snapshot = self.snapshot.load();
         for q in queries {
-            self.validate(q.as_ref(), k);
+            self.validate(&snapshot, q.as_ref(), k);
         }
-        let k = k.min(self.index.len());
+        let k = k.min(snapshot.len());
         let enqueued = Instant::now();
         let (reply, receive) = channel();
+        // One snapshot pin for the whole batch: even if a reindex swap
+        // lands mid-batch, every result indexes the same dataset.
         let jobs: Vec<QueryJob> = queries
             .iter()
             .enumerate()
             .map(|(slot, q)| QueryJob {
                 slot,
+                snapshot: Arc::clone(&snapshot),
                 query: q.as_ref().to_vec(),
                 k,
                 enqueued,
@@ -239,10 +372,10 @@ impl Engine {
         self.stats.snapshot()
     }
 
-    fn validate(&self, q: &[f32], k: usize) {
+    fn validate(&self, snapshot: &PmLsh, q: &[f32], k: usize) {
         assert_eq!(
             q.len(),
-            self.index.data().dim(),
+            snapshot.data().dim(),
             "query has wrong dimensionality for the served index"
         );
         assert!(k >= 1, "k must be positive");
@@ -258,12 +391,119 @@ impl Engine {
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let index = self.snapshot.load();
         f.debug_struct("Engine")
-            .field("points", &self.index.len())
-            .field("dim", &self.index.data().dim())
+            .field("points", &index.len())
+            .field("dim", &index.data().dim())
+            .field("epoch", &self.snapshot.epoch())
             .field("threads", &self.pool.threads())
             .field("config", &self.config)
             .finish()
+    }
+}
+
+/// Why a reindex could not start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReindexError {
+    /// Another reindex is still building; retry after it completes.
+    InProgress,
+    /// The offered dataset's dimensionality differs from the served one.
+    DimensionMismatch {
+        /// Dimensionality of the snapshot currently being served.
+        served: usize,
+        /// Dimensionality of the dataset offered for reindexing.
+        offered: usize,
+    },
+    /// The offered dataset holds no points (an index cannot be empty).
+    EmptyDataset,
+    /// The offered dataset contains a NaN or infinite component.
+    NonFiniteData,
+    /// The OS refused to spawn the background build thread.
+    SpawnFailed,
+}
+
+impl std::fmt::Display for ReindexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReindexError::InProgress => write!(f, "a reindex is already in progress"),
+            ReindexError::DimensionMismatch { served, offered } => write!(
+                f,
+                "dimension mismatch: serving R^{served}, offered R^{offered}"
+            ),
+            ReindexError::EmptyDataset => write!(f, "cannot reindex onto an empty dataset"),
+            ReindexError::NonFiniteData => {
+                write!(f, "dataset contains a non-finite (NaN/Inf) component")
+            }
+            ReindexError::SpawnFailed => write!(f, "failed to spawn the reindex thread"),
+        }
+    }
+}
+
+impl std::error::Error for ReindexError {}
+
+/// Summary of a completed reindex.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReindexReport {
+    /// The epoch the new snapshot was published as.
+    pub epoch: u64,
+    /// Points in the new snapshot.
+    pub points: usize,
+    /// Wall-clock build time, up to and including the swap.
+    pub build_secs: f64,
+}
+
+/// A running background reindex (see [`Engine::begin_reindex`]).
+///
+/// Dropping the ticket detaches the rebuild: it still completes and swaps,
+/// just unobserved.
+#[derive(Debug)]
+pub struct ReindexTicket {
+    handle: JoinHandle<ReindexReport>,
+}
+
+impl ReindexTicket {
+    /// Blocks until the rebuild has swapped its snapshot in.
+    ///
+    /// # Panics
+    /// Propagates a panic from the build thread (a build can only panic on
+    /// arguments [`Engine::begin_reindex`] already validated, so this is a
+    /// bug, not an operational error).
+    pub fn wait(self) -> ReindexReport {
+        self.handle.join().expect("reindex build thread panicked")
+    }
+
+    /// `true` once the background build has finished (swap included);
+    /// [`ReindexTicket::wait`] will not block.
+    pub fn is_done(&self) -> bool {
+        self.handle.is_finished()
+    }
+}
+
+/// A point-in-time description of the served snapshot, as reported by
+/// [`Engine::info`] and the TCP `INDEXINFO` verb.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexInfo {
+    /// Indexed points `n`.
+    pub points: usize,
+    /// Original-space dimensionality `d`.
+    pub dim: usize,
+    /// Number of Gaussian hash functions `m`.
+    pub m: u32,
+    /// Approximation ratio `c`.
+    pub c: f64,
+    /// Snapshot generation (0 = the index the engine started with).
+    pub epoch: u64,
+    /// `true` while a background reindex is building.
+    pub reindexing: bool,
+}
+
+impl std::fmt::Display for IndexInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "points={} dim={} m={} c={} epoch={} reindexing={}",
+            self.points, self.dim, self.m, self.c, self.epoch, self.reindexing
+        )
     }
 }
 
@@ -281,6 +521,8 @@ const _: () = {
     assert_send_sync::<Engine>();
     assert_send_sync::<EngineStats>();
     assert_send_sync::<ServerHandle>();
+    assert_send_sync::<IndexInfo>();
+    assert_send_sync::<ReindexTicket>();
 };
 
 #[cfg(test)]

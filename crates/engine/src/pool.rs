@@ -1,10 +1,16 @@
 //! A fixed pool of query workers over `std::thread` + `std::sync::mpsc`.
 //!
-//! Workers share one immutable [`PmLsh`] snapshot behind an `Arc` — the
-//! index is read-only after build, so queries need no synchronization at
-//! all; the only shared mutable state is the job channel and the stats
+//! Every job carries the immutable [`PmLsh`] snapshot it must be answered
+//! against, pinned by the caller at enqueue time — the index is read-only
+//! after build, so the queries themselves need no synchronization at all;
+//! the only shared mutable state is the job channel and the stats
 //! collector. Jobs travel in small vectors (a micro-batch shard), so one
-//! channel receive and one mutex acquisition amortize over several queries.
+//! channel receive and one mutex acquisition amortize over several
+//! queries. Because the snapshot is pinned per request (and a whole
+//! `query_batch` shares one pin), a concurrent [`crate::Engine::reindex`]
+//! swap never disturbs running work: requests enqueued before the swap
+//! are answered by the old index, requests after it by the new one, and a
+//! single batch is never split across epochs.
 
 use crate::stats::StatsCollector;
 use pm_lsh_core::{PmLsh, QueryResult};
@@ -17,6 +23,10 @@ use std::time::Instant;
 pub(crate) struct QueryJob {
     /// Caller-side position, so batched results keep input order.
     pub slot: usize,
+    /// The snapshot this request was validated against and must be
+    /// answered by (an `Arc` clone: a few ns, and what makes reindex
+    /// swaps invisible to in-flight work).
+    pub snapshot: Arc<PmLsh>,
     /// The query point (owned: the caller may return before workers run).
     pub query: Vec<f32>,
     /// Neighbors requested.
@@ -36,18 +46,17 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    pub(crate) fn new(index: Arc<PmLsh>, threads: usize, stats: Arc<StatsCollector>) -> Self {
+    pub(crate) fn new(threads: usize, stats: Arc<StatsCollector>) -> Self {
         let threads = threads.max(1);
         let (tx, rx) = channel::<Vec<QueryJob>>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..threads)
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let index = Arc::clone(&index);
                 let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("pmlsh-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &index, &stats))
+                    .spawn(move || worker_loop(&rx, &stats))
                     .expect("failed to spawn engine worker thread")
             })
             .collect();
@@ -101,7 +110,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, index: &PmLsh, stats: &StatsCollector) {
+fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
     loop {
         // Hold the mutex only for the receive itself, never during a query.
         let shard = match rx.lock() {
@@ -115,7 +124,7 @@ fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, index: &PmLsh, stats: &Stats
             // runs, and only the panicking job's caller sees its reply
             // channel close.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                index.query(&job.query, job.k)
+                job.snapshot.query(&job.query, job.k)
             }));
             match outcome {
                 Ok(result) => {

@@ -9,6 +9,8 @@
 //! QUERY <k> <v1> <v2> ... <vd>   ->  OK <id>:<dist>,<id>:<dist>,...
 //! PING                           ->  PONG
 //! STATS                          ->  STATS <EngineStats as one line>
+//! INDEXINFO                      ->  INDEXINFO points=... dim=... m=... c=... epoch=... reindexing=...
+//! REINDEX <path>                 ->  OK epoch=<e> points=<n> secs=<s>   (after the swap lands)
 //! QUIT                           ->  BYE (and the server closes the connection)
 //! anything else                  ->  ERR <message>
 //! ```
@@ -16,13 +18,19 @@
 //! `<k>` is a positive integer, each `<v>` a float; a `QUERY` must carry
 //! exactly as many components as the served index's dimensionality, or the
 //! server answers `ERR ...` and keeps the connection open. Distances are
-//! printed with `{}` (shortest round-trippable `f32` form). Malformed
-//! input never takes the server down: every parse failure is an `ERR`
-//! response, every I/O failure closes only that connection, a `k` beyond
-//! the indexed point count is clamped (a kNN answer can never exceed `n`),
-//! and request lines are capped at `64 + 32·d` bytes — a client that
-//! streams bytes without a newline gets one final `ERR` and is
-//! disconnected instead of growing the read buffer without bound.
+//! printed with `{}` (shortest round-trippable `f32` form). `REINDEX`
+//! loads the named server-side fvecs/csv file (whitespace-free path,
+//! same dimensionality as the served index), rebuilds on all cores and
+//! swaps the snapshot atomically; the issuing connection blocks for the
+//! build, every other connection keeps querying undisturbed throughout.
+//! Malformed input never takes the server down: every parse failure is an
+//! `ERR` response, every I/O failure closes only that connection, a `k`
+//! beyond the indexed point count is clamped (a kNN answer can never
+//! exceed `n`), and request lines are capped at `max(512, 64 + 32·d)`
+//! bytes — a client that streams bytes without a newline gets one final
+//! `ERR` and is disconnected instead of growing the read buffer without
+//! bound. The full specification, with a worked `nc` transcript, lives in
+//! `docs/PROTOCOL.md`.
 //!
 //! The accept loop runs on its own thread and spawns one handler thread
 //! per connection; handlers funnel all queries into the shared [`Engine`],
@@ -138,10 +146,16 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> 
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    // `dim` is a snapshot invariant (reindex rejects dimension changes),
+    // so one load per connection covers both the line cap and QUERY
+    // validation — no snapshot-cell traffic on the per-line path.
+    let dim = engine.index().data().dim();
     // A legitimate line is `QUERY <k> <v1..vd>`: ~32 bytes per float is
-    // generous. Reading through a cap keeps a client that streams bytes
-    // without a newline from growing the buffer without bound.
-    let line_cap = 64 + 32 * engine.index().data().dim();
+    // generous; the 512-byte floor leaves room for a `REINDEX <path>` even
+    // at tiny dimensionalities. Reading through a cap keeps a client that
+    // streams bytes without a newline from growing the buffer without
+    // bound.
+    let line_cap = (64 + 32 * dim).max(512);
     let mut line = Vec::with_capacity(256);
     loop {
         line.clear();
@@ -156,7 +170,7 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> 
             return Ok(());
         }
         let text = String::from_utf8_lossy(&line);
-        match respond(&text, engine) {
+        match respond(&text, engine, dim) {
             Response::Line(text) => {
                 writer.write_all(text.as_bytes())?;
                 writer.write_all(b"\n")?;
@@ -178,28 +192,60 @@ enum Response {
     Ignore,
 }
 
-fn respond(line: &str, engine: &Engine) -> Response {
+fn respond(line: &str, engine: &Engine, dim: usize) -> Response {
     let line = line.trim();
     if line.is_empty() {
         return Response::Ignore;
     }
     let mut fields = line.split_ascii_whitespace();
     match fields.next() {
-        Some("QUERY") => Response::Line(answer_query(fields, engine)),
+        Some("QUERY") => Response::Line(answer_query(fields, engine, dim)),
         Some("PING") => Response::Line("PONG".to_string()),
         Some("STATS") => Response::Line(format!("STATS {}", engine.stats())),
+        Some("INDEXINFO") => Response::Line(format!("INDEXINFO {}", engine.info())),
+        Some("REINDEX") => Response::Line(answer_reindex(fields, engine)),
         Some("QUIT") => Response::Close,
         Some(other) => Response::Line(format!("ERR unknown command '{other}'")),
         None => Response::Ignore,
     }
 }
 
-fn answer_query<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine) -> String {
+/// Executes `REINDEX <path>`: loads the server-side dataset file, rebuilds
+/// with the served snapshot's parameters on all cores, and swaps. Returns
+/// the one-line wire reply.
+fn answer_reindex<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine) -> String {
+    let Some(path) = fields.next() else {
+        return "ERR REINDEX needs a dataset file path".to_string();
+    };
+    if fields.next().is_some() {
+        return "ERR REINDEX takes exactly one (whitespace-free) path".to_string();
+    }
+    let data = match pm_lsh_data::read_auto(path, None) {
+        Ok(data) => data,
+        Err(e) => return format!("ERR reading {path}: {e}"),
+    };
+    // Keep the serving parameters; only the dataset changes. The build
+    // runs on the reindex thread, so this connection blocks while every
+    // other connection keeps being served.
+    let params = *engine.index().params();
+    match engine.reindex(data, params, pm_lsh_core::BuildOptions::all_cores()) {
+        Ok(report) => format!(
+            "OK epoch={} points={} secs={:.3}",
+            report.epoch, report.points, report.build_secs
+        ),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn answer_query<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    engine: &Engine,
+    dim: usize,
+) -> String {
     let k: usize = match fields.next().map(str::parse) {
         Some(Ok(k)) if k >= 1 => k,
         _ => return "ERR QUERY needs a positive integer k".to_string(),
     };
-    let dim = engine.index().data().dim();
     let mut query = Vec::with_capacity(dim);
     for field in fields {
         match field.parse::<f32>() {

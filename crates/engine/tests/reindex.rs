@@ -1,0 +1,220 @@
+//! Live snapshot swap: queries issued while `Engine::reindex` runs must
+//! all complete successfully against the old or the new snapshot — never
+//! error, never block until the build finishes — and the TCP `REINDEX` /
+//! `INDEXINFO` verbs must drive the same machinery end to end.
+
+use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
+use pm_lsh_engine::{serve, Engine, EngineConfig, ReindexError};
+use pm_lsh_metric::Dataset;
+use pm_lsh_stats::Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut buf = vec![0.0f32; d];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+#[test]
+fn queries_during_reindex_complete_against_old_or_new_snapshot() {
+    let d = 16;
+    let old_data = blob(1500, d, 100);
+    let new_data = blob(2300, d, 101);
+    let queries = blob(40, d, 102);
+    let params = PmLshParams::default();
+
+    let engine = Engine::new(
+        PmLsh::build(old_data.clone(), params),
+        EngineConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(engine.epoch(), 0);
+
+    // Hammer the engine from several threads for the whole duration of a
+    // background reindex. Every query must return a full, well-formed
+    // answer; a dropped reply channel (worker panic) or a half-built
+    // snapshot would fail loudly here.
+    let stop = AtomicBool::new(false);
+    let completed = AtomicUsize::new(0);
+    let max_len = old_data.len().max(new_data.len());
+    let report = std::thread::scope(|scope| {
+        for t in 0..3usize {
+            let engine = engine.clone();
+            let queries = &queries;
+            let stop = &stop;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut qi = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let q = queries.point(qi % queries.len());
+                    let res = engine.query(q, 5);
+                    assert_eq!(res.neighbors.len(), 5, "short answer during reindex");
+                    assert!(
+                        res.neighbors.iter().all(|n| n.dist.is_finite()),
+                        "non-finite distance during reindex"
+                    );
+                    // Ids must be valid for whichever snapshot answered.
+                    assert!(
+                        res.neighbors.iter().all(|n| (n.id as usize) < max_len),
+                        "neighbor id out of range for both snapshots"
+                    );
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    qi += 3;
+                }
+            });
+        }
+
+        let ticket = engine
+            .begin_reindex(new_data.clone(), params, BuildOptions::with_threads(2))
+            .expect("reindex must start");
+        let report = ticket.wait();
+        // Let the query threads observe the new snapshot for a few rounds.
+        for q in queries.iter().take(5) {
+            let _ = engine.query(q, 5);
+        }
+        stop.store(true, Ordering::Relaxed);
+        report
+    });
+
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.points, new_data.len());
+    assert!(
+        completed.load(Ordering::Relaxed) > 0,
+        "no concurrent queries ran"
+    );
+    assert_eq!(engine.epoch(), 1);
+
+    // After the swap the engine answers exactly like a fresh build over
+    // the new dataset.
+    let fresh = PmLsh::build_with_opts(new_data.clone(), params, BuildOptions::with_threads(2));
+    for q in queries.iter().take(10) {
+        assert_eq!(engine.query(q, 5).neighbors, fresh.query(q, 5).neighbors);
+    }
+
+    let info = engine.info();
+    assert_eq!(info.points, new_data.len());
+    assert_eq!(info.epoch, 1);
+    assert!(!info.reindexing);
+}
+
+#[test]
+fn reindex_rejects_bad_datasets_and_serializes_rebuilds() {
+    let d = 8;
+    let engine = Engine::new(
+        PmLsh::build(blob(300, d, 200), PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+
+    let wrong_dim = blob(100, d + 1, 201);
+    assert_eq!(
+        engine
+            .begin_reindex(wrong_dim, PmLshParams::default(), BuildOptions::default())
+            .err(),
+        Some(ReindexError::DimensionMismatch {
+            served: d,
+            offered: d + 1
+        })
+    );
+
+    let empty = Dataset::with_capacity(d, 0);
+    assert_eq!(
+        engine
+            .begin_reindex(empty, PmLshParams::default(), BuildOptions::default())
+            .err(),
+        Some(ReindexError::EmptyDataset)
+    );
+
+    // A poisoned dataset file (NaN component) must be a typed error, not a
+    // panic on the background build thread.
+    let mut poisoned = blob(100, d, 210);
+    poisoned.point_mut(42)[3] = f32::NAN;
+    assert_eq!(
+        engine
+            .begin_reindex(poisoned, PmLshParams::default(), BuildOptions::default())
+            .err(),
+        Some(ReindexError::NonFiniteData)
+    );
+
+    // Two sequential reindexes both land, bumping the epoch each time.
+    for expected_epoch in 1..=2u64 {
+        let report = engine
+            .reindex(
+                blob(400, d, 202 + expected_epoch),
+                PmLshParams::default(),
+                BuildOptions::default(),
+            )
+            .expect("sequential reindex");
+        assert_eq!(report.epoch, expected_epoch);
+    }
+    assert_eq!(engine.epoch(), 2);
+}
+
+#[test]
+fn tcp_reindex_and_indexinfo_roundtrip() {
+    let d = 12;
+    let old_data = blob(500, d, 300);
+    let new_data = blob(800, d, 301);
+    let params = PmLshParams::default();
+
+    // The REINDEX verb loads a server-side file; write the new dataset to
+    // a unique temp path the server process (us) can read.
+    let path = std::env::temp_dir().join(format!(
+        "pmlsh-reindex-test-{}-{}.fvecs",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    pm_lsh_data::write_fvecs(&path, &new_data).expect("write temp fvecs");
+
+    let engine = Engine::new(PmLsh::build(old_data, params), EngineConfig::default());
+    let handle = serve(engine.clone(), ("127.0.0.1", 0)).expect("bind");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut exchange = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    let info = exchange("INDEXINFO\n");
+    assert!(
+        info.starts_with("INDEXINFO points=500") && info.contains("epoch=0"),
+        "unexpected pre-reindex info: {info}"
+    );
+
+    let reply = exchange(&format!("REINDEX {}\n", path.display()));
+    assert!(
+        reply.starts_with("OK epoch=1 points=800"),
+        "unexpected REINDEX reply: {reply}"
+    );
+
+    let info = exchange("INDEXINFO\n");
+    assert!(
+        info.starts_with("INDEXINFO points=800") && info.contains("epoch=1"),
+        "unexpected post-reindex info: {info}"
+    );
+
+    // Errors come back as ERR lines and leave the connection usable.
+    let reply = exchange("REINDEX /nonexistent/nope.fvecs\n");
+    assert!(reply.starts_with("ERR"), "missing file must ERR: {reply}");
+    assert_eq!(exchange("PING\n"), "PONG");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

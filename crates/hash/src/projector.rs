@@ -77,14 +77,49 @@ impl GaussianProjector {
 
     /// Projects a whole dataset into a new `m`-dimensional [`Dataset`].
     pub fn project_all(&self, view: MatrixView<'_>) -> Dataset {
+        self.project_all_threaded(view, 1)
+    }
+
+    /// Projects a whole dataset across `threads` OS threads (0 = available
+    /// parallelism), splitting the rows into one contiguous chunk per
+    /// worker.
+    ///
+    /// Every output value is the same `dot(a_i, o_j)` computed in the same
+    /// floating-point order as [`Self::project_all`], so the result is
+    /// bit-identical for every thread count — parallel builds stay
+    /// reproducible.
+    pub fn project_all_threaded(&self, view: MatrixView<'_>, threads: usize) -> Dataset {
         assert_eq!(view.dim(), self.d, "dataset has wrong dimensionality");
-        let mut out = Dataset::with_capacity(self.m, view.len());
-        let mut buf = vec![0.0f32; self.m];
-        for p in view.iter() {
-            self.project_into(p, &mut buf);
-            out.push(&buf);
+        let n = view.len();
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
         }
-        out
+        .min(n.max(1));
+
+        let mut flat = vec![0.0f32; n * self.m];
+        if threads <= 1 {
+            for (p, out_row) in view.iter().zip(flat.chunks_mut(self.m)) {
+                self.project_into(p, out_row);
+            }
+            return Dataset::from_flat(flat, self.m);
+        }
+
+        let rows_per_chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (c, out_chunk) in flat.chunks_mut(rows_per_chunk * self.m).enumerate() {
+                let start = c * rows_per_chunk;
+                scope.spawn(move || {
+                    for (j, out_row) in out_chunk.chunks_mut(self.m).enumerate() {
+                        self.project_into(view.point(start + j), out_row);
+                    }
+                });
+            }
+        });
+        Dataset::from_flat(flat, self.m)
     }
 }
 
@@ -138,6 +173,27 @@ mod tests {
         assert_eq!(pd.dim(), 3);
         for i in 0..3 {
             assert_eq!(pd.point(i), proj.project(ds.point(i)).as_slice());
+        }
+    }
+
+    #[test]
+    fn threaded_projection_is_bit_identical() {
+        let mut rng = Rng::new(23);
+        let proj = GaussianProjector::new(12, 5, &mut rng);
+        let mut ds = Dataset::with_capacity(12, 97); // deliberately not a multiple of any thread count
+        let mut buf = [0.0f32; 12];
+        for _ in 0..97 {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        let sequential = proj.project_all(ds.view());
+        for threads in [0usize, 1, 2, 3, 4, 8, 128] {
+            let parallel = proj.project_all_threaded(ds.view(), threads);
+            assert_eq!(
+                parallel.as_flat(),
+                sequential.as_flat(),
+                "{threads}-thread projection diverged"
+            );
         }
     }
 

@@ -129,6 +129,16 @@ impl Dataset {
         MatrixView::new(&self.data, self.dim)
     }
 
+    /// Appends every point of `view` in order (one flat copy, used by the
+    /// PM-tree bulk loader when splicing subtree point stores together).
+    ///
+    /// # Panics
+    /// Panics if `view.dim() != self.dim()`.
+    pub fn extend_from_view(&mut self, view: MatrixView<'_>) {
+        assert_eq!(view.dim(), self.dim, "view has wrong dimensionality");
+        self.data.extend_from_slice(view.as_flat());
+    }
+
     /// Copies the selected points (in the given order) into a new dataset.
     ///
     /// Used for query-set extraction and sampling.

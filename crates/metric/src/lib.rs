@@ -1,4 +1,6 @@
-//! Dense `f32` vector datasets and Euclidean distance kernels.
+//! Dense `f32` vector datasets and Euclidean distance kernels — the
+//! paper's problem setting (Section 2: points in `R^d` under `l_2`) as
+//! types.
 //!
 //! This crate is the lowest layer of the PM-LSH workspace. Every other crate
 //! (the PM-tree, the R-tree, the LSH hash family, the query algorithms and the

@@ -6,6 +6,10 @@
 //! * [`tree::PmTree`] — incremental construction with mM_RAD node splits and
 //!   per-entry hyper-ring (`HR`) maintenance; `num_pivots = 0` degrades to a
 //!   plain M-tree (used by the Fig. 6 parameter ablation).
+//! * [`bulk`] — `PmTree::build_parallel`, a parallel bulk loader that
+//!   partitions points by nearest global pivot, builds one subtree per
+//!   region concurrently and merges them; its output is identical for
+//!   every thread count.
 //! * [`cursor::RangeCursor`] — a best-first incremental traversal yielding
 //!   points in non-decreasing projected distance, with lazily refined lower
 //!   bounds. `next_within(r)` is the building block of the paper's
@@ -16,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod cost;
 pub mod cursor;
 pub mod entry;

@@ -142,10 +142,10 @@ impl PmTree {
     /// # Panics
     /// Panics if `vector.len() != self.dim()`.
     pub fn insert(&mut self, vector: &[f32], external: PointId) {
+        // Check before the pivot distances so a bad point fails with this
+        // message (not inside the distance kernel) and without counting
+        // distance computations it never really did.
         assert_eq!(vector.len(), self.dim, "point has wrong dimensionality");
-        let internal = self.externals.len() as u32;
-        self.points.push(vector);
-        self.externals.push(external);
         let pd: Box<[f32]> = self
             .pivots
             .iter()
@@ -153,11 +153,35 @@ impl PmTree {
             .collect::<Vec<_>>()
             .into_boxed_slice();
         self.build_dist_computations += self.pivots.len() as u64;
+        self.insert_with_pivot_dists(vector, external, pd);
+    }
+
+    /// Inserts one point whose pivot distances are already known (the bulk
+    /// loader computes them during region assignment and must not pay for —
+    /// or count — them twice).
+    pub(crate) fn insert_with_pivot_dists(
+        &mut self,
+        vector: &[f32],
+        external: PointId,
+        pd: Box<[f32]>,
+    ) {
+        assert_eq!(vector.len(), self.dim, "point has wrong dimensionality");
+        debug_assert_eq!(pd.len(), self.pivots.len());
+        let internal = self.externals.len() as u32;
+        self.points.push(vector);
+        self.externals.push(external);
 
         if let Some((e1, e2)) = self.insert_rec(self.root, vector, internal, &pd, 0.0, None) {
             let new_root = self.alloc(Node::Inner(vec![e1, e2]));
             self.root = new_root;
         }
+    }
+
+    /// Adds `count` build-time distance computations to the preprocessing
+    /// counter (used by the bulk loader, whose assignment phase computes
+    /// pivot distances outside [`PmTree::insert`]).
+    pub(crate) fn add_build_dist_computations(&mut self, count: u64) {
+        self.build_dist_computations += count;
     }
 
     fn alloc(&mut self, node: Node) -> NodeId {

@@ -3,7 +3,7 @@
 //! Everything in the paper that is "math rather than data structure" lives
 //! here:
 //!
-//! * [`gamma`] / [`normal`] / [`chi2`] — the special functions behind
+//! * [`mod@gamma`] / [`normal`] / [`chi2`] — the special functions behind
 //!   Lemmas 1–3 and Eq. 10 (no maintained special-function crate is on the
 //!   offline allow-list, so these are implemented and pinned to references).
 //! * [`rng`] — a seeded xoshiro256++ generator with Gaussian sampling

@@ -5,8 +5,9 @@
 //! pmlsh stats       --data data.fvecs
 //! pmlsh query       --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
 //! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
-//! pmlsh batch-query --data data.fvecs --queries queries.fvecs --k 10 [--threads 4]
-//! pmlsh serve       --data data.fvecs --port 7878 [--threads 4]
+//! pmlsh batch-query --data data.fvecs --queries queries.fvecs --k 10 [--threads 4] [--build-threads 4]
+//! pmlsh serve       --data data.fvecs --port 7878 [--threads 4] [--build-threads 4]
+//! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs
 //! ```
 //!
 //! Files ending in `.csv` are parsed as headerless CSV; anything else as
@@ -14,7 +15,7 @@
 //! in), so the same binary drives both the synthetic stand-ins and the real
 //! datasets when available.
 
-use pm_lsh::data::{read_csv, read_fvecs, write_csv, write_fvecs};
+use pm_lsh::data::{read_auto, write_csv, write_fvecs};
 use pm_lsh::prelude::*;
 use pm_lsh::stats::dataset_stats::{homogeneity_of_viewpoints, lid_mle, relative_contrast};
 use std::collections::HashMap;
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
                 "c",
                 "no-truth",
                 "threads",
+                "build-threads",
                 "batch-size",
                 "max-wait-us",
             ],
@@ -61,9 +63,18 @@ fn main() -> ExitCode {
         .and_then(|()| cmd_batch_query(&opts)),
         "serve" => known_opts(
             &opts,
-            &["data", "port", "c", "threads", "batch-size", "max-wait-us"],
+            &[
+                "data",
+                "port",
+                "c",
+                "threads",
+                "build-threads",
+                "batch-size",
+                "max-wait-us",
+            ],
         )
         .and_then(|()| cmd_serve(&opts)),
+        "reindex" => known_opts(&opts, &["addr", "data"]).and_then(|()| cmd_reindex(&opts)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -89,14 +100,20 @@ USAGE:
                [--algo pm-lsh|srs|qalsh|multi-probe|r-lsh|lscan] [--no-truth]
   pmlsh bench  --data <file> --queries <file> [--k <n>] [--c <ratio>]
   pmlsh batch-query --data <file> --queries <file> [--k <n>] [--c <ratio>]
-               [--threads <n>] [--no-truth]
+               [--threads <n>] [--build-threads <n>] [--no-truth]
   pmlsh serve  --data <file> --port <p> [--threads <n>] [--c <ratio>]
-               [--batch-size <n>] [--max-wait-us <µs>]
+               [--build-threads <n>] [--batch-size <n>] [--max-wait-us <µs>]
+  pmlsh reindex --addr <host:port> --data <server-side file>
 
 Files ending in .csv are headerless CSV; anything else is fvecs.
 `serve` speaks a newline-delimited protocol: `QUERY <k> <v1> ... <vd>` is
-answered with `OK <id>:<dist>,...`; also PING, STATS and QUIT.
-`--threads 0` (the default) uses all available cores.";
+answered with `OK <id>:<dist>,...`; also PING, STATS, INDEXINFO,
+REINDEX <path> and QUIT (see docs/PROTOCOL.md). `reindex` asks a running
+server to rebuild onto a dataset file readable by the *server* and swap
+it in without dropping queries.
+`--threads 0` (the default) uses all available cores; `--build-threads`
+parallelizes index construction (0 = all cores, omitted = the
+single-threaded paper-faithful build).";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
@@ -133,13 +150,7 @@ fn known_opts(opts: &HashMap<String, String>, allowed: &[&str]) -> Result<(), St
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
-    let p = Path::new(path);
-    let result = if p.extension().is_some_and(|e| e == "csv") {
-        read_csv(p, None)
-    } else {
-        read_fvecs(p, None)
-    };
-    result.map_err(|e| format!("reading {path}: {e}"))
+    read_auto(path, None).map_err(|e| format!("reading {path}: {e}"))
 }
 
 fn save(path: &str, data: &Dataset) -> Result<(), String> {
@@ -362,10 +373,11 @@ fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     let (k, c) = parse_kc(opts)?;
     let config = parse_engine_config(opts)?;
+    let build_threads = parse_build_threads(opts)?;
     let with_truth = !opts.contains_key("no-truth");
 
     let start = Instant::now();
-    let index = build_pmlsh(data.clone(), c);
+    let index = build_pmlsh(data.clone(), c, build_threads);
     println!(
         "built PM-LSH over {} points in {:.1} s",
         data.len(),
@@ -414,9 +426,10 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .map_err(|_| "--port must be 0..=65535")?;
     let c = parse_c(opts)?;
     let config = parse_engine_config(opts)?;
+    let build_threads = parse_build_threads(opts)?;
 
     let start = Instant::now();
-    let index = build_pmlsh(data.clone(), c);
+    let index = build_pmlsh(data.clone(), c, build_threads);
     println!(
         "built PM-LSH over {} points in R^{} in {:.1} s",
         data.len(),
@@ -427,7 +440,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let handle = serve(engine.clone(), ("0.0.0.0", port))
         .map_err(|e| format!("binding port {port}: {e}"))?;
     println!(
-        "serving on {} with {} worker thread(s); protocol: QUERY <k> <v1..v{}> | PING | STATS | QUIT",
+        "serving on {} with {} worker thread(s); protocol: QUERY <k> <v1..v{}> | PING | STATS | INDEXINFO | REINDEX <path> | QUIT",
         handle.addr(),
         engine.threads(),
         data.dim()
@@ -436,8 +449,63 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn build_pmlsh(data: Arc<Dataset>, c: f64) -> PmLsh {
-    PmLsh::build(data, pmlsh_params(c))
+/// Builds the PM-LSH index, routing through the parallel bulk loader when
+/// `--build-threads` was given (0 = all cores) and the classic
+/// single-threaded incremental build otherwise.
+fn build_pmlsh(data: Arc<Dataset>, c: f64, build_threads: Option<usize>) -> PmLsh {
+    match build_threads {
+        Some(threads) => {
+            PmLsh::build_with_opts(data, pmlsh_params(c), BuildOptions::with_threads(threads))
+        }
+        None => PmLsh::build(data, pmlsh_params(c)),
+    }
+}
+
+fn parse_build_threads(opts: &HashMap<String, String>) -> Result<Option<usize>, String> {
+    opts.get("build-threads")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--build-threads must be an integer".to_string())
+        })
+        .transpose()
+}
+
+fn cmd_reindex(opts: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = opts.get("addr").ok_or("reindex needs --addr <host:port>")?;
+    let data = opts.get("data").ok_or("reindex needs --data <path>")?;
+    if data.chars().any(|ch| ch.is_ascii_whitespace()) {
+        return Err("the wire protocol cannot carry whitespace in paths".into());
+    }
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut exchange = |request: String| -> Result<String, String> {
+        writer
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("sending to {addr}: {e}"))?;
+        let mut reply = String::new();
+        let n = reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("reading from {addr}: {e}"))?;
+        if n == 0 {
+            // EOF before a reply line: the server dropped the connection
+            // (e.g. the request tripped the line cap). Silence must not
+            // look like success to scripts checking our exit code.
+            return Err(format!("{addr} closed the connection without replying"));
+        }
+        Ok(reply.trim_end().to_string())
+    };
+
+    println!("asking {addr} to reindex onto {data} (server-side path) ...");
+    let reply = exchange(format!("REINDEX {data}\n"))?;
+    if let Some(err) = reply.strip_prefix("ERR ") {
+        return Err(format!("server refused: {err}"));
+    }
+    println!("{reply}");
+    println!("{}", exchange("INDEXINFO\n".to_string())?);
+    Ok(())
 }
 
 fn cmd_bench(opts: &HashMap<String, String>) -> Result<(), String> {

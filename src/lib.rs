@@ -62,12 +62,15 @@ pub mod prelude {
         AnnIndex, AnnResult, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh, QalshParams,
         RLsh, Srs, SrsParams,
     };
-    pub use pm_lsh_core::{PmLsh, PmLshParams, QueryResult, QueryStats};
+    pub use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
     pub use pm_lsh_data::{
         exact_knn, exact_knn_batch, overall_ratio, recall, Generator, PaperDataset, Scale,
         SynthSpec,
     };
-    pub use pm_lsh_engine::{serve, Engine, EngineConfig, EngineStats, ServerHandle};
+    pub use pm_lsh_engine::{
+        serve, Engine, EngineConfig, EngineStats, IndexInfo, ReindexError, ReindexReport,
+        ReindexTicket, ServerHandle,
+    };
     pub use pm_lsh_metric::{Dataset, Neighbor, PointId};
     pub use pm_lsh_stats::Rng;
 }

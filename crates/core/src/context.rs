@@ -1,0 +1,69 @@
+//! Reusable per-thread query state.
+//!
+//! Every `(c, k)`-ANN query needs a projected-query buffer (`m` floats), a
+//! PM-tree traversal frontier and a top-k collector. Allocating them per
+//! query is invisible for one-off calls but dominates small-`d` serving
+//! workloads; a [`QueryContext`] owns all three and is threaded through
+//! [`crate::PmLsh::query_with_context`] / [`crate::PmLsh::query_into`] so
+//! repeated queries run without touching the allocator at steady state
+//! (asserted by `crates/core/tests/zero_alloc.rs` with a counting global
+//! allocator).
+//!
+//! A context is **not** tied to an index: the engine keeps one per worker
+//! thread and reuses it across reindex snapshot swaps — buffers simply
+//! resize on the next query. Results are bit-identical with or without a
+//! context; reuse trades allocation, never accuracy.
+
+use pm_lsh_metric::TopK;
+use pm_lsh_pmtree::CursorScratch;
+
+/// Owned scratch space for the query hot path; see the module docs.
+///
+/// ```
+/// use pm_lsh_core::{PmLsh, PmLshParams, QueryContext};
+/// use pm_lsh_metric::Dataset;
+/// use pm_lsh_stats::Rng;
+///
+/// let mut rng = Rng::new(11);
+/// let mut ds = Dataset::with_capacity(24, 400);
+/// let mut buf = [0.0f32; 24];
+/// for _ in 0..400 {
+///     rng.fill_normal(&mut buf);
+///     ds.push(&buf);
+/// }
+/// let q = ds.point(3).to_vec();
+/// let index = PmLsh::build(ds, PmLshParams::default());
+///
+/// let mut ctx = QueryContext::new();
+/// let reused = index.query_with_context(&q, 5, &mut ctx);
+/// assert_eq!(reused.neighbors, index.query(&q, 5).neighbors);
+/// ```
+#[derive(Debug)]
+pub struct QueryContext {
+    /// PM-tree traversal buffers (frontier heap, pivot distances, query).
+    pub(crate) scratch: CursorScratch,
+    /// The projected query `q' = (h*_1(q), …, h*_m(q))`.
+    pub(crate) qp: Vec<f32>,
+    /// Top-k collector, reset per query.
+    pub(crate) top: TopK,
+}
+
+impl QueryContext {
+    /// An empty context. Almost nothing is allocated until the first
+    /// query; capacities grow to the working-set high-water mark and then
+    /// stay.
+    pub fn new() -> Self {
+        Self {
+            scratch: CursorScratch::new(),
+            qp: Vec::new(),
+            // Placeholder k; every query resets the collector to its own k.
+            top: TopK::new(1),
+        }
+    }
+}
+
+impl Default for QueryContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -2,12 +2,13 @@
 //! queries (Algorithm 2).
 
 use crate::build::BuildOptions;
+use crate::context::QueryContext;
 use crate::params::{DerivedParams, PmLshParams};
 use pm_lsh_hash::GaussianProjector;
-use pm_lsh_metric::{euclidean, Dataset, Neighbor, TopK};
+use pm_lsh_metric::{sq_dist_within, Dataset, Neighbor};
 use pm_lsh_pmtree::PmTree;
 use pm_lsh_stats::{distance_distribution, Ecdf, Rng};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Per-query execution counters, used by the benchmark harness and by the
 /// Theorem 2 cost tests (`O(log n + βn)` behaviour).
@@ -75,6 +76,30 @@ pub struct QueryResult {
     pub stats: QueryStats,
 }
 
+/// Conservative squared-distance admission bound for a current best/k-th
+/// neighbor distance `kth` (an `f32` Euclidean distance, or
+/// `f32::INFINITY` while the collector is not full).
+///
+/// Verification compares *squared* distances against this bound, so it has
+/// to over-admit rather than over-reject: every squared distance whose
+/// rounded `sqrt` is `<= kth` must satisfy `sq <= abandon_bound(kth)`,
+/// otherwise early abandonment could drop a candidate the exact
+/// (pre-refactor) comparison would have kept. Squaring `kth` and stepping
+/// up two ulps covers the worst-case rounding of both the square and the
+/// candidate's own `sqrt` (relative error ≤ 2⁻²⁴ each, i.e. ≤ ~1.5 ulp of
+/// `kth²` combined). Over-admitted borderline candidates are simply
+/// computed in full and rejected by the heap — exactly what the reference
+/// implementation does for *every* candidate — so the bound trades a
+/// sliver of abandonment opportunity for bit-exact parity.
+#[inline]
+fn abandon_bound(kth: f32) -> f32 {
+    if kth == f32::INFINITY {
+        f32::INFINITY
+    } else {
+        (kth * kth).next_up().next_up()
+    }
+}
+
 /// The PM-LSH index over a dataset in `R^d`.
 ///
 /// Building projects every point through `m` Gaussian hash functions
@@ -107,6 +132,46 @@ pub struct PmLsh {
     params: PmLshParams,
     derived: DerivedParams,
     dist_f: Ecdf,
+    rmin_memo: RminMemo,
+}
+
+/// Memoized [`PmLsh::select_rmin`] values for small `k`.
+///
+/// Serving workloads issue millions of queries at one or two fixed `k`
+/// values, and the `r_min` selection walks the build-time ECDF every time.
+/// The answer depends only on `k` (and build-time state), so each small-`k`
+/// slot is computed once and then read lock-free; larger `k` falls back to
+/// the direct computation. A cloned index copies the already-memoized
+/// values (same build-time state, same answers).
+struct RminMemo {
+    slots: [OnceLock<f64>; RminMemo::SLOTS],
+}
+
+impl RminMemo {
+    /// Memoized range: `k < SLOTS` (covers every realistic serving `k`;
+    /// the paper's experiments stop at k = 100).
+    const SLOTS: usize = 128;
+
+    fn new() -> Self {
+        Self {
+            slots: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+}
+
+impl Clone for RminMemo {
+    fn clone(&self) -> Self {
+        Self {
+            slots: self.slots.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RminMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cached = self.slots.iter().filter(|s| s.get().is_some()).count();
+        f.debug_struct("RminMemo").field("cached", &cached).finish()
+    }
 }
 
 impl PmLsh {
@@ -213,6 +278,7 @@ impl PmLsh {
             params,
             derived,
             dist_f,
+            rmin_memo: RminMemo::new(),
         }
     }
 
@@ -253,7 +319,18 @@ impl PmLsh {
 
     /// The start radius of Algorithm 2 for a given `k`: the paper picks `r`
     /// with `n·F(r) = βn + k`, then shrinks it slightly.
+    ///
+    /// The value depends only on `k` and build-time state, so small `k`
+    /// (k < 128) is memoized per index — a serving workload hammering one
+    /// or two `k` values pays the ECDF walk once.
     pub fn select_rmin(&self, k: usize) -> f64 {
+        match self.rmin_memo.slots.get(k) {
+            Some(slot) => *slot.get_or_init(|| self.compute_rmin(k)),
+            None => self.compute_rmin(k),
+        }
+    }
+
+    fn compute_rmin(&self, k: usize) -> f64 {
         let n = self.data.len() as f64;
         let target = (self.derived.beta + k as f64 / n).min(1.0);
         let r = self.dist_f.quantile(target);
@@ -266,8 +343,21 @@ impl PmLsh {
     }
 
     /// Algorithm 2: the `(c, k)`-ANN query with the build-time `c`.
+    ///
+    /// Allocates a fresh [`QueryContext`] per call; serving loops should
+    /// hold one and use [`PmLsh::query_with_context`] instead, which is
+    /// allocation-free at steady state and returns identical results.
     pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
-        self.query_with_c(q, k, self.params.c)
+        self.query_with_context(q, k, &mut QueryContext::new())
+    }
+
+    /// Algorithm 2 over a reused [`QueryContext`] (see the context docs:
+    /// results are bit-identical to [`PmLsh::query`], only the allocation
+    /// behavior differs).
+    pub fn query_with_context(&self, q: &[f32], k: usize, ctx: &mut QueryContext) -> QueryResult {
+        let mut neighbors = Vec::new();
+        let stats = self.query_into(q, k, self.params.c, ctx, &mut neighbors);
+        QueryResult { neighbors, stats }
     }
 
     /// Algorithm 2 with an explicit approximation ratio (the Figs. 10–11
@@ -275,6 +365,37 @@ impl PmLsh {
     /// budget `βn + k` is re-derived for the given `c` unless the index was
     /// built with a pinned `β`.
     pub fn query_with_c(&self, q: &[f32], k: usize, c: f64) -> QueryResult {
+        let mut neighbors = Vec::new();
+        let stats = self.query_into(q, k, c, &mut QueryContext::new(), &mut neighbors);
+        QueryResult { neighbors, stats }
+    }
+
+    /// The `(c, k)`-ANN workhorse: Algorithm 2 over a reused
+    /// [`QueryContext`], writing the neighbors into `out` (cleared first).
+    ///
+    /// This is the fully allocation-free entry point: with a warmed-up
+    /// `ctx` and an `out` whose capacity has reached the working set,
+    /// repeated calls never touch the global allocator
+    /// (`crates/core/tests/zero_alloc.rs` pins this with a counting
+    /// allocator).
+    ///
+    /// Verification runs in the squared-distance domain: each candidate is
+    /// measured with the early-abandoning [`sq_dist_within`] against a
+    /// conservative squared bound derived from the current k-th neighbor
+    /// distance, so candidates that cannot enter the top-k stop mid-kernel
+    /// and never pay a `sqrt`. Kept candidates are completed exactly (same
+    /// kernel, same accumulation order) and take one `sqrt` on insertion,
+    /// which keeps every distance the verifier stores — and therefore every
+    /// result and every [`QueryStats`] counter — identical to the
+    /// pre-abandonment implementation (`PmLsh::query_reference`).
+    pub fn query_into(
+        &self,
+        q: &[f32],
+        k: usize,
+        c: f64,
+        ctx: &mut QueryContext,
+        out: &mut Vec<Neighbor>,
+    ) -> QueryStats {
         assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
         assert!(k >= 1, "k must be positive");
         assert!(c > 1.0, "approximation ratio must exceed 1");
@@ -293,18 +414,29 @@ impl PmLsh {
 
         let n = self.data.len();
         let budget = ((derived.beta * n as f64).ceil() as usize + k).min(n);
-        let qp = self.projector.project(q);
-        let mut cursor = self.tree.cursor(&qp);
+        ctx.qp.resize(self.params.m as usize, 0.0);
+        self.projector.project_into(q, &mut ctx.qp);
+        let mut cursor = self
+            .tree
+            .cursor_with_scratch(&ctx.qp, std::mem::take(&mut ctx.scratch));
 
-        let mut top = TopK::new(k);
+        let top = &mut ctx.top;
+        top.reset(k);
         let mut verified = 0usize;
         let mut rounds = 0u32;
         let mut r = self.select_rmin(k);
+        // Invariant: `bound == abandon_bound(top.kth_dist())`, refreshed
+        // only when an insertion changes the k-th distance — not per
+        // candidate.
+        let mut bound = f32::INFINITY;
 
         loop {
             rounds += 1;
             // Termination test of Algorithm 2 line 4: k candidates already
-            // within c·r of the query.
+            // within c·r of the query. (Linear domain on purpose: squaring
+            // both sides would round differently and could flip the
+            // comparison at the boundary, breaking exact parity with the
+            // reference path.)
             if top.is_full() && (top.kth_dist() as f64) <= c * r {
                 break;
             }
@@ -313,8 +445,17 @@ impl PmLsh {
             while verified < budget {
                 match cursor.next_within(proj_radius) {
                     Some((id, _proj_dist)) => {
-                        let d = euclidean(q, self.data.point_id(id));
-                        top.push(d, id);
+                        let sq = sq_dist_within(q, self.data.point_id(id), bound);
+                        if sq <= bound {
+                            // Kept: `sq` is exact; one sqrt, then the same
+                            // (dist, id) insertion the reference performs.
+                            if top.push(sq.sqrt(), id) && top.is_full() {
+                                bound = abandon_bound(top.kth_dist());
+                            }
+                        }
+                        // else: sq > bound ≥ any squared distance whose
+                        // sqrt could still displace the k-th neighbor, so
+                        // the reference's push would have rejected it too.
                         verified += 1;
                     }
                     None => break,
@@ -331,47 +472,79 @@ impl PmLsh {
             r *= c;
         }
 
-        QueryResult {
-            neighbors: top.into_sorted_vec(),
-            stats: QueryStats {
-                candidates_verified: verified,
-                projected_dist_computations: cursor.distance_computations(),
-                rounds,
-            },
-        }
+        let stats = QueryStats {
+            candidates_verified: verified,
+            projected_dist_computations: cursor.distance_computations(),
+            rounds,
+        };
+        ctx.scratch = cursor.recycle();
+        ctx.top.drain_sorted_into(out);
+        stats
     }
 
     /// Algorithm 1: the `(r, c)`-ball-cover query. Returns a point within
     /// `c·r` of `q` (the closest verified candidate) or `None`, with the
     /// guarantees of Lemma 5.
     pub fn query_bc(&self, q: &[f32], r: f64) -> Option<Neighbor> {
+        self.query_bc_with_context(q, r, &mut QueryContext::new())
+    }
+
+    /// Algorithm 1 over a reused [`QueryContext`]; identical results to
+    /// [`PmLsh::query_bc`], allocation-free at steady state. Candidates
+    /// that cannot beat the current best are early-abandoned mid-kernel,
+    /// exactly as in [`PmLsh::query_into`].
+    pub fn query_bc_with_context(
+        &self,
+        q: &[f32],
+        r: f64,
+        ctx: &mut QueryContext,
+    ) -> Option<Neighbor> {
         assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
         assert!(r > 0.0, "radius must be positive");
         let n = self.data.len();
         let beta_n = (self.derived.beta * n as f64).ceil() as usize;
-        let qp = self.projector.project(q);
-        let mut cursor = self.tree.cursor(&qp);
+        ctx.qp.resize(self.params.m as usize, 0.0);
+        self.projector.project_into(q, &mut ctx.qp);
+        let mut cursor = self
+            .tree
+            .cursor_with_scratch(&ctx.qp, std::mem::take(&mut ctx.scratch));
         let proj_radius = (self.derived.t * r) as f32;
 
         let mut best: Option<Neighbor> = None;
         let mut count = 0usize;
-        while let Some((id, _)) = cursor.next_within(proj_radius) {
-            let d = euclidean(q, self.data.point_id(id));
-            if best.is_none_or(|b| Neighbor::new(d, id) < b) {
-                best = Some(Neighbor::new(d, id));
+        // Invariant: `bound == abandon_bound(best.dist)` (infinite until a
+        // first candidate is verified), refreshed only when `best` changes.
+        let mut bound = f32::INFINITY;
+        let verdict = loop {
+            match cursor.next_within(proj_radius) {
+                Some((id, _)) => {
+                    let sq = sq_dist_within(q, self.data.point_id(id), bound);
+                    if sq <= bound {
+                        let d = sq.sqrt();
+                        if best.is_none_or(|b| Neighbor::new(d, id) < b) {
+                            best = Some(Neighbor::new(d, id));
+                            bound = abandon_bound(d);
+                        }
+                    }
+                    count += 1;
+                    if count > beta_n {
+                        // Line 3–4: enough candidates guarantee one inside
+                        // B(q, cr).
+                        break best;
+                    }
+                }
+                None => {
+                    // Line 6–9: fewer than βn+1 candidates — only answer
+                    // when a verified point is inside B(q, cr).
+                    break match best {
+                        Some(b) if (b.dist as f64) <= self.params.c * r => Some(b),
+                        _ => None,
+                    };
+                }
             }
-            count += 1;
-            if count > beta_n {
-                // Line 3–4: enough candidates guarantee one inside B(q, cr).
-                return best;
-            }
-        }
-        // Line 6–9: fewer than βn+1 candidates — only answer when a
-        // verified point is inside B(q, cr).
-        match best {
-            Some(b) if (b.dist as f64) <= self.params.c * r => Some(b),
-            _ => None,
-        }
+        };
+        ctx.scratch = cursor.recycle();
+        verdict
     }
 
     /// Projects an arbitrary point with this index's hash functions.
@@ -417,8 +590,13 @@ impl PmLsh {
             for (t, out_chunk) in results.chunks_mut(chunk).enumerate() {
                 let start = t * chunk;
                 scope.spawn(move || {
+                    // One context per worker: every query after the first
+                    // reuses the projection buffer, traversal frontier and
+                    // top-k collector of its predecessors in the chunk.
+                    let mut ctx = QueryContext::new();
                     for (j, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = Some(self.query(queries.point(start + j), k));
+                        *slot =
+                            Some(self.query_with_context(queries.point(start + j), k, &mut ctx));
                     }
                 });
             }

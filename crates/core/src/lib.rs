@@ -38,11 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod context;
 pub mod estimator_study;
 pub mod index;
 pub mod params;
+pub mod reference;
 
 pub use build::BuildOptions;
+pub use context::QueryContext;
 pub use estimator_study::{estimator_study, Estimator, EstimatorCurve, EstimatorPoint};
 pub use index::{PmLsh, QueryResult, QueryStats};
 pub use params::{DerivedParams, PmLshParams};

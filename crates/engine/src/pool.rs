@@ -13,7 +13,7 @@
 //! single batch is never split across epochs.
 
 use crate::stats::StatsCollector;
-use pm_lsh_core::{PmLsh, QueryResult};
+use pm_lsh_core::{PmLsh, QueryContext, QueryResult};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -111,6 +111,13 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
+    // One long-lived QueryContext per worker thread: after the first few
+    // queries its buffers reach the working-set high-water mark and the
+    // whole query hot path stops allocating. The context is not tied to a
+    // snapshot, so it survives reindex swaps (buffers resize on the next
+    // query if the dimensionality changed), and a panicking query leaves
+    // only stale-but-cleared-on-reuse state behind.
+    let mut ctx = QueryContext::new();
     loop {
         // Hold the mutex only for the receive itself, never during a query.
         let shard = match rx.lock() {
@@ -124,7 +131,7 @@ fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
             // runs, and only the panicking job's caller sees its reply
             // channel close.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                job.snapshot.query(&job.query, job.k)
+                job.snapshot.query_with_context(&job.query, job.k, &mut ctx)
             }));
             match outcome {
                 Ok(result) => {

@@ -3,39 +3,63 @@
 //! All hot paths of the workspace funnel through [`sq_dist`]: PM-tree and
 //! R-tree traversals in the m-dimensional projected space (m = 15 in the
 //! paper) and candidate verification in the original d-dimensional space
-//! (d up to 4096 for Trevi). The kernel processes four lanes at a time so
-//! LLVM auto-vectorizes it; the remainder is handled scalar.
+//! (d up to 4096 for Trevi). The actual arithmetic lives in
+//! [`crate::simd`], which picks an implementation per process at first
+//! use — AVX2+FMA or SSE2 on x86-64, NEON on aarch64, a portable
+//! 4-accumulator scalar loop everywhere else (and under
+//! `PMLSH_FORCE_SCALAR=1`).
+//!
+//! [`sq_dist_within`] is the verification-loop variant: it stops
+//! accumulating as soon as the partial sum strictly exceeds a caller
+//! bound, so candidates that cannot displace the current k-th neighbor
+//! never pay the full `d`-length loop.
+
+use crate::simd;
 
 /// Squared Euclidean distance between two equal-length slices.
 ///
 /// # Panics
-/// Panics (debug builds) if the slices differ in length; in release the
-/// shorter length wins, which never happens for slices produced by
-/// [`crate::Dataset`].
+/// Panics if the slices differ in length (in every build profile — a
+/// silent truncation would mask real dimensionality bugs at full speed).
 #[inline]
 pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let j = i * 4;
-        let d0 = a[j] - b[j];
-        let d1 = a[j + 1] - b[j + 1];
-        let d2 = a[j + 2] - b[j + 2];
-        let d3 = a[j + 3] - b[j + 3];
-        s0 += d0 * d0;
-        s1 += d1 * d1;
-        s2 += d2 * d2;
-        s3 += d3 * d3;
-    }
-    let mut sum = (s0 + s1) + (s2 + s3);
-    for j in chunks * 4..n {
-        let d = a[j] - b[j];
-        sum += d * d;
-    }
-    sum
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "sq_dist: slice length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    simd::sq_dist_dispatch(a, b)
+}
+
+/// Early-abandoning squared Euclidean distance.
+///
+/// Accumulates `||a - b||²` in blocks and returns as soon as the partial
+/// sum *strictly* exceeds `bound` (a partial sum exactly equal to the
+/// bound keeps accumulating). Since every term is non-negative, the
+/// partial sum is a lower bound on the full distance, so:
+///
+/// * the returned value is `> bound` **iff** [`sq_dist`] would be
+///   `> bound`, and
+/// * whenever the returned value is `<= bound` it is **bit-identical** to
+///   [`sq_dist`] (same kernel, same accumulation order — abandonment can
+///   skip work but never changes a kept result).
+///
+/// Pass [`f32::INFINITY`] to disable abandonment entirely.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn sq_dist_within(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "sq_dist_within: slice length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    simd::sq_dist_within_dispatch(a, b, bound)
 }
 
 /// Euclidean distance `||a - b||`.
@@ -45,25 +69,19 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Dot product `a · b` (used by the Gaussian projections `h*(o) = a · o`).
+///
+/// # Panics
+/// Panics if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-    for i in 0..chunks {
-        let j = i * 4;
-        s0 += a[j] * b[j];
-        s1 += a[j + 1] * b[j + 1];
-        s2 += a[j + 2] * b[j + 2];
-        s3 += a[j + 3] * b[j + 3];
-    }
-    let mut sum = (s0 + s1) + (s2 + s3);
-    for j in chunks * 4..n {
-        sum += a[j] * b[j];
-    }
-    sum
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: slice length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
+    simd::dot_dispatch(a, b)
 }
 
 /// Euclidean norm `||a||`.
@@ -74,9 +92,18 @@ pub fn norm(a: &[f32]) -> f32 {
 
 /// L1 (Manhattan) distance. Only used by the Fig. 3 estimator study, where
 /// the paper compares the L2 estimator against an L1 alternative.
+///
+/// # Panics
+/// Panics if the slices differ in length.
 #[inline]
 pub fn l1_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "l1_dist: slice length mismatch ({} vs {})",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 
@@ -96,7 +123,7 @@ mod tests {
 
     #[test]
     fn matches_naive_on_awkward_lengths() {
-        // exercise every remainder branch: len % 4 in {0,1,2,3}
+        // exercise every remainder branch: len % 8 in {0..7}
         for len in [1usize, 2, 3, 4, 5, 7, 8, 15, 16, 33] {
             let a: Vec<f32> = (0..len).map(|i| (i as f32) * 0.5 - 3.0).collect();
             let b: Vec<f32> = (0..len).map(|i| (i as f32) * -0.25 + 1.0).collect();
@@ -122,5 +149,41 @@ mod tests {
         let a = [0.25f32, -7.5, 3.25, 0.0, 9.0];
         assert_eq!(sq_dist(&a, &a), 0.0);
         assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn within_with_infinite_bound_equals_full() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32) * 0.1).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32) * -0.2 + 5.0).collect();
+        assert_eq!(sq_dist_within(&a, &b, f32::INFINITY), sq_dist(&a, &b));
+    }
+
+    #[test]
+    fn within_bound_is_strict() {
+        // A partial (or full) sum exactly equal to the bound must NOT count
+        // as abandoned: the kept value comes back exact.
+        let a = [3.0f32, 0.0, 0.0, 0.0];
+        let b = [0.0f32, 4.0, 0.0, 0.0];
+        let full = sq_dist(&a, &b); // 25.0
+        assert_eq!(sq_dist_within(&a, &b, full), full);
+        assert!(sq_dist_within(&a, &b, 24.9) > 24.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sq_dist_rejects_length_mismatch() {
+        let _ = sq_dist(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sq_dist_within_rejects_length_mismatch() {
+        let _ = sq_dist_within(&[1.0, 2.0, 3.0], &[1.0], 10.0);
     }
 }

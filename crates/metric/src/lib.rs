@@ -11,22 +11,24 @@
 //!   `m`-dimensional projected data.
 //! * [`MatrixView`] — a borrowed view over the same layout, used by indexes
 //!   that do not own their points.
-//! * [`dist`] — unrolled Euclidean kernels (`sq_dist`, `euclidean`, `dot`).
+//! * [`dist`] — Euclidean kernels (`sq_dist`, `sq_dist_within`,
+//!   `euclidean`, `dot`).
+//! * [`simd`] — the runtime-dispatched kernel implementations behind
+//!   [`dist`]: AVX2+FMA / SSE2 on x86-64, NEON on aarch64, a portable
+//!   scalar loop elsewhere (and under `PMLSH_FORCE_SCALAR=1`).
 //! * [`topk`] — a bounded max-heap for k-nearest-neighbor selection.
-//!
-//! The kernels deliberately avoid `unsafe`: with slices of equal length the
-//! compiler removes bounds checks from the unrolled loops, which is fast
-//! enough for the laptop-scale experiments this workspace targets.
 
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod dist;
+pub mod simd;
 pub mod topk;
 pub mod view;
 
 pub use dataset::Dataset;
-pub use dist::{dot, euclidean, norm, sq_dist};
+pub use dist::{dot, euclidean, norm, sq_dist, sq_dist_within};
+pub use simd::SimdLevel;
 pub use topk::{Neighbor, TopK};
 pub use view::MatrixView;
 

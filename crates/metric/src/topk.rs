@@ -129,6 +129,31 @@ impl TopK {
         v.sort_unstable();
         v
     }
+
+    /// Reconfigures the collector for a fresh query, keeping the heap's
+    /// allocation — the reuse hook behind `pm_lsh_core`'s `QueryContext`.
+    /// `k` must be positive.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Empties the collector into `out` (cleared first) in ascending
+    /// `(distance, id)` order — the same sequence as
+    /// [`TopK::into_sorted_vec`], but without consuming the heap's
+    /// allocation, so a reused collector stays allocation-free once `out`'s
+    /// capacity suffices.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        out.clear();
+        // BinaryHeap pops worst-first; reverse for ascending order. Ids are
+        // unique, so the (dist, id) order is total and this matches
+        // into_sorted_vec exactly.
+        while let Some(n) = self.heap.pop() {
+            out.push(n);
+        }
+        out.reverse();
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +208,36 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn drain_matches_into_sorted_vec() {
+        let dists = [5.0f32, 1.0, 4.0, 2.0, 3.0, 2.0];
+        let mut a = TopK::new(3);
+        let mut b = TopK::new(3);
+        for (i, &d) in dists.iter().enumerate() {
+            a.push(d, i as PointId);
+            b.push(d, i as PointId);
+        }
+        let mut drained = Vec::new();
+        a.drain_sorted_into(&mut drained);
+        assert_eq!(drained, b.into_sorted_vec());
+        assert!(a.is_empty(), "drain must leave the collector empty");
+    }
+
+    #[test]
+    fn reset_reuses_across_queries() {
+        let mut t = TopK::new(2);
+        t.push(1.0, 0);
+        t.push(2.0, 1);
+        let mut out = Vec::new();
+        t.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 2);
+        t.reset(1);
+        t.push(9.0, 5);
+        t.push(3.0, 6);
+        t.drain_sorted_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 6);
     }
 }

@@ -1,0 +1,180 @@
+//! Cross-implementation property tests for the SIMD kernel matrix.
+//!
+//! Pins the numerical contract of `pm_lsh_metric::simd`:
+//!
+//! * scalar and SSE2 (and NEON, on aarch64 hardware) are **bit-identical**,
+//! * AVX2+FMA agrees with scalar within a relative tolerance,
+//! * every `sq_dist_within` variant returns the exact full kernel value
+//!   whenever it does not abandon, lands on the same side of the bound as
+//!   the full kernel, and treats a partial sum *equal* to the bound as
+//!   "keep going" (strict-inequality abandonment).
+//!
+//! Lengths cover every remainder branch of the 4- and 8-lane loops plus
+//! the paper's real dimensionalities (Audio-ish 100/960 and Trevi's 4096).
+
+use pm_lsh_metric::simd::{self, kernels};
+use pm_lsh_metric::{dot, sq_dist, sq_dist_within};
+use proptest::prelude::*;
+
+const DIMS: &[usize] = &[1, 2, 3, 4, 7, 8, 15, 16, 33, 100, 960, 4096];
+
+/// Deterministic splitmix64-based vector fill, so each proptest case only
+/// has to draw a seed (the shim cannot generate 4096-long vectors per dim
+/// without dependent strategies for every entry of `DIMS`).
+fn fill(mut state: u64, len: usize, scale: f32) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (((z >> 40) as f32) / ((1u64 << 24) as f32) * 2.0 - 1.0) * scale
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn implementations_agree_across_lengths(
+        seed in 0u64..u64::MAX,
+        scale in 0.1f32..50.0,
+    ) {
+        for (di, &d) in DIMS.iter().enumerate() {
+            let a = fill(seed ^ ((di as u64) << 1), d, scale);
+            let b = fill(seed ^ (((di as u64) << 1) | 1), d, scale);
+            let sq_scalar = kernels::sq_dist_scalar(&a, &b);
+            let dot_scalar = kernels::dot_scalar(&a, &b);
+
+            #[cfg(target_arch = "x86_64")]
+            {
+                // SSE2 promises bit-identical results to scalar.
+                prop_assert_eq!(
+                    kernels::sq_dist_sse2(&a, &b).to_bits(),
+                    sq_scalar.to_bits(),
+                    "sse2 sq_dist diverged from scalar at d={}", d
+                );
+                prop_assert_eq!(
+                    kernels::dot_sse2(&a, &b).to_bits(),
+                    dot_scalar.to_bits(),
+                    "sse2 dot diverged from scalar at d={}", d
+                );
+                // AVX2+FMA only promises tolerance (8 lanes + fused rounding).
+                if simd::avx2_fma_available() {
+                    let sq_avx = kernels::sq_dist_avx2(&a, &b);
+                    let sq_tol = 1e-5f32 * sq_scalar.abs().max(1.0);
+                    prop_assert!(
+                        (sq_avx - sq_scalar).abs() <= sq_tol,
+                        "avx2 sq_dist {} vs scalar {} at d={}", sq_avx, sq_scalar, d
+                    );
+                    let dot_avx = kernels::dot_avx2(&a, &b);
+                    // dot has cancellation, so tolerate relative-to-magnitude.
+                    let mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+                    let dot_tol = 1e-5f32 * mag.max(1.0);
+                    prop_assert!(
+                        (dot_avx - dot_scalar).abs() <= dot_tol,
+                        "avx2 dot {} vs scalar {} at d={}", dot_avx, dot_scalar, d
+                    );
+                }
+            }
+
+            // The dispatched entry points agree with themselves: a disabled
+            // bound is exactly the full kernel, whatever level is active.
+            prop_assert_eq!(
+                sq_dist_within(&a, &b, f32::INFINITY).to_bits(),
+                sq_dist(&a, &b).to_bits(),
+                "within(INF) != full at d={}", d
+            );
+            // And dot/sq_dist stay within tolerance of scalar end to end.
+            let sq_fast = sq_dist(&a, &b);
+            prop_assert!(
+                (sq_fast - sq_scalar).abs() <= 1e-5f32 * sq_scalar.abs().max(1.0)
+            );
+            let dot_fast = dot(&a, &b);
+            let mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            prop_assert!((dot_fast - dot_scalar).abs() <= 1e-5f32 * mag.max(1.0));
+        }
+    }
+
+    #[test]
+    fn early_abandon_contract_holds(
+        seed in 0u64..u64::MAX,
+        frac in 0.0f64..1.3,
+    ) {
+        for (di, &d) in DIMS.iter().enumerate() {
+            let a = fill(seed ^ ((di as u64) << 8), d, 4.0);
+            let b = fill(seed ^ (((di as u64) << 8) | 7), d, 4.0);
+
+            // Each implementation is checked against ITS OWN full value
+            // (AVX2's full value differs from scalar's in the last ulps).
+            type Pair = (fn(&[f32], &[f32]) -> f32, fn(&[f32], &[f32], f32) -> f32);
+            let mut impls: Vec<(&str, Pair)> = vec![
+                ("scalar", (kernels::sq_dist_scalar, kernels::sq_dist_within_scalar)),
+                ("dispatch", (sq_dist, sq_dist_within)),
+            ];
+            #[cfg(target_arch = "x86_64")]
+            {
+                impls.push(("sse2", (kernels::sq_dist_sse2, kernels::sq_dist_within_sse2)));
+                if simd::avx2_fma_available() {
+                    impls.push(("avx2", (kernels::sq_dist_avx2, kernels::sq_dist_within_avx2)));
+                }
+            }
+
+            for (name, (full_fn, within_fn)) in impls {
+                let full = full_fn(&a, &b);
+                let bound = (full as f64 * frac) as f32;
+                let got = within_fn(&a, &b, bound);
+                // Same side of the bound as the full kernel...
+                prop_assert_eq!(
+                    got > bound,
+                    full > bound,
+                    "{}: within={} full={} bound={} d={}", name, got, full, bound, d
+                );
+                // ...and bit-exact whenever the candidate is kept.
+                if got <= bound {
+                    prop_assert_eq!(
+                        got.to_bits(), full.to_bits(),
+                        "{}: kept value not exact at d={}", name, d
+                    );
+                }
+                // Strict inequality at the boundary: a bound exactly equal
+                // to the full distance must NOT abandon (every partial sum
+                // is <= full, so none strictly exceeds the bound).
+                let at_boundary = within_fn(&a, &b, full);
+                prop_assert_eq!(
+                    at_boundary.to_bits(), full.to_bits(),
+                    "{}: abandoned at an exactly-equal bound, d={}", name, d
+                );
+            }
+        }
+    }
+}
+
+/// The strict-abandonment boundary with the partial sum pinned mid-vector:
+/// all mass sits in the first 4-lane block, so every intermediate check
+/// sees `partial == bound` and must keep accumulating the zero tail.
+#[test]
+fn partial_sum_equal_to_bound_does_not_abandon() {
+    for &d in &[17usize, 33, 100, 960] {
+        let mut a = vec![0.0f32; d];
+        let b = vec![0.0f32; d];
+        a[0] = 3.0;
+        a[1] = 4.0;
+        let full = sq_dist(&a, &b); // exactly 25.0, reached by element 2
+        assert_eq!(full, 25.0);
+        assert_eq!(sq_dist_within(&a, &b, 25.0), 25.0, "d={d}");
+        assert_eq!(kernels::sq_dist_within_scalar(&a, &b, 25.0), 25.0, "d={d}");
+        #[cfg(target_arch = "x86_64")]
+        {
+            assert_eq!(kernels::sq_dist_within_sse2(&a, &b, 25.0), 25.0, "d={d}");
+            if simd::avx2_fma_available() {
+                assert_eq!(kernels::sq_dist_within_avx2(&a, &b, 25.0), 25.0, "d={d}");
+            }
+        }
+        // One ulp below the mass: must abandon (or at least report > bound).
+        let below = 25.0f32.next_down();
+        assert!(sq_dist_within(&a, &b, below) > below, "d={d}");
+    }
+}

@@ -82,13 +82,36 @@ pub enum RefineMode {
     Eager,
 }
 
+/// Reusable buffers for a [`RangeCursor`]: the frontier heap's storage,
+/// the query-to-pivot distances and an owned copy of the query point.
+///
+/// A fresh scratch owns no heap memory (`Vec::new` / `BinaryHeap::new` do
+/// not allocate); after a query it keeps its capacities, so threading one
+/// scratch through repeated [`PmTree::cursor_with_scratch`] /
+/// [`RangeCursor::recycle`] round-trips makes the traversal allocation-free
+/// at steady state. A scratch is not tied to any particular tree — reusing
+/// it across trees of different dimensionality just resizes the buffers.
+#[derive(Debug, Default)]
+pub struct CursorScratch {
+    query: Vec<f32>,
+    qp_dists: Vec<f32>,
+    heap: BinaryHeap<Item>,
+}
+
+impl CursorScratch {
+    /// An empty scratch (allocates nothing until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Incremental best-first cursor over a [`PmTree`].
 pub struct RangeCursor<'t> {
     tree: &'t PmTree,
-    query: Vec<f32>,
-    /// Distances from the query to each global pivot.
-    qp_dists: Vec<f32>,
-    heap: BinaryHeap<Item>,
+    /// Owned working storage; see [`CursorScratch`]. `scratch.query` holds
+    /// the query point, `scratch.qp_dists` the distances from the query to
+    /// each global pivot.
+    scratch: CursorScratch,
     seq: u32,
     dist_computations: u64,
     mode: RefineMode,
@@ -102,13 +125,27 @@ impl<'t> RangeCursor<'t> {
 
     /// Starts a cursor with an explicit refinement mode.
     pub fn with_mode(tree: &'t PmTree, query: &[f32], mode: RefineMode) -> Self {
+        Self::with_scratch_and_mode(tree, query, CursorScratch::new(), mode)
+    }
+
+    /// Starts a cursor over recycled buffers (see [`CursorScratch`]).
+    pub fn with_scratch_and_mode(
+        tree: &'t PmTree,
+        query: &[f32],
+        mut scratch: CursorScratch,
+        mode: RefineMode,
+    ) -> Self {
         assert_eq!(query.len(), tree.dim(), "query has wrong dimensionality");
-        let qp_dists: Vec<f32> = tree.pivots.iter().map(|p| euclidean(query, p)).collect();
+        scratch.query.clear();
+        scratch.query.extend_from_slice(query);
+        scratch.qp_dists.clear();
+        scratch
+            .qp_dists
+            .extend(tree.pivots.iter().map(|p| euclidean(query, p)));
+        scratch.heap.clear();
         let mut cursor = Self {
             tree,
-            query: query.to_vec(),
-            qp_dists,
-            heap: BinaryHeap::new(),
+            scratch,
             seq: 0,
             dist_computations: tree.pivots.len() as u64,
             mode,
@@ -125,6 +162,13 @@ impl<'t> RangeCursor<'t> {
         cursor
     }
 
+    /// Finishes this cursor and hands its buffers back for reuse, keeping
+    /// their capacities. The contents are stale; the next
+    /// [`RangeCursor::with_scratch_and_mode`] clears and refills them.
+    pub fn recycle(self) -> CursorScratch {
+        self.scratch
+    }
+
     /// Exact distance computations so far (pivot distances included).
     pub fn distance_computations(&self) -> u64 {
         self.dist_computations
@@ -133,19 +177,19 @@ impl<'t> RangeCursor<'t> {
     /// `true` once every indexed point has been yielded: the frontier is
     /// empty and no radius enlargement can produce more results.
     pub fn is_exhausted(&self) -> bool {
-        self.heap.is_empty()
+        self.scratch.heap.is_empty()
     }
 
     fn push(&mut self, key: f32, kind: ItemKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Item { key, seq, kind });
+        self.scratch.heap.push(Item { key, seq, kind });
     }
 
     /// Cheap lower bound for a routing entry whose exact center distance is
     /// unknown: parent-distance filter plus pivot rings.
     fn inner_cheap_bound(&self, e: &InnerEntry, dq_parent: f32) -> f32 {
-        let mut lb = e.ring_lower_bound(&self.qp_dists);
+        let mut lb = e.ring_lower_bound(&self.scratch.qp_dists);
         if !dq_parent.is_nan() {
             let b = (dq_parent - e.parent_dist).abs() - e.radius;
             if b > lb {
@@ -158,7 +202,7 @@ impl<'t> RangeCursor<'t> {
     /// Cheap lower bound for a leaf entry: parent distance plus pivot
     /// distances, both via the triangle inequality.
     fn leaf_cheap_bound(&self, e: &LeafEntry, dq_parent: f32) -> f32 {
-        let mut lb = e.pivot_lower_bound(&self.qp_dists);
+        let mut lb = e.pivot_lower_bound(&self.scratch.qp_dists);
         if !dq_parent.is_nan() {
             let b = (dq_parent - e.parent_dist).abs();
             if b > lb {
@@ -183,7 +227,7 @@ impl<'t> RangeCursor<'t> {
                     for (i, e) in entries.iter().enumerate() {
                         let lb = self.inner_cheap_bound(e, dq_center);
                         if lb <= radius {
-                            let dqc = euclidean(&self.query, &e.center);
+                            let dqc = euclidean(&self.scratch.query, &e.center);
                             self.dist_computations += 1;
                             let lb = lb.max((dqc - e.radius).max(0.0));
                             self.push(
@@ -206,7 +250,7 @@ impl<'t> RangeCursor<'t> {
                 }
                 RefineMode::Eager => {
                     for e in entries.iter() {
-                        let dqc = euclidean(&self.query, &e.center);
+                        let dqc = euclidean(&self.scratch.query, &e.center);
                         self.dist_computations += 1;
                         let lb = self
                             .inner_cheap_bound(e, dq_center)
@@ -226,8 +270,10 @@ impl<'t> RangeCursor<'t> {
                     for (i, e) in entries.iter().enumerate() {
                         let lb = self.leaf_cheap_bound(e, dq_center);
                         if lb <= radius {
-                            let dist =
-                                euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                            let dist = euclidean(
+                                &self.scratch.query,
+                                self.tree.points.point(e.internal as usize),
+                            );
                             self.dist_computations += 1;
                             self.push(
                                 dist,
@@ -249,8 +295,10 @@ impl<'t> RangeCursor<'t> {
                 }
                 RefineMode::Eager => {
                     for e in entries.iter() {
-                        let dist =
-                            euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                        let dist = euclidean(
+                            &self.scratch.query,
+                            self.tree.points.point(e.internal as usize),
+                        );
                         self.dist_computations += 1;
                         self.push(
                             dist,
@@ -273,18 +321,18 @@ impl<'t> RangeCursor<'t> {
     /// yields have non-decreasing distance.
     pub fn next_within(&mut self, radius: f32) -> Option<(PointId, f32)> {
         loop {
-            let top = *self.heap.peek()?;
+            let top = *self.scratch.heap.peek()?;
             if top.key > radius {
                 return None;
             }
-            self.heap.pop();
+            self.scratch.heap.pop();
             match top.kind {
                 ItemKind::InnerApprox { node, idx } => {
                     let Node::Inner(entries) = &self.tree.nodes[node as usize] else {
                         unreachable!()
                     };
                     let e = &entries[idx as usize];
-                    let dq_center = euclidean(&self.query, &e.center);
+                    let dq_center = euclidean(&self.scratch.query, &e.center);
                     self.dist_computations += 1;
                     let key = top.key.max((dq_center - e.radius).max(0.0));
                     self.push(
@@ -303,7 +351,10 @@ impl<'t> RangeCursor<'t> {
                         unreachable!()
                     };
                     let e = &entries[idx as usize];
-                    let dist = euclidean(&self.query, self.tree.points.point(e.internal as usize));
+                    let dist = euclidean(
+                        &self.scratch.query,
+                        self.tree.points.point(e.internal as usize),
+                    );
                     self.dist_computations += 1;
                     self.push(
                         dist,
@@ -358,6 +409,14 @@ impl PmTree {
         RangeCursor::new(self, query)
     }
 
+    /// Starts an incremental cursor over recycled buffers: pass the
+    /// [`CursorScratch`] returned by a previous cursor's
+    /// [`RangeCursor::recycle`] and repeated queries stop allocating. The
+    /// traversal is identical to [`PmTree::cursor`] in every observable way.
+    pub fn cursor_with_scratch(&self, query: &[f32], scratch: CursorScratch) -> RangeCursor<'_> {
+        RangeCursor::with_scratch_and_mode(self, query, scratch, RefineMode::Lazy)
+    }
+
     /// Starts an incremental cursor with an explicit [`RefineMode`].
     pub fn cursor_with_mode(&self, query: &[f32], mode: RefineMode) -> RangeCursor<'_> {
         RangeCursor::with_mode(self, query, mode)
@@ -400,6 +459,37 @@ mod tests {
                     break;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn recycled_scratch_traverses_identically() {
+        let ds = random_dataset(1500, 10, 55);
+        let mut rng = Rng::new(56);
+        let tree = PmTree::build(ds.view(), PmTreeConfig::default(), &mut rng);
+        let mut scratch = CursorScratch::new();
+        let mut q = vec![0.0f32; 10];
+        for round in 0..12 {
+            rng.fill_normal(&mut q);
+            let mut fresh = tree.cursor(&q);
+            let mut reused = tree.cursor_with_scratch(&q, scratch);
+            // Interleave radius enlargement the way Algorithm 2 does.
+            for radius in [1.0f32, 2.5, f32::INFINITY] {
+                loop {
+                    let a = fresh.next_within(radius);
+                    let b = reused.next_within(radius);
+                    assert_eq!(a, b, "round {round} radius {radius}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(
+                fresh.distance_computations(),
+                reused.distance_computations(),
+                "round {round}"
+            );
+            scratch = reused.recycle();
         }
     }
 

@@ -14,7 +14,9 @@
 //!   points in non-decreasing projected distance, with lazily refined lower
 //!   bounds. `next_within(r)` is the building block of the paper's
 //!   radius-enlarging Algorithm 2, and plain `next()` provides exact
-//!   incremental NN search.
+//!   incremental NN search. [`cursor::CursorScratch`] recycles the
+//!   traversal's heap and buffers across queries, so a serving loop stops
+//!   allocating once warm.
 //! * [`cost::expected_distance_computations`] — the node-based cost model of
 //!   Eqs. 5–7 that regenerates the PM-tree column of Table 2.
 
@@ -28,7 +30,7 @@ pub mod pivots;
 pub mod tree;
 
 pub use cost::expected_distance_computations;
-pub use cursor::{RangeCursor, RefineMode};
+pub use cursor::{CursorScratch, RangeCursor, RefineMode};
 pub use entry::{InnerEntry, LeafEntry, Ring};
 pub use pivots::select_pivots;
 pub use tree::{PmTree, PmTreeConfig};

@@ -62,7 +62,9 @@ pub mod prelude {
         AnnIndex, AnnResult, LScan, LScanParams, MultiProbe, MultiProbeParams, Qalsh, QalshParams,
         RLsh, Srs, SrsParams,
     };
-    pub use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
+    pub use pm_lsh_core::{
+        BuildOptions, PmLsh, PmLshParams, QueryContext, QueryResult, QueryStats,
+    };
     pub use pm_lsh_data::{
         exact_knn, exact_knn_batch, overall_ratio, recall, Generator, PaperDataset, Scale,
         SynthSpec,

@@ -29,9 +29,18 @@
 //! * [`EngineStats`] aggregates throughput, p50/p99 latency and the summed
 //!   per-query [`QueryStats`] counters, so benchmarks can draw scaling
 //!   curves against thread count.
-//! * [`serve`] exposes the engine over TCP with a newline-delimited text
-//!   protocol (see [`server`] for the exact grammar, or
-//!   `docs/PROTOCOL.md` in the repository for the full specification).
+//! * [`Engine::try_query`] is the non-panicking query entry point: every
+//!   failure mode, a mid-execution worker panic included, is a typed
+//!   [`QueryError`] — what lets the TCP layer answer `ERR` lines instead
+//!   of dropping clients.
+//! * [`Router`] maps index *names* to engines so one process serves
+//!   several datasets; [`serve_router`] exposes the whole map over TCP
+//!   with per-connection index selection (`USE`), attach/detach verbs,
+//!   optional token auth, a connection cap, and graceful drain
+//!   ([`ServerConfig`], [`ServerHandle::shutdown`] → [`DrainReport`]).
+//!   [`serve`] stays the one-engine convenience (see [`server`] for the
+//!   exact grammar, or `docs/PROTOCOL.md` in the repository for the full
+//!   specification).
 //!
 //! Queries on a built snapshot are pure reads, so the hot path takes no
 //! locks beyond one snapshot load per request (one per *batch* for
@@ -68,11 +77,13 @@
 
 mod batch;
 mod pool;
+pub mod router;
 pub mod server;
 mod snapshot;
 mod stats;
 
-pub use server::{serve, ServerHandle};
+pub use router::{Router, RouterError};
+pub use server::{serve, serve_router, DrainReport, ServerConfig, ServerHandle};
 pub use stats::EngineStats;
 
 use crate::batch::{BatchQueue, Request};
@@ -299,10 +310,23 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// On a dimension mismatch, a non-finite query component, or `k == 0`.
+    /// On a dimension mismatch, a non-finite query component, or `k == 0`
+    /// — every [`QueryError`]. Callers serving untrusted input (the TCP
+    /// layer) use [`Engine::try_query`] instead and turn each variant
+    /// into an `ERR` reply.
     pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
+        self.try_query(q, k)
+            .unwrap_or_else(|e| panic_for_query_error(e))
+    }
+
+    /// The non-panicking [`Engine::query`]: every way a query can fail is
+    /// a typed [`QueryError`] instead of a panic — including a worker
+    /// panic mid-execution ([`QueryError::Internal`]), which used to
+    /// propagate out of `query` and tear down whatever thread was serving
+    /// the caller (a TCP client saw a raw disconnect with no reply).
+    pub fn try_query(&self, q: &[f32], k: usize) -> Result<QueryResult, QueryError> {
         let snapshot = self.snapshot.load();
-        self.validate(&snapshot, q, k);
+        try_validate(&snapshot, q, k)?;
         let (reply, receive) = channel();
         let k = k.min(snapshot.len());
         self.queue.enqueue(Request {
@@ -312,10 +336,12 @@ impl Engine {
             enqueued: Instant::now(),
             reply,
         });
-        let (_slot, result) = receive
-            .recv()
-            .expect("query execution panicked in the engine worker pool");
-        result
+        // The worker drops the reply sender without answering exactly when
+        // the query panicked inside the pool's catch_unwind.
+        match receive.recv() {
+            Ok((_slot, result)) => Ok(result),
+            Err(_) => Err(QueryError::Internal),
+        }
     }
 
     /// Answers a batch of queries across the whole pool, preserving input
@@ -332,7 +358,11 @@ impl Engine {
         }
         let snapshot = self.snapshot.load();
         for q in queries {
-            self.validate(&snapshot, q.as_ref(), k);
+            // Same rules as try_query; batch callers keep the panicking
+            // contract of Engine::query.
+            if let Err(e) = try_validate(&snapshot, q.as_ref(), k) {
+                panic_for_query_error(e);
+            }
         }
         let k = k.min(snapshot.len());
         let enqueued = Instant::now();
@@ -371,21 +401,38 @@ impl Engine {
     pub fn stats(&self) -> EngineStats {
         self.stats.snapshot()
     }
+}
 
-    fn validate(&self, snapshot: &PmLsh, q: &[f32], k: usize) {
-        assert_eq!(
-            q.len(),
-            snapshot.data().dim(),
-            "query has wrong dimensionality for the served index"
-        );
-        assert!(k >= 1, "k must be positive");
-        // Reject NaN/inf on the caller's thread: a non-finite component
-        // would otherwise take down the worker that draws the job (and the
-        // caller would only see a dropped reply channel).
-        assert!(
-            q.iter().all(|v| v.is_finite()),
-            "query contains a non-finite component"
-        );
+/// The single source of truth for query validation, shared by
+/// [`Engine::try_query`] and [`Engine::query_batch`]. Rejecting NaN/inf
+/// here, on the caller's thread, keeps a poisoned component from taking
+/// down the worker that draws the job.
+fn try_validate(snapshot: &PmLsh, q: &[f32], k: usize) -> Result<(), QueryError> {
+    if q.len() != snapshot.data().dim() {
+        return Err(QueryError::DimensionMismatch {
+            expected: snapshot.data().dim(),
+            got: q.len(),
+        });
+    }
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
+    if !q.iter().all(|v| v.is_finite()) {
+        return Err(QueryError::NonFiniteComponent);
+    }
+    Ok(())
+}
+
+/// The panicking contract of [`Engine::query`]/[`Engine::query_batch`]:
+/// each [`QueryError`] maps to its historical panic message.
+fn panic_for_query_error(e: QueryError) -> ! {
+    match e {
+        QueryError::DimensionMismatch { .. } => {
+            panic!("query has wrong dimensionality for the served index")
+        }
+        QueryError::ZeroK => panic!("k must be positive"),
+        QueryError::NonFiniteComponent => panic!("query contains a non-finite component"),
+        QueryError::Internal => panic!("query execution panicked in the engine worker pool"),
     }
 }
 
@@ -401,6 +448,52 @@ impl std::fmt::Debug for Engine {
             .finish()
     }
 }
+
+/// Why a query failed ([`Engine::try_query`]).
+///
+/// [`Engine::query`] turns each variant into a panic with the historical
+/// message; the TCP layer turns each into an `ERR` reply line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query vector's length differs from the served dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the served snapshot.
+        expected: usize,
+        /// Components in the offered query vector.
+        got: usize,
+    },
+    /// `k == 0` — a kNN query must request at least one neighbor.
+    ZeroK,
+    /// The query contains a NaN or infinite component.
+    NonFiniteComponent,
+    /// The worker executing the query panicked (the pool catches the
+    /// panic and survives; only this query is lost). Validated inputs
+    /// cannot reach this — it indicates a bug, but one the serving layer
+    /// reports as `ERR internal error` instead of dropping the client.
+    Internal,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::DimensionMismatch { expected, got } => {
+                write!(
+                    f,
+                    "query has {got} components, index dimensionality is {expected}"
+                )
+            }
+            QueryError::ZeroK => write!(f, "k must be positive"),
+            QueryError::NonFiniteComponent => {
+                write!(f, "query contains a non-finite component")
+            }
+            QueryError::Internal => {
+                write!(f, "query execution panicked in the engine worker pool")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// Why a reindex could not start.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -523,6 +616,9 @@ const _: () = {
     assert_send_sync::<ServerHandle>();
     assert_send_sync::<IndexInfo>();
     assert_send_sync::<ReindexTicket>();
+    assert_send_sync::<Router>();
+    assert_send_sync::<ServerConfig>();
+    assert_send_sync::<QueryError>();
 };
 
 #[cfg(test)]
@@ -647,6 +743,51 @@ mod tests {
         assert_eq!(res.neighbors.len(), 60);
         let batch = engine.query_batch(&[&q[..]], usize::MAX / 2);
         assert_eq!(batch[0].neighbors.len(), 60);
+    }
+
+    #[test]
+    fn try_query_returns_typed_errors_instead_of_panicking() {
+        let data = blob(80, 8, 8);
+        let q = data.point(0).to_vec();
+        let index = Arc::new(PmLsh::build(data, PmLshParams::default()));
+        let engine = Engine::new(
+            Arc::clone(&index),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+
+        // The happy path is bit-identical to the panicking entry point.
+        let direct = index.query(&q, 3);
+        let tried = engine.try_query(&q, 3).expect("valid query");
+        assert_eq!(tried.neighbors, direct.neighbors);
+        assert_eq!(tried.stats, direct.stats);
+
+        assert_eq!(
+            engine.try_query(&q[..4], 3).unwrap_err(),
+            QueryError::DimensionMismatch {
+                expected: 8,
+                got: 4
+            }
+        );
+        assert_eq!(engine.try_query(&q, 0).unwrap_err(), QueryError::ZeroK);
+        let mut poisoned = q.clone();
+        poisoned[2] = f32::INFINITY;
+        assert_eq!(
+            engine.try_query(&poisoned, 3).unwrap_err(),
+            QueryError::NonFiniteComponent
+        );
+
+        // A worker panic mid-query is Internal, not a caller panic — and
+        // the pool survives to answer the next query.
+        let mut crashing = q.clone();
+        crashing[0] = crate::pool::CRASH_TEST_SENTINEL;
+        assert_eq!(
+            engine.try_query(&crashing, 3).unwrap_err(),
+            QueryError::Internal
+        );
+        assert_eq!(engine.try_query(&q, 3).unwrap().neighbors, direct.neighbors);
     }
 
     #[test]

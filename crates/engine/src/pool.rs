@@ -19,6 +19,16 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Test-only fault injection: a query whose FIRST component equals this
+/// finite, validation-passing sentinel panics inside the worker's
+/// catch_unwind, exercising the dropped-reply path
+/// (`Engine::try_query -> Err(QueryError::Internal)`, `ERR internal
+/// error` on the wire) that no validated input can reach. Keying the
+/// injection on the job itself keeps concurrently running tests from
+/// stealing each other's fault.
+#[cfg(test)]
+pub(crate) const CRASH_TEST_SENTINEL: f32 = 8.0e30;
+
 /// One kNN request travelling through the pool.
 pub(crate) struct QueryJob {
     /// Caller-side position, so batched results keep input order.
@@ -131,6 +141,10 @@ fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
             // runs, and only the panicking job's caller sees its reply
             // channel close.
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(test)]
+                if job.query.first() == Some(&CRASH_TEST_SENTINEL) {
+                    panic!("injected worker panic (test only)");
+                }
                 job.snapshot.query_with_context(&job.query, job.k, &mut ctx)
             }));
             match outcome {

@@ -1,0 +1,266 @@
+//! Multi-index routing: a named map of [`Engine`]s served by one process.
+//!
+//! PR 1–3 made one process serve exactly one dataset; the router lifts
+//! that to several. It is the same snapshot-cell idea one level up: the
+//! engines themselves are immutable-snapshot machines, and the router is
+//! the single mutable slot saying *which engines exist* — a
+//! `RwLock<HashMap<String, Engine>>` read once per routed command, never
+//! on the per-query hot path inside an engine.
+//!
+//! The TCP layer resolves a connection's *current* index name through
+//! [`Router::get`] on every routed verb, so an [`Router::attach`] or
+//! [`Router::detach`] is visible to every connection at its next command:
+//! a detached name answers `ERR index '<name>' is not attached` instead
+//! of querying a ghost. Engines are cheaply clonable (everything behind
+//! `Arc`s), so `get` hands out clones and a detached engine keeps
+//! answering in-flight work until the last clone drops.
+//!
+//! Names are wire-protocol tokens: 1–64 characters from
+//! `[A-Za-z0-9_.-]` (no whitespace — the protocol is space-delimited).
+//! The first index ever attached becomes the *default* new connections
+//! start on; detaching it promotes the lexicographically smallest
+//! remaining name (or clears the default when the router empties).
+
+use crate::Engine;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Longest accepted index name (a wire-protocol token).
+pub const MAX_INDEX_NAME_LEN: usize = 64;
+
+/// A cheaply clonable, thread-safe map of named [`Engine`]s.
+///
+/// All clones share one underlying map; the TCP accept loop hands a clone
+/// to every connection handler.
+#[derive(Clone, Default)]
+pub struct Router {
+    inner: Arc<RouterInner>,
+}
+
+#[derive(Default)]
+struct RouterInner {
+    indexes: RwLock<HashMap<String, Engine>>,
+    /// Name new connections start on. Set by the first attach, repointed
+    /// to the smallest remaining name when its index is detached.
+    default: Mutex<Option<String>>,
+}
+
+impl Router {
+    /// An empty router: no index attached, no default. Clients must
+    /// `ATTACH` (or the host must [`Router::attach`]) before querying.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A router pre-loaded with one engine, which becomes the default.
+    pub fn with_engine(name: &str, engine: Engine) -> Result<Self, RouterError> {
+        let router = Self::new();
+        router.attach(name, engine)?;
+        Ok(router)
+    }
+
+    /// Validates an index name against the wire-token rules
+    /// (1..=[`MAX_INDEX_NAME_LEN`] chars from `[A-Za-z0-9_.-]`).
+    pub fn validate_name(name: &str) -> Result<(), RouterError> {
+        let ok = !name.is_empty()
+            && name.len() <= MAX_INDEX_NAME_LEN
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'));
+        if ok {
+            Ok(())
+        } else {
+            Err(RouterError::InvalidName(name.to_string()))
+        }
+    }
+
+    /// Attaches `engine` under `name`. The first attach sets the default
+    /// index new connections start on.
+    pub fn attach(&self, name: &str, engine: Engine) -> Result<(), RouterError> {
+        Self::validate_name(name)?;
+        let mut indexes = self.inner.indexes.write().expect("router lock poisoned");
+        if indexes.contains_key(name) {
+            return Err(RouterError::DuplicateIndex(name.to_string()));
+        }
+        indexes.insert(name.to_string(), engine);
+        let mut default = self.inner.default.lock().expect("router default poisoned");
+        if default.is_none() {
+            *default = Some(name.to_string());
+        }
+        Ok(())
+    }
+
+    /// Detaches and returns the engine under `name`. In-flight work on
+    /// clones of it completes normally; connections whose current index
+    /// was `name` get `ERR index ... is not attached` on their next
+    /// routed command. Detaching the default promotes the smallest
+    /// remaining name.
+    pub fn detach(&self, name: &str) -> Result<Engine, RouterError> {
+        let mut indexes = self.inner.indexes.write().expect("router lock poisoned");
+        let engine = indexes
+            .remove(name)
+            .ok_or_else(|| RouterError::UnknownIndex(name.to_string()))?;
+        let mut default = self.inner.default.lock().expect("router default poisoned");
+        if default.as_deref() == Some(name) {
+            *default = indexes.keys().min().cloned();
+        }
+        Ok(engine)
+    }
+
+    /// A clone of the engine under `name`, if attached.
+    pub fn get(&self, name: &str) -> Option<Engine> {
+        self.inner
+            .indexes
+            .read()
+            .expect("router lock poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// All attached names, sorted (the `LISTINDEXES` payload).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .indexes
+            .read()
+            .expect("router lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The index new connections start on (`None` when nothing is
+    /// attached).
+    pub fn default_name(&self) -> Option<String> {
+        self.inner
+            .default
+            .lock()
+            .expect("router default poisoned")
+            .clone()
+    }
+
+    /// Number of attached indexes.
+    pub fn len(&self) -> usize {
+        self.inner
+            .indexes
+            .read()
+            .expect("router lock poisoned")
+            .len()
+    }
+
+    /// `true` when no index is attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("indexes", &self.names())
+            .field("default", &self.default_name())
+            .finish()
+    }
+}
+
+/// Why a router operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// The name is empty, too long, or holds a non-token character.
+    InvalidName(String),
+    /// An index with this name is already attached.
+    DuplicateIndex(String),
+    /// No index with this name is attached.
+    UnknownIndex(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::InvalidName(name) => write!(
+                f,
+                "invalid index name '{name}' (1..={MAX_INDEX_NAME_LEN} chars of [A-Za-z0-9_.-])"
+            ),
+            RouterError::DuplicateIndex(name) => {
+                write!(f, "an index named '{name}' is already attached")
+            }
+            RouterError::UnknownIndex(name) => write!(f, "unknown index '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+    use pm_lsh_core::{PmLsh, PmLshParams};
+    use pm_lsh_metric::Dataset;
+
+    fn tiny_engine(value: f32) -> Engine {
+        let ds = Dataset::from_rows(vec![vec![value, value], vec![value + 1.0, value]]);
+        Engine::new(
+            PmLsh::build(ds, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn attach_detach_and_default_promotion() {
+        let router = Router::new();
+        assert!(router.is_empty());
+        assert_eq!(router.default_name(), None);
+
+        router.attach("beta", tiny_engine(0.0)).unwrap();
+        router.attach("alpha", tiny_engine(1.0)).unwrap();
+        assert_eq!(router.default_name().as_deref(), Some("beta"));
+        assert_eq!(router.names(), ["alpha", "beta"]);
+        assert_eq!(router.len(), 2);
+
+        assert_eq!(
+            router.attach("beta", tiny_engine(2.0)).unwrap_err(),
+            RouterError::DuplicateIndex("beta".to_string())
+        );
+
+        // Detaching the default promotes the smallest remaining name.
+        router.detach("beta").unwrap();
+        assert_eq!(router.default_name().as_deref(), Some("alpha"));
+        assert!(router.get("beta").is_none());
+        assert!(router.get("alpha").is_some());
+
+        assert_eq!(
+            router.detach("beta").unwrap_err(),
+            RouterError::UnknownIndex("beta".to_string())
+        );
+
+        router.detach("alpha").unwrap();
+        assert!(router.is_empty());
+        assert_eq!(router.default_name(), None);
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(Router::validate_name("audio-v2.1_final").is_ok());
+        assert!(Router::validate_name("").is_err());
+        assert!(Router::validate_name("has space").is_err());
+        assert!(Router::validate_name("newline\n").is_err());
+        assert!(Router::validate_name(&"x".repeat(MAX_INDEX_NAME_LEN)).is_ok());
+        assert!(Router::validate_name(&"x".repeat(MAX_INDEX_NAME_LEN + 1)).is_err());
+    }
+
+    #[test]
+    fn detached_engine_clones_keep_answering() {
+        let router = Router::with_engine("only", tiny_engine(0.0)).unwrap();
+        let held = router.get("only").unwrap();
+        router.detach("only").unwrap();
+        // The clone taken before the detach still answers.
+        let res = held.query(&[0.0, 0.0], 1);
+        assert_eq!(res.neighbors.len(), 1);
+    }
+}

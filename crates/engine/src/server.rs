@@ -1,4 +1,6 @@
-//! TCP serving layer: a newline-delimited text protocol over the engine.
+//! TCP serving layer: a newline-delimited text protocol over a
+//! [`Router`] of named engines, with graceful drain, a connection cap,
+//! and optional token authentication.
 //!
 //! # Wire protocol
 //!
@@ -6,53 +8,131 @@
 //! separated by single spaces:
 //!
 //! ```text
-//! QUERY <k> <v1> <v2> ... <vd>   ->  OK <id>:<dist>,<id>:<dist>,...
-//! PING                           ->  PONG
-//! STATS                          ->  STATS <EngineStats as one line>
-//! INDEXINFO                      ->  INDEXINFO points=... dim=... m=... c=... epoch=... reindexing=...
-//! REINDEX <path>                 ->  OK epoch=<e> points=<n> secs=<s>   (after the swap lands)
-//! QUIT                           ->  BYE (and the server closes the connection)
-//! anything else                  ->  ERR <message>
+//! QUERY <k> <v1> ... <vd>  ->  OK <id>:<dist>,<id>:<dist>,...
+//! PING                     ->  PONG
+//! STATS                    ->  STATS index=<name> <EngineStats as one line>
+//! INDEXINFO                ->  INDEXINFO name=<name> points=... dim=... m=... c=... epoch=... reindexing=...
+//! LISTINDEXES              ->  INDEXES <name1>,<name2>,...   (sorted; bare "INDEXES" when empty)
+//! USE <name>               ->  OK using <name>
+//! AUTH <token>             ->  OK authenticated
+//! ATTACH <name> <path>     ->  OK attached <name> points=<n> dim=<d> secs=<s>   (auth-gated)
+//! DETACH <name>            ->  OK detached <name>                               (auth-gated)
+//! REINDEX <path>           ->  OK index=<name> epoch=<e> points=<n> secs=<s>    (auth-gated)
+//! QUIT                     ->  BYE (and the server closes the connection)
+//! anything else            ->  ERR <message>
 //! ```
 //!
-//! `<k>` is a positive integer, each `<v>` a float; a `QUERY` must carry
-//! exactly as many components as the served index's dimensionality, or the
-//! server answers `ERR ...` and keeps the connection open. Distances are
-//! printed with `{}` (shortest round-trippable `f32` form). `REINDEX`
-//! loads the named server-side fvecs/csv file (whitespace-free path,
-//! same dimensionality as the served index), rebuilds on all cores and
-//! swaps the snapshot atomically; the issuing connection blocks for the
-//! build, every other connection keeps querying undisturbed throughout.
+//! `QUERY`, `STATS`, `INDEXINFO` and `REINDEX` operate on the
+//! connection's *current* index — the router's default at connect time,
+//! switched with `USE`. When [`ServerConfig::auth_token`] is set, the
+//! mutating verbs (`REINDEX`/`ATTACH`/`DETACH`) answer
+//! `ERR authentication required` until the connection sends a matching
+//! `AUTH <token>`; without a configured token they are open (and `AUTH`
+//! answers `OK authentication not required`).
+//!
 //! Malformed input never takes the server down: every parse failure is an
 //! `ERR` response, every I/O failure closes only that connection, a `k`
-//! beyond the indexed point count is clamped (a kNN answer can never
-//! exceed `n`), and request lines are capped at `max(512, 64 + 32·d)`
-//! bytes — a client that streams bytes without a newline gets one final
-//! `ERR` and is disconnected instead of growing the read buffer without
-//! bound. The full specification, with a worked `nc` transcript, lives in
-//! `docs/PROTOCOL.md`.
+//! beyond the indexed point count is clamped, and request lines are
+//! capped at `max(512, 64 + 32·d)` bytes of the current index (512 with
+//! none selected). The full specification, with a worked `nc`
+//! transcript, lives in `docs/PROTOCOL.md`.
+//!
+//! # Serving lifecycle
 //!
 //! The accept loop runs on its own thread and spawns one handler thread
-//! per connection; handlers funnel all queries into the shared [`Engine`],
-//! whose micro-batcher coalesces concurrent requests before they reach the
-//! worker pool. Binding port 0 picks a free port — [`ServerHandle::addr`]
-//! reports it, which is how the loopback tests run without port clashes.
+//! per connection, registering each in a connection registry:
+//!
+//! * **Connection cap** — at [`ServerConfig::max_connections`] live
+//!   connections, further accepts are answered
+//!   `ERR server at connection capacity` and closed immediately; the
+//!   accept loop itself never blocks on a full registry.
+//! * **Accept-error backoff** — persistent `accept()` failures (e.g. fd
+//!   exhaustion, `EMFILE`) back off exponentially (capped at
+//!   [`MAX_ACCEPT_BACKOFF`]) instead of busy-looping at 100% CPU.
+//! * **Graceful drain** — [`ServerHandle::shutdown`] stops accepting
+//!   (a connection that slips through the shutdown race is answered
+//!   `ERR server shutting down`, not silently dropped), signals every
+//!   handler, and waits for them to finish their in-flight request —
+//!   replies in progress arrive intact. Handlers notice the drain within
+//!   [`DRAIN_POLL`] at the latest; whoever is still alive at the drain
+//!   deadline has its socket force-closed. The outcome is reported as a
+//!   [`DrainReport`].
+//!
+//! Binding port 0 picks a free port — [`ServerHandle::addr`] reports it,
+//! which is how the loopback tests run without port clashes.
 
-use crate::Engine;
+use crate::router::Router;
+use crate::{Engine, EngineConfig, QueryError};
+use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{
+    IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A running server: the accept thread plus its shutdown switch.
+/// How often an idle connection handler wakes from its blocking read to
+/// check for a drain in progress — the upper bound on how long an idle
+/// connection delays a drain.
+pub const DRAIN_POLL: Duration = Duration::from_millis(200);
+
+/// Longest sleep between consecutive failing `accept()` calls.
+pub const MAX_ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Serving-layer knobs (the engine itself is tuned via [`EngineConfig`]).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Most simultaneous live connections; further accepts are answered
+    /// `ERR server at connection capacity` and closed.
+    pub max_connections: usize,
+    /// How long [`ServerHandle::shutdown`] (and the handle's `Drop`)
+    /// waits for in-flight connections before force-closing them.
+    pub drain_timeout: Duration,
+    /// When set, `REINDEX`/`ATTACH`/`DETACH` require a prior
+    /// `AUTH <token>` on the same connection.
+    pub auth_token: Option<String>,
+    /// Index parameters for datasets attached over the wire
+    /// (`ATTACH <name> <path>`).
+    pub attach_params: PmLshParams,
+    /// Engine configuration (worker pool, batcher) for engines created by
+    /// wire `ATTACH` — each attached index runs its own pool.
+    pub attach_engine_config: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 1024,
+            drain_timeout: Duration::from_secs(5),
+            auth_token: None,
+            attach_params: PmLshParams::default(),
+            attach_engine_config: EngineConfig::default(),
+        }
+    }
+}
+
+/// How a shutdown's drain went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// `true` when no live connection remains (cleanly or after forcing).
+    pub drained: bool,
+    /// Connections whose sockets had to be force-closed at the deadline.
+    pub forced: usize,
+}
+
+/// A running server: the accept thread, the connection registry, and the
+/// shutdown switch.
 ///
-/// Dropping the handle shuts the server down and joins the accept thread;
-/// call [`ServerHandle::join`] instead to serve until the process dies.
+/// Dropping the handle drains the server with the configured
+/// [`ServerConfig::drain_timeout`]; call [`ServerHandle::join`] instead to
+/// serve until the process dies.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -60,6 +140,11 @@ impl ServerHandle {
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Live connections right now.
+    pub fn connections(&self) -> usize {
+        self.shared.registry.live()
     }
 
     /// Blocks until the accept thread exits (i.e. forever, unless another
@@ -70,14 +155,24 @@ impl ServerHandle {
         }
     }
 
-    /// Stops accepting connections and joins the accept thread. Already
-    /// established connections finish their current line and then close.
-    pub fn shutdown(mut self) {
-        self.stop_accepting();
+    /// Gracefully drains with the configured
+    /// [`ServerConfig::drain_timeout`]: stops accepting, lets every
+    /// in-flight request finish and its reply arrive intact, tells each
+    /// connection `ERR server shutting down`, and waits for the handlers
+    /// to exit. Connections still alive at the deadline are force-closed.
+    pub fn shutdown(mut self) -> DrainReport {
+        let timeout = self.shared.config.drain_timeout;
+        self.drain(timeout)
     }
 
-    fn stop_accepting(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+    /// [`ServerHandle::shutdown`] with an explicit drain deadline.
+    pub fn shutdown_within(mut self, timeout: Duration) -> DrainReport {
+        self.drain(timeout)
+    }
+
+    fn drain(&mut self, timeout: Duration) -> DrainReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.registry.begin_drain();
         // The accept loop is blocked in accept(); poke it with a throwaway
         // connection so it observes the flag. An unspecified bind address
         // (0.0.0.0 / ::) is not connectable on every platform, so aim the
@@ -89,9 +184,27 @@ impl ServerHandle {
                 SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
             });
         }
-        let _ = TcpStream::connect_timeout(&wake, std::time::Duration::from_secs(1));
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        // Handlers notice the drain within DRAIN_POLL when idle, or right
+        // after finishing their in-flight request; wait for all of them.
+        let deadline = Instant::now() + timeout;
+        let mut forced = 0;
+        if !self.shared.registry.wait_drained(deadline) {
+            // Past the deadline: force the stragglers' sockets closed so
+            // their blocked reads return, then give them a short grace
+            // period to unwind and deregister. A handler wedged inside the
+            // engine (not in socket I/O) may outlive even this; it holds
+            // its own Arcs and dies with the process.
+            forced = self.shared.registry.force_close_all();
+            let grace = Instant::now() + Duration::from_millis(500);
+            let _ = self.shared.registry.wait_drained(grace);
+        }
+        DrainReport {
+            drained: self.shared.registry.live() == 0,
+            forced,
         }
     }
 }
@@ -99,78 +212,328 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if self.accept_thread.is_some() {
-            self.stop_accepting();
+            let timeout = self.shared.config.drain_timeout;
+            self.drain(timeout);
         }
     }
 }
 
-/// Binds `addr` (e.g. `("127.0.0.1", 0)` or `"0.0.0.0:7878"`) and serves
-/// the engine until the returned handle is shut down or dropped.
+/// Serves a single engine under the index name `"default"` with a default
+/// [`ServerConfig`] — the one-dataset convenience over [`serve_router`].
 pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let router = Router::with_engine("default", engine)
+        .expect("'default' is a valid index name for a fresh router");
+    serve_router(router, addr, ServerConfig::default())
+}
+
+/// Binds `addr` (e.g. `("127.0.0.1", 0)` or `"0.0.0.0:7878"`) and serves
+/// every index attached to `router` — including ones attached or detached
+/// while running — until the returned handle is shut down or dropped.
+pub fn serve_router(
+    router: Router,
+    addr: impl ToSocketAddrs,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let accept_stop = Arc::clone(&stop);
+    let shared = Arc::new(Shared {
+        router,
+        config,
+        stop: AtomicBool::new(false),
+        registry: ConnRegistry::new(),
+    });
+    let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
         .name("pmlsh-accept".to_string())
-        .spawn(move || accept_loop(&listener, &engine, &accept_stop))?;
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
     Ok(ServerHandle {
         addr,
-        stop,
+        shared,
         accept_thread: Some(accept_thread),
     })
 }
 
-fn accept_loop(listener: &TcpListener, engine: &Engine, stop: &AtomicBool) {
-    // Handler threads detach; the engine they clone keeps the pool alive
-    // for as long as any connection is still being served.
-    for incoming in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
+/// Everything the accept loop and the connection handlers share.
+#[derive(Debug)]
+struct Shared {
+    router: Router,
+    config: ServerConfig,
+    stop: AtomicBool,
+    registry: ConnRegistry,
+}
+
+/// The live-connection registry: the connection cap, the drain signal,
+/// and the socket clones a deadline-overrunning drain force-closes.
+#[derive(Debug)]
+struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+    changed: Condvar,
+    draining: AtomicBool,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    /// Live connection id -> a `try_clone` of its socket (`None` when the
+    /// clone failed; such a connection cannot be force-closed, only
+    /// waited for).
+    sockets: HashMap<u64, Option<TcpStream>>,
+    next_id: u64,
+}
+
+enum Registration {
+    Registered(u64),
+    AtCapacity,
+    Draining,
+}
+
+impl ConnRegistry {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(RegistryInner {
+                sockets: HashMap::new(),
+                next_id: 0,
+            }),
+            changed: Condvar::new(),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    fn try_register(&self, socket: Option<TcpStream>, max_connections: usize) -> Registration {
+        if self.is_draining() {
+            return Registration::Draining;
+        }
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        if inner.sockets.len() >= max_connections {
+            return Registration::AtCapacity;
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.sockets.insert(id, socket);
+        Registration::Registered(id)
+    }
+
+    fn deregister(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        inner.sockets.remove(&id);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    fn live(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("registry lock poisoned")
+            .sockets
+            .len()
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Waits until every connection has deregistered or `deadline`
+    /// passes; `true` means fully drained.
+    fn wait_drained(&self, deadline: Instant) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock poisoned");
+        while !inner.sockets.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .changed
+                .wait_timeout(inner, deadline - now)
+                .expect("registry lock poisoned");
+            inner = guard;
+        }
+        true
+    }
+
+    /// Shuts down every still-registered socket (waking its handler's
+    /// blocked read with EOF) and returns how many connections that hit.
+    fn force_close_all(&self) -> usize {
+        let inner = self.inner.lock().expect("registry lock poisoned");
+        for socket in inner.sockets.values().flatten() {
+            let _ = socket.shutdown(Shutdown::Both);
+        }
+        inner.sockets.len()
+    }
+}
+
+/// Deregisters a connection however its handler exits (return, `?`, or
+/// panic).
+struct ConnGuard<'a> {
+    registry: &'a ConnRegistry,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.id);
+    }
+}
+
+/// What the accept loop polls: `TcpListener` in production, fakes in the
+/// accept-error and shutdown-race tests.
+trait Acceptor {
+    fn accept(&self) -> std::io::Result<TcpStream>;
+}
+
+impl Acceptor for TcpListener {
+    fn accept(&self) -> std::io::Result<TcpStream> {
+        TcpListener::accept(self).map(|(stream, _)| stream)
+    }
+}
+
+/// Sleep after the `n`-th consecutive `accept()` error (n >= 1):
+/// 500 µs doubling up to [`MAX_ACCEPT_BACKOFF`]. Under persistent fd
+/// exhaustion (`EMFILE`) the old `continue`-on-error loop span a full
+/// core; this bounds it to ~20 attempts/s while recovering in one
+/// successful accept.
+fn accept_backoff(consecutive_errors: u32) -> Duration {
+    let base = Duration::from_micros(500);
+    let doublings = consecutive_errors.saturating_sub(1).min(10);
+    (base * 2u32.pow(doublings)).min(MAX_ACCEPT_BACKOFF)
+}
+
+fn accept_loop<A: Acceptor>(acceptor: &A, shared: &Arc<Shared>) {
+    let mut consecutive_errors = 0u32;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = incoming else { continue };
-        let engine = engine.clone();
-        let spawned = std::thread::Builder::new()
-            .name("pmlsh-conn".to_string())
-            .spawn(move || {
-                let _ = handle_connection(stream, &engine);
-            });
-        if spawned.is_err() {
-            // Out of threads: drop the connection rather than the server.
-            continue;
+        let stream = match acceptor.accept() {
+            Ok(stream) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                consecutive_errors += 1;
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(accept_backoff(consecutive_errors));
+                continue;
+            }
+        };
+        // A connection can be accepted between the shutdown flag store and
+        // the wake poke; tell it what is happening instead of abandoning
+        // it without a byte. (The poke itself lands here too — harmless.)
+        if shared.stop.load(Ordering::SeqCst) {
+            refuse(stream, b"ERR server shutting down\n");
+            return;
+        }
+        match shared
+            .registry
+            .try_register(stream.try_clone().ok(), shared.config.max_connections)
+        {
+            Registration::Registered(id) => {
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("pmlsh-conn".to_string())
+                    .spawn(move || {
+                        let _guard = ConnGuard {
+                            registry: &conn_shared.registry,
+                            id,
+                        };
+                        let _ = handle_connection(stream, &conn_shared);
+                    });
+                if spawned.is_err() {
+                    // Out of threads: drop the connection, not the server.
+                    shared.registry.deregister(id);
+                }
+            }
+            Registration::AtCapacity => refuse(stream, b"ERR server at connection capacity\n"),
+            Registration::Draining => {
+                refuse(stream, b"ERR server shutting down\n");
+                return;
+            }
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+/// Answers a connection the server will not serve with a final `ERR` line
+/// and closes it. Best-effort: a refusal must never block the accept loop
+/// on a slow peer.
+fn refuse(mut stream: TcpStream, message: &[u8]) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.write_all(message);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Per-connection protocol state.
+struct ConnState {
+    /// The index `QUERY`/`STATS`/`INDEXINFO`/`REINDEX` route to. Starts
+    /// at the router's default; switched with `USE`. The name can go
+    /// stale (`DETACH`), in which case routed verbs answer `ERR`.
+    index: Option<String>,
+    /// `true` once the connection may use mutating verbs — immediately
+    /// when no [`ServerConfig::auth_token`] is set, after a correct
+    /// `AUTH` otherwise.
+    authed: bool,
+    /// The current index's dimensionality (0 with none selected), cached
+    /// per connection so the per-line path costs no snapshot load — a
+    /// snapshot invariant (reindex rejects dimension changes), refreshed
+    /// on `USE`.
+    dim: usize,
+    /// Request-line byte cap, derived from `dim` (512 floor).
+    line_cap: usize,
+}
+
+impl ConnState {
+    /// Points this connection at `engine` under `name` (or at nothing).
+    fn select(&mut self, name: Option<String>, engine: Option<&Engine>) {
+        self.index = name;
+        self.dim = engine.map_or(0, |engine| engine.index().data().dim());
+        // A legitimate line is `QUERY <k> <v1..vd>`: ~32 bytes per float
+        // is generous; the 512-byte floor leaves room for ATTACH/REINDEX
+        // paths even at tiny dimensionalities (and with no index selected
+        // at all).
+        self.line_cap = (64 + 32 * self.dim).max(512);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
+    // The read timeout is the drain-reaction clock: an idle handler wakes
+    // at this cadence to check for a shutdown in progress.
+    stream.set_read_timeout(Some(DRAIN_POLL)).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    // `dim` is a snapshot invariant (reindex rejects dimension changes),
-    // so one load per connection covers both the line cap and QUERY
-    // validation — no snapshot-cell traffic on the per-line path.
-    let dim = engine.index().data().dim();
-    // A legitimate line is `QUERY <k> <v1..vd>`: ~32 bytes per float is
-    // generous; the 512-byte floor leaves room for a `REINDEX <path>` even
-    // at tiny dimensionalities. Reading through a cap keeps a client that
-    // streams bytes without a newline from growing the buffer without
-    // bound.
-    let line_cap = (64 + 32 * dim).max(512);
+    let mut conn = ConnState {
+        index: None,
+        authed: shared.config.auth_token.is_none(),
+        dim: 0,
+        line_cap: 0,
+    };
+    let index = shared.router.default_name();
+    let engine = index.as_deref().and_then(|name| shared.router.get(name));
+    conn.select(index, engine.as_ref());
     let mut line = Vec::with_capacity(256);
     loop {
-        line.clear();
-        let n =
-            std::io::Read::take(&mut reader, (line_cap + 1) as u64).read_until(b'\n', &mut line)?;
-        if n == 0 {
-            return Ok(()); // EOF
-        }
-        if line.last() != Some(&b'\n') && n > line_cap {
-            writer.write_all(b"ERR line exceeds protocol maximum\n")?;
-            writer.flush()?;
-            return Ok(());
+        match read_request(&mut reader, &mut line, conn.line_cap, &shared.registry)? {
+            ReadOutcome::Eof => return Ok(()),
+            ReadOutcome::Draining => {
+                // Drain in progress: one explanatory line, then close.
+                let _ = writer.write_all(b"ERR server shutting down\n");
+                let _ = writer.flush();
+                return Ok(());
+            }
+            ReadOutcome::Oversized => {
+                writer.write_all(b"ERR line exceeds protocol maximum\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            ReadOutcome::Line => {}
         }
         let text = String::from_utf8_lossy(&line);
-        match respond(&text, engine, dim) {
+        match respond(&text, shared, &mut conn) {
             Response::Line(text) => {
                 writer.write_all(text.as_bytes())?;
                 writer.write_all(b"\n")?;
@@ -186,34 +549,291 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> 
     }
 }
 
+enum ReadOutcome {
+    /// A request line landed in the buffer (possibly unterminated at EOF).
+    Line,
+    /// Clean end of stream between requests.
+    Eof,
+    /// The peer exceeded the line cap without a newline.
+    Oversized,
+    /// A drain began while waiting for (or mid-way through) a line.
+    Draining,
+}
+
+/// Reads one request line through the cap, waking every [`DRAIN_POLL`]
+/// (the socket's read timeout) to check for a drain in progress. Partial
+/// bytes accumulated before a timeout stay in `line` and keep
+/// accumulating afterwards.
+///
+/// The drain flag is only consulted when the read comes up empty: a
+/// request the client already finished writing is read and answered even
+/// if the drain lands first — the protocol promises that every owed
+/// reply is delivered before `ERR server shutting down`. (A client that
+/// keeps the pipeline saturated can ride that promise only until the
+/// drain deadline force-closes its socket.)
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    cap: usize,
+    registry: &ConnRegistry,
+) -> std::io::Result<ReadOutcome> {
+    use std::io::ErrorKind;
+    line.clear();
+    loop {
+        if line.len() > cap {
+            return Ok(ReadOutcome::Oversized);
+        }
+        let budget = (cap + 1 - line.len()) as u64;
+        match std::io::Read::take(&mut *reader, budget).read_until(b'\n', line) {
+            Ok(0) => {
+                // True EOF (the budget is never 0 here). A final
+                // unterminated line still gets answered.
+                return Ok(if line.is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Line
+                });
+            }
+            Ok(_) => {
+                if line.last() == Some(&b'\n') {
+                    return Ok(ReadOutcome::Line);
+                }
+                // No newline: either the take-budget ran out (the next
+                // iteration flags the oversize) or more bytes are in
+                // flight — keep reading.
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // The socket is quiet (a partially written line, if any,
+                // stays accumulated in `line`): the natural point to
+                // react to a drain.
+                if registry.is_draining() {
+                    return Ok(ReadOutcome::Draining);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 enum Response {
     Line(String),
     Close,
     Ignore,
 }
 
-fn respond(line: &str, engine: &Engine, dim: usize) -> Response {
+fn respond(line: &str, shared: &Shared, conn: &mut ConnState) -> Response {
     let line = line.trim();
     if line.is_empty() {
         return Response::Ignore;
     }
     let mut fields = line.split_ascii_whitespace();
     match fields.next() {
-        Some("QUERY") => Response::Line(answer_query(fields, engine, dim)),
+        Some("QUERY") => Response::Line(answer_query(fields, shared, conn)),
         Some("PING") => Response::Line("PONG".to_string()),
-        Some("STATS") => Response::Line(format!("STATS {}", engine.stats())),
-        Some("INDEXINFO") => Response::Line(format!("INDEXINFO {}", engine.info())),
-        Some("REINDEX") => Response::Line(answer_reindex(fields, engine)),
+        Some("STATS") => Response::Line(match current_engine(shared, conn) {
+            Ok((name, engine)) => format!("STATS index={name} {}", engine.stats()),
+            Err(err) => err,
+        }),
+        Some("INDEXINFO") => Response::Line(match current_engine(shared, conn) {
+            Ok((name, engine)) => format!("INDEXINFO name={name} {}", engine.info()),
+            Err(err) => err,
+        }),
+        Some("LISTINDEXES") => {
+            let names = shared.router.names();
+            Response::Line(if names.is_empty() {
+                "INDEXES".to_string()
+            } else {
+                format!("INDEXES {}", names.join(","))
+            })
+        }
+        Some("USE") => Response::Line(answer_use(fields, shared, conn)),
+        Some("AUTH") => Response::Line(answer_auth(fields, shared, conn)),
+        Some("ATTACH") => Response::Line(answer_attach(fields, shared, conn)),
+        Some("DETACH") => Response::Line(answer_detach(fields, shared, conn)),
+        Some("REINDEX") => Response::Line(answer_reindex(fields, shared, conn)),
         Some("QUIT") => Response::Close,
         Some(other) => Response::Line(format!("ERR unknown command '{other}'")),
         None => Response::Ignore,
     }
 }
 
-/// Executes `REINDEX <path>`: loads the server-side dataset file, rebuilds
-/// with the served snapshot's parameters on all cores, and swaps. Returns
-/// the one-line wire reply.
-fn answer_reindex<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine) -> String {
+/// Resolves the connection's current index to a live engine, or the `ERR`
+/// line explaining why it cannot.
+fn current_engine(shared: &Shared, conn: &ConnState) -> Result<(String, Engine), String> {
+    let Some(name) = conn.index.as_deref() else {
+        return Err("ERR no index attached (ATTACH one, then USE it)".to_string());
+    };
+    match shared.router.get(name) {
+        Some(engine) => Ok((name.to_string(), engine)),
+        None => Err(format!(
+            "ERR index '{name}' is not attached (see LISTINDEXES)"
+        )),
+    }
+}
+
+/// The `ERR` line for an unauthenticated mutating verb, if any.
+fn auth_err(conn: &ConnState) -> Option<String> {
+    if conn.authed {
+        None
+    } else {
+        Some("ERR authentication required (AUTH <token>)".to_string())
+    }
+}
+
+/// Length-then-bytes comparison that always scans the full candidate, so
+/// the timing of a failed `AUTH` does not leak how much of the token
+/// matched.
+fn token_matches(expected: &str, offered: &str) -> bool {
+    let expected = expected.as_bytes();
+    let offered = offered.as_bytes();
+    if expected.is_empty() {
+        // An empty configured token matches nothing — and must not be
+        // indexed by the scan below. (The CLI rejects an empty
+        // --auth-token outright; this keeps a programmatic Some("")
+        // locked rather than panicking the handler.)
+        return false;
+    }
+    let mut diff = expected.len() ^ offered.len();
+    for (i, &b) in offered.iter().enumerate() {
+        diff |= usize::from(b ^ expected[i % expected.len()]);
+    }
+    diff == 0
+}
+
+fn answer_auth<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &mut ConnState,
+) -> String {
+    let Some(token) = fields.next() else {
+        return "ERR AUTH needs a token".to_string();
+    };
+    if fields.next().is_some() {
+        return "ERR AUTH takes exactly one (whitespace-free) token".to_string();
+    }
+    match shared.config.auth_token.as_deref() {
+        None => "OK authentication not required".to_string(),
+        Some(expected) if token_matches(expected, token) => {
+            conn.authed = true;
+            "OK authenticated".to_string()
+        }
+        Some(_) => {
+            // Throttle online brute force: one failed guess costs this
+            // connection (and only this connection) a beat.
+            std::thread::sleep(Duration::from_millis(100));
+            "ERR bad token".to_string()
+        }
+    }
+}
+
+fn answer_use<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &mut ConnState,
+) -> String {
+    let Some(name) = fields.next() else {
+        return "ERR USE needs an index name".to_string();
+    };
+    if fields.next().is_some() {
+        return "ERR USE takes exactly one index name".to_string();
+    }
+    match shared.router.get(name) {
+        Some(engine) => {
+            conn.select(Some(name.to_string()), Some(&engine));
+            format!("OK using {name}")
+        }
+        None => format!("ERR unknown index '{name}' (see LISTINDEXES)"),
+    }
+}
+
+fn answer_attach<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &mut ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (Some(name), Some(path), None) = (fields.next(), fields.next(), fields.next()) else {
+        return "ERR ATTACH needs <name> <path> (both whitespace-free)".to_string();
+    };
+    // Fail the cheap checks before the expensive build. The final
+    // Router::attach re-checks both (another connection may have raced an
+    // attach of the same name), so TOCTOU costs a wasted build, never an
+    // inconsistent router.
+    if let Err(e) = Router::validate_name(name) {
+        return format!("ERR {e}");
+    }
+    if shared.router.get(name).is_some() {
+        return format!("ERR an index named '{name}' is already attached");
+    }
+    let data = match pm_lsh_data::read_auto(path, None) {
+        Ok(data) => data,
+        Err(e) => return format!("ERR reading {path}: {e}"),
+    };
+    if data.is_empty() {
+        return "ERR cannot attach an empty dataset".to_string();
+    }
+    // A NaN/Inf component would panic deep inside the build, which runs
+    // on this handler thread — the client would see a bare disconnect
+    // instead of this ERR.
+    if !data.as_flat().iter().all(|v| v.is_finite()) {
+        return "ERR dataset contains a non-finite (NaN/Inf) component".to_string();
+    }
+    let start = Instant::now();
+    let points = data.len();
+    let dim = data.dim();
+    let index = PmLsh::build_with_opts(
+        Arc::new(data),
+        shared.config.attach_params,
+        BuildOptions::all_cores(),
+    );
+    let engine = Engine::new(index, shared.config.attach_engine_config);
+    match shared.router.attach(name, engine) {
+        Ok(()) => format!(
+            "OK attached {name} points={points} dim={dim} secs={:.3}",
+            start.elapsed().as_secs_f64()
+        ),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+fn answer_detach<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let Some(name) = fields.next() else {
+        return "ERR DETACH needs an index name".to_string();
+    };
+    if fields.next().is_some() {
+        return "ERR DETACH takes exactly one index name".to_string();
+    }
+    match shared.router.detach(name) {
+        Ok(_engine) => format!("OK detached {name}"),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Executes `REINDEX <path>` against the connection's current index:
+/// loads the server-side dataset file, rebuilds with that snapshot's
+/// parameters on all cores, and swaps. Returns the one-line wire reply.
+fn answer_reindex<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
     let Some(path) = fields.next() else {
         return "ERR REINDEX needs a dataset file path".to_string();
     };
@@ -228,9 +848,9 @@ fn answer_reindex<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine
     // runs on the reindex thread, so this connection blocks while every
     // other connection keeps being served.
     let params = *engine.index().params();
-    match engine.reindex(data, params, pm_lsh_core::BuildOptions::all_cores()) {
+    match engine.reindex(data, params, BuildOptions::all_cores()) {
         Ok(report) => format!(
-            "OK epoch={} points={} secs={:.3}",
+            "OK index={name} epoch={} points={} secs={:.3}",
             report.epoch, report.points, report.build_secs
         ),
         Err(e) => format!("ERR {e}"),
@@ -239,27 +859,39 @@ fn answer_reindex<'a>(mut fields: impl Iterator<Item = &'a str>, engine: &Engine
 
 fn answer_query<'a>(
     mut fields: impl Iterator<Item = &'a str>,
-    engine: &Engine,
-    dim: usize,
+    shared: &Shared,
+    conn: &ConnState,
 ) -> String {
+    let (_name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
     let k: usize = match fields.next().map(str::parse) {
         Some(Ok(k)) if k >= 1 => k,
         _ => return "ERR QUERY needs a positive integer k".to_string(),
     };
-    let mut query = Vec::with_capacity(dim);
+    // Sized off the connection's cached dimensionality so a well-formed
+    // high-d query never reallocates mid-parse.
+    let mut query = Vec::with_capacity(conn.dim.max(16));
     for field in fields {
         match field.parse::<f32>() {
             Ok(v) if v.is_finite() => query.push(v),
             _ => return format!("ERR bad vector component '{field}'"),
         }
     }
-    if query.len() != dim {
-        return format!(
-            "ERR query has {} components, index dimensionality is {dim}",
-            query.len()
-        );
-    }
-    let result = engine.query(&query, k);
+    let result = match engine.try_query(&query, k) {
+        Ok(result) => result,
+        Err(QueryError::DimensionMismatch { expected, got }) => {
+            return format!("ERR query has {got} components, index dimensionality is {expected}")
+        }
+        // Parsing already rejected k = 0 and non-finite components; a
+        // worker-pool panic is the one error a well-formed line can hit.
+        Err(QueryError::ZeroK) => return "ERR QUERY needs a positive integer k".to_string(),
+        Err(QueryError::NonFiniteComponent) => {
+            return "ERR query contains a non-finite component".to_string()
+        }
+        Err(QueryError::Internal) => return "ERR internal error".to_string(),
+    };
     let mut out = String::with_capacity(16 * result.neighbors.len() + 3);
     out.push_str("OK ");
     for (i, n) in result.neighbors.iter().enumerate() {
@@ -297,6 +929,9 @@ pub fn parse_ok_response(line: &str) -> Result<Vec<(u32, f32)>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pm_lsh_metric::Dataset;
+    use pm_lsh_stats::Rng;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn parse_ok_roundtrip() {
@@ -305,5 +940,174 @@ mod tests {
         assert!(parse_ok_response("ERR nope").is_err());
         assert!(parse_ok_response("OK").unwrap().is_empty());
         assert!(parse_ok_response("OK 1:x").is_err());
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_micros(500));
+        assert_eq!(accept_backoff(2), Duration::from_millis(1));
+        assert_eq!(accept_backoff(3), Duration::from_millis(2));
+        let capped = accept_backoff(30);
+        assert_eq!(capped, MAX_ACCEPT_BACKOFF);
+        // Monotone non-decreasing all the way up.
+        for n in 1..32 {
+            assert!(accept_backoff(n) <= accept_backoff(n + 1));
+        }
+    }
+
+    #[test]
+    fn token_matching() {
+        assert!(token_matches("sekrit", "sekrit"));
+        assert!(!token_matches("sekrit", "sekri"));
+        assert!(!token_matches("sekrit", "sekrit2"));
+        assert!(!token_matches("sekrit", ""));
+        // An empty configured token matches nothing — and a non-empty
+        // guess against it must not panic the handler (regression: the
+        // scan used to index expected[0] of an empty slice).
+        assert!(!token_matches("", ""));
+        assert!(!token_matches("", "x"));
+        assert!(!token_matches("", "anything-at-all"));
+    }
+
+    fn empty_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            router: Router::new(),
+            config: ServerConfig::default(),
+            stop: AtomicBool::new(false),
+            registry: ConnRegistry::new(),
+        })
+    }
+
+    /// An acceptor that fails every call — the shape of persistent fd
+    /// exhaustion (`EMFILE`).
+    struct ErroringAcceptor {
+        attempts: AtomicUsize,
+    }
+
+    impl Acceptor for ErroringAcceptor {
+        fn accept(&self) -> std::io::Result<TcpStream> {
+            self.attempts.fetch_add(1, Ordering::SeqCst);
+            Err(std::io::Error::other("too many open files"))
+        }
+    }
+
+    /// Regression for the accept-error busy loop: under a persistently
+    /// failing accept(), the loop must back off rather than spin. The old
+    /// `let Ok(stream) else { continue }` retried millions of times in
+    /// this window.
+    #[test]
+    fn persistent_accept_errors_do_not_busy_loop() {
+        let shared = empty_shared();
+        let acceptor = ErroringAcceptor {
+            attempts: AtomicUsize::new(0),
+        };
+        std::thread::scope(|scope| {
+            let loop_shared = Arc::clone(&shared);
+            let acceptor = &acceptor;
+            let runner = scope.spawn(move || accept_loop(acceptor, &loop_shared));
+            std::thread::sleep(Duration::from_millis(300));
+            shared.stop.store(true, Ordering::SeqCst);
+            runner.join().expect("accept loop exits on stop");
+        });
+        let attempts = acceptor.attempts.load(Ordering::SeqCst);
+        assert!(attempts >= 2, "loop never retried ({attempts} attempts)");
+        // 300 ms of backed-off retries is ~15 attempts; a busy loop would
+        // be millions. Generous headroom for slow CI.
+        assert!(
+            attempts < 200,
+            "accept loop busy-spun: {attempts} attempts in 300 ms"
+        );
+    }
+
+    /// An acceptor yielding one pre-connected stream whose handover flips
+    /// the stop flag — the exact interleaving of a connection accepted
+    /// between `stop.store(true)` and the wake poke.
+    struct RaceAcceptor {
+        stream: Mutex<Option<TcpStream>>,
+        shared: Arc<Shared>,
+    }
+
+    impl Acceptor for RaceAcceptor {
+        fn accept(&self) -> std::io::Result<TcpStream> {
+            match self.stream.lock().unwrap().take() {
+                Some(stream) => {
+                    // The accept returned; only NOW does shutdown land.
+                    self.shared.stop.store(true, Ordering::SeqCst);
+                    Ok(stream)
+                }
+                None => Err(std::io::Error::other("exhausted")),
+            }
+        }
+    }
+
+    /// Regression for the silent shutdown race: a connection accepted just
+    /// as the stop flag lands must be answered `ERR server shutting down`,
+    /// not abandoned without a byte.
+    #[test]
+    fn connection_accepted_during_shutdown_gets_an_err_line() {
+        use std::io::Read;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let shared = empty_shared();
+        let acceptor = RaceAcceptor {
+            stream: Mutex::new(Some(server_side)),
+            shared: Arc::clone(&shared),
+        };
+        accept_loop(&acceptor, &shared);
+
+        let mut reply = String::new();
+        let mut reader = BufReader::new(client);
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "ERR server shutting down");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "connection must close after the ERR line");
+    }
+
+    /// A worker-pool panic must surface as `ERR internal error` on the
+    /// wire — the connection survives and keeps answering — instead of
+    /// the raw disconnect clients used to see.
+    #[test]
+    fn worker_panic_is_an_err_reply_not_a_disconnect() {
+        let mut rng = Rng::new(41);
+        let mut ds = Dataset::with_capacity(8, 120);
+        let mut buf = [0.0f32; 8];
+        for _ in 0..120 {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        let engine = Engine::new(
+            PmLsh::build(ds, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut roundtrip = |line: &str| -> String {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response.trim_end().to_string()
+        };
+        let query = "QUERY 3 0.1 0.2 0.3 0.4 0.5 0.6 0.7 0.8";
+        // 8e30 parses to exactly pool::CRASH_TEST_SENTINEL, the
+        // test-only fault injection that panics the drawing worker.
+        let crashing = "QUERY 3 8e30 0.2 0.3 0.4 0.5 0.6 0.7 0.8";
+
+        assert_eq!(roundtrip(crashing), "ERR internal error");
+
+        // The worker caught the panic; the connection AND the pool are
+        // still serviceable.
+        assert_eq!(roundtrip("PING"), "PONG");
+        assert!(roundtrip(query).starts_with("OK "));
+        handle.shutdown();
     }
 }

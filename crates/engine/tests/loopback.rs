@@ -1,15 +1,18 @@
-//! Loopback test of the TCP serving layer: a server on port 0, 100
-//! concurrent client queries, and recall checked against the sequential
-//! in-process run.
+//! Loopback tests of the TCP serving layer: a server on port 0, 100
+//! concurrent client queries with recall checked against the sequential
+//! in-process run, graceful-drain semantics, the connection cap, and
+//! multi-index routing parity.
 
-use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
 use pm_lsh_data::{exact_knn_batch, recall, PaperDataset, Scale};
 use pm_lsh_engine::server::parse_ok_response;
-use pm_lsh_engine::{serve, Engine, EngineConfig};
-use pm_lsh_metric::Neighbor;
-use std::io::{BufRead, BufReader, Write};
+use pm_lsh_engine::{serve, serve_router, Engine, EngineConfig, Router, ServerConfig};
+use pm_lsh_metric::{Dataset, Neighbor};
+use pm_lsh_stats::Rng;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 const K: usize = 10;
 const CLIENTS: usize = 10;
@@ -140,7 +143,7 @@ fn protocol_control_commands_and_errors() {
     };
 
     assert_eq!(roundtrip("PING"), "PONG");
-    assert!(roundtrip("STATS").starts_with("STATS queries="));
+    assert!(roundtrip("STATS").starts_with("STATS index=default queries="));
     assert!(roundtrip("FROB 1 2 3").starts_with("ERR unknown command"));
     assert!(roundtrip("QUERY").starts_with("ERR QUERY needs"));
     assert!(roundtrip("QUERY 0 1.0").starts_with("ERR QUERY needs"));
@@ -192,6 +195,345 @@ fn oversized_line_is_rejected_and_connection_closed() {
     let n = reader.read_line(&mut rest).unwrap_or(0);
     assert_eq!(n, 0, "connection must be closed after an oversized line");
     handle.shutdown();
+}
+
+fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut buf = vec![0.0f32; d];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+/// Graceful drain: a `QUERY` already inside the engine when `shutdown`
+/// lands must complete, its full `OK` reply must arrive intact, the
+/// connection then learns `ERR server shutting down`, and a post-drain
+/// connect is refused.
+#[test]
+fn drain_delivers_inflight_reply_before_closing() {
+    let data = blob(800, 16, 50);
+    let q = data.point(3).to_vec();
+    let index = Arc::new(PmLsh::build(data, PmLshParams::default()));
+    // A wide-open micro-batch window: a single query parks in the batcher
+    // for ~800 ms before executing, guaranteeing it is still in flight
+    // when shutdown begins.
+    let engine = Engine::new(
+        Arc::clone(&index),
+        EngineConfig {
+            threads: 1,
+            batch_size: 64,
+            max_wait: Duration::from_millis(800),
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+    let addr = handle.addr();
+
+    let mut line = String::from("QUERY 5");
+    for v in &q {
+        line.push(' ');
+        line.push_str(&v.to_string());
+    }
+    line.push('\n');
+
+    let client = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let mut next = String::new();
+        reader.read_line(&mut next).unwrap();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        (
+            reply.trim_end().to_string(),
+            next.trim_end().to_string(),
+            rest,
+        )
+    });
+
+    // Let the handler read the line and park the query in the batcher,
+    // then drain: shutdown must block until the reply has been written.
+    std::thread::sleep(Duration::from_millis(250));
+    let report = handle.shutdown();
+    assert!(report.drained, "drain did not complete: {report:?}");
+    assert_eq!(report.forced, 0, "no socket should need force-closing");
+
+    let (reply, next, rest) = client.join().expect("client thread");
+    let served = parse_ok_response(&reply).expect("intact OK reply across shutdown");
+    let direct = index.query(&q, 5);
+    assert_eq!(
+        served.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        direct.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+        "drained reply diverged from the in-process answer"
+    );
+    assert_eq!(next, "ERR server shutting down");
+    assert!(rest.is_empty(), "connection must close after the drain ERR");
+
+    // The listener is gone: a fresh connect is refused (or, if the OS
+    // races the close, closes without ever answering).
+    if let Ok(stream) = TcpStream::connect(addr) {
+        let mut reader = BufReader::new(&stream);
+        (&stream).write_all(b"PING\n").ok();
+        let mut response = String::new();
+        let n = reader.read_line(&mut response).unwrap_or(0);
+        assert_eq!(n, 0, "server answered '{}' after drain", response.trim());
+    }
+}
+
+/// The thread-per-connection model is no longer unbounded: connection
+/// `max_connections + 1` is answered `ERR server at connection capacity`
+/// and closed, while the established connections keep being served.
+#[test]
+fn connection_cap_rejects_excess_connections() {
+    let engine = Engine::new(
+        PmLsh::build(blob(300, 8, 51), PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let router = Router::with_engine("default", engine).unwrap();
+    let config = ServerConfig {
+        max_connections: 2,
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), config).expect("bind port 0");
+    let addr = handle.addr();
+
+    let mut keep = Vec::new();
+    for _ in 0..2 {
+        let stream = TcpStream::connect(addr).expect("connect under the cap");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // A PING roundtrip proves the connection is registered and live
+        // before the next connect races in.
+        writer.write_all(b"PING\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply.trim_end(), "PONG");
+        keep.push((reader, writer));
+    }
+    assert_eq!(handle.connections(), 2);
+
+    let over = TcpStream::connect(addr).expect("TCP connect still succeeds");
+    let mut reader = BufReader::new(over);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "ERR server at connection capacity");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "over-cap connection must be closed");
+
+    // The capped-out rejection did not disturb established connections.
+    let (reader, writer) = &mut keep[0];
+    writer.write_all(b"PING\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "PONG");
+
+    // Closing a slot frees capacity for the next connect.
+    keep.pop();
+    // The handler notices the close within its drain-poll read timeout.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.connections() > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(handle.connections(), 1, "closed connection never reaped");
+    let stream = TcpStream::connect(addr).expect("connect after a slot freed");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    (&stream).write_all(b"PING\n").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "PONG");
+
+    handle.shutdown();
+}
+
+/// Multi-index routing: one server, two datasets of different
+/// dimensionality. `USE` switches the connection's current index, routed
+/// answers are bit-identical to direct `PmLsh::query` on each index, and
+/// `INDEXINFO`/`STATS` report per-index state.
+#[test]
+fn multi_index_routing_matches_direct_queries() {
+    let data_a = blob(700, 12, 60);
+    let data_b = blob(900, 24, 61);
+    let queries_a: Vec<Vec<f32>> = (0..5).map(|i| data_a.point(i).to_vec()).collect();
+    let queries_b: Vec<Vec<f32>> = (0..5).map(|i| data_b.point(i).to_vec()).collect();
+    let index_a = Arc::new(PmLsh::build(data_a, PmLshParams::default()));
+    let index_b = Arc::new(PmLsh::build(data_b, PmLshParams::default()));
+
+    let config = EngineConfig {
+        threads: 2,
+        ..Default::default()
+    };
+    let router = Router::new();
+    router
+        .attach("alpha", Engine::new(Arc::clone(&index_a), config))
+        .unwrap();
+    router
+        .attach("beta", Engine::new(Arc::clone(&index_b), config))
+        .unwrap();
+    let handle =
+        serve_router(router.clone(), ("127.0.0.1", 0), ServerConfig::default()).expect("bind");
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+    let query_for = |q: &[f32]| {
+        let mut line = String::from("QUERY 4");
+        for v in q {
+            line.push(' ');
+            line.push_str(&v.to_string());
+        }
+        line
+    };
+    let assert_parity = |reply: &str, direct: &pm_lsh_core::QueryResult| {
+        let served = parse_ok_response(reply).expect("OK reply");
+        let expect: Vec<(u32, f32)> = direct.neighbors.iter().map(|n| (n.id, n.dist)).collect();
+        assert_eq!(served, expect, "routed answer not bit-identical to direct");
+    };
+
+    assert_eq!(roundtrip("LISTINDEXES"), "INDEXES alpha,beta");
+
+    // New connections start on the first-attached (default) index.
+    let info = roundtrip("INDEXINFO");
+    assert!(
+        info.starts_with("INDEXINFO name=alpha points=700 dim=12"),
+        "unexpected default-index info: {info}"
+    );
+    for q in &queries_a {
+        assert_parity(&roundtrip(&query_for(q)), &index_a.query(q, 4));
+    }
+
+    // Switching indexes re-routes queries AND the protocol's notion of d.
+    assert_eq!(roundtrip("USE beta"), "OK using beta");
+    let info = roundtrip("INDEXINFO");
+    assert!(
+        info.starts_with("INDEXINFO name=beta points=900 dim=24"),
+        "unexpected post-USE info: {info}"
+    );
+    for q in &queries_b {
+        assert_parity(&roundtrip(&query_for(q)), &index_b.query(q, 4));
+    }
+    // A query with the OLD index's dimensionality is now a protocol error.
+    assert!(roundtrip(&query_for(&queries_a[0]))
+        .starts_with("ERR query has 12 components, index dimensionality is 24"));
+
+    // Per-index stats: beta served 6 queries (5 OK + the 12-component
+    // attempt never reached the engine), alpha served 5.
+    assert!(roundtrip("STATS").starts_with("STATS index=beta queries=5 "));
+    assert_eq!(roundtrip("USE alpha"), "OK using alpha");
+    assert!(roundtrip("STATS").starts_with("STATS index=alpha queries=5 "));
+
+    assert_eq!(
+        roundtrip("USE gamma"),
+        "ERR unknown index 'gamma' (see LISTINDEXES)"
+    );
+
+    // Detach is visible on this same connection's next routed command.
+    assert_eq!(roundtrip("DETACH beta"), "OK detached beta");
+    assert_eq!(roundtrip("LISTINDEXES"), "INDEXES alpha");
+    assert_eq!(
+        roundtrip("USE beta"),
+        "ERR unknown index 'beta' (see LISTINDEXES)"
+    );
+    assert_eq!(roundtrip("DETACH beta"), "ERR unknown index 'beta'");
+
+    // AUTH without a configured token is a no-op courtesy.
+    assert_eq!(roundtrip("AUTH anything"), "OK authentication not required");
+
+    assert_eq!(roundtrip("QUIT"), "BYE");
+    handle.shutdown();
+}
+
+/// Wire `ATTACH` loads a server-side file, builds with the server's
+/// attach parameters, and serves answers bit-identical to a direct build
+/// with the same options.
+#[test]
+fn wire_attach_builds_and_serves_a_new_index() {
+    let base = blob(300, 8, 70);
+    let extra = blob(400, 10, 71);
+    let queries: Vec<Vec<f32>> = (0..4).map(|i| extra.point(i).to_vec()).collect();
+
+    let path = std::env::temp_dir().join(format!(
+        "pmlsh-attach-test-{}-{}.fvecs",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    pm_lsh_data::write_fvecs(&path, &extra).expect("write temp fvecs");
+
+    let engine = Engine::new(
+        PmLsh::build(base, PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+
+    let reply = roundtrip(&format!("ATTACH extra {}", path.display()));
+    assert!(
+        reply.starts_with("OK attached extra points=400 dim=10"),
+        "unexpected ATTACH reply: {reply}"
+    );
+    assert_eq!(roundtrip("LISTINDEXES"), "INDEXES default,extra");
+    assert!(roundtrip(&format!("ATTACH extra {}", path.display()))
+        .starts_with("ERR an index named 'extra' is already attached"));
+    assert!(roundtrip("ATTACH bad/name nowhere.fvecs").starts_with("ERR invalid index name"));
+
+    assert_eq!(roundtrip("USE extra"), "OK using extra");
+    // ATTACH builds with ServerConfig::attach_params on all cores; the
+    // parallel bulk load is thread-count invariant, so a direct build
+    // with the same options must answer bit-identically.
+    let direct = PmLsh::build_with_opts(
+        Arc::new(extra.clone()),
+        ServerConfig::default().attach_params,
+        BuildOptions::all_cores(),
+    );
+    for q in &queries {
+        let mut line = String::from("QUERY 3");
+        for v in q {
+            line.push(' ');
+            line.push_str(&v.to_string());
+        }
+        let served = parse_ok_response(&roundtrip(&line)).expect("OK reply");
+        let expect: Vec<(u32, f32)> = direct
+            .query(q, 3)
+            .neighbors
+            .iter()
+            .map(|n| (n.id, n.dist))
+            .collect();
+        assert_eq!(served, expect, "attached index diverged from direct build");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

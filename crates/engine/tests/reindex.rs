@@ -4,7 +4,9 @@
 //! `INDEXINFO` verbs must drive the same machinery end to end.
 
 use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
-use pm_lsh_engine::{serve, Engine, EngineConfig, ReindexError};
+use pm_lsh_engine::{
+    serve, serve_router, Engine, EngineConfig, ReindexError, Router, ServerConfig,
+};
 use pm_lsh_metric::Dataset;
 use pm_lsh_stats::Rng;
 use std::io::{BufRead, BufReader, Write};
@@ -194,19 +196,19 @@ fn tcp_reindex_and_indexinfo_roundtrip() {
 
     let info = exchange("INDEXINFO\n");
     assert!(
-        info.starts_with("INDEXINFO points=500") && info.contains("epoch=0"),
+        info.starts_with("INDEXINFO name=default points=500") && info.contains("epoch=0"),
         "unexpected pre-reindex info: {info}"
     );
 
     let reply = exchange(&format!("REINDEX {}\n", path.display()));
     assert!(
-        reply.starts_with("OK epoch=1 points=800"),
+        reply.starts_with("OK index=default epoch=1 points=800"),
         "unexpected REINDEX reply: {reply}"
     );
 
     let info = exchange("INDEXINFO\n");
     assert!(
-        info.starts_with("INDEXINFO points=800") && info.contains("epoch=1"),
+        info.starts_with("INDEXINFO name=default points=800") && info.contains("epoch=1"),
         "unexpected post-reindex info: {info}"
     );
 
@@ -214,6 +216,94 @@ fn tcp_reindex_and_indexinfo_roundtrip() {
     let reply = exchange("REINDEX /nonexistent/nope.fvecs\n");
     assert!(reply.starts_with("ERR"), "missing file must ERR: {reply}");
     assert_eq!(exchange("PING\n"), "PONG");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// With `ServerConfig::auth_token` set, every mutating verb (`REINDEX`,
+/// `ATTACH`, `DETACH`) answers `ERR authentication required` until the
+/// connection presents the right `AUTH <token>`; read-only verbs stay
+/// open throughout.
+#[test]
+fn auth_gates_mutating_verbs() {
+    let d = 10;
+    let old_data = blob(400, d, 400);
+    let new_data = blob(600, d, 401);
+    let path = std::env::temp_dir().join(format!(
+        "pmlsh-auth-test-{}-{}.fvecs",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    pm_lsh_data::write_fvecs(&path, &new_data).expect("write temp fvecs");
+
+    let engine = Engine::new(
+        PmLsh::build(old_data, PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let router = Router::with_engine("main", engine).unwrap();
+    let config = ServerConfig {
+        auth_token: Some("sekrit-token".to_string()),
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), config).expect("bind");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut exchange = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    // Read-only verbs never need auth.
+    assert_eq!(exchange("PING"), "PONG");
+    assert!(exchange("INDEXINFO").starts_with("INDEXINFO name=main points=400"));
+
+    // Mutating verbs are locked until AUTH.
+    let denied = "ERR authentication required (AUTH <token>)";
+    assert_eq!(exchange(&format!("REINDEX {}", path.display())), denied);
+    assert_eq!(
+        exchange(&format!("ATTACH other {}", path.display())),
+        denied
+    );
+    assert_eq!(exchange("DETACH main"), denied);
+
+    // A wrong token does not unlock (and the connection stays usable).
+    assert_eq!(exchange("AUTH wrong-token"), "ERR bad token");
+    assert_eq!(exchange(&format!("REINDEX {}", path.display())), denied);
+
+    // The right token unlocks this connection.
+    assert_eq!(exchange("AUTH sekrit-token"), "OK authenticated");
+    let reply = exchange(&format!("REINDEX {}", path.display()));
+    assert!(
+        reply.starts_with("OK index=main epoch=1 points=600"),
+        "authenticated REINDEX failed: {reply}"
+    );
+    assert!(exchange(&format!("ATTACH other {}", path.display()))
+        .starts_with("OK attached other points=600"));
+    assert_eq!(exchange("DETACH other"), "OK detached other");
+
+    // Auth is per-connection: a fresh connection starts locked again.
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut fresh = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+    assert_eq!(fresh("DETACH main"), denied);
 
     handle.shutdown();
     let _ = std::fs::remove_file(&path);

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the multi-index TCP serving layer: one `pmlsh serve`
+# process with two attached smoke datasets, driven over a raw TCP
+# connection (bash /dev/tcp) through USE / QUERY / AUTH / REINDEX / QUIT.
+# CI runs this after the release build; locally:
+#
+#   PMLSH_BIN=target/debug/pmlsh bash scripts/serve_smoke.sh
+set -euo pipefail
+
+BIN=${PMLSH_BIN:-target/release/pmlsh}
+PORT=${PMLSH_SMOKE_PORT:-7979}
+TOKEN=smoke-token
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "== generating smoke datasets"
+"$BIN" gen --dataset audio --scale smoke --out "$TMP/audio.fvecs"
+"$BIN" gen --dataset cifar --scale smoke --out "$TMP/cifar.fvecs"
+# A second audio-shaped file to REINDEX onto (same dimensionality).
+"$BIN" gen --dataset audio --scale smoke --out "$TMP/audio2.fvecs"
+
+echo "== starting pmlsh serve (two indexes, auth-gated mutating verbs)"
+"$BIN" serve --data "audio=$TMP/audio.fvecs,cifar=$TMP/cifar.fvecs" \
+  --port "$PORT" --threads 2 --auth-token "$TOKEN" &
+SERVE_PID=$!
+
+echo "== waiting for the server to accept connections"
+for _ in $(seq 1 120); do
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "FAIL: serve process died during startup" >&2
+    exit 1
+  fi
+  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+    break
+  fi
+  sleep 1
+done
+
+# One persistent connection for the whole scripted session (auth and the
+# current index are per-connection state).
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+
+req() { # req <request-line> -> prints the one reply line
+  printf '%s\n' "$1" >&3
+  local reply
+  IFS= read -r reply <&3
+  printf '%s\n' "${reply%$'\r'}"
+}
+
+expect() { # expect <request-line> <reply-glob>
+  local got
+  got=$(req "$1")
+  case "$got" in
+    $2) printf 'ok: %-18s -> %s\n' "${1%% *}" "$got" ;;
+    *)
+      echo "FAIL: '$1' -> '$got' (wanted '$2')" >&2
+      exit 1
+      ;;
+  esac
+}
+
+# Builds a `QUERY <k> <0.25 x dim>` line for the current index by reading
+# its dimensionality off INDEXINFO — no hardcoded dataset shapes.
+query_line() {
+  local dim
+  dim=$(req "INDEXINFO" | sed -n 's/.* dim=\([0-9]*\).*/\1/p')
+  [ -n "$dim" ] || { echo "FAIL: could not parse dim from INDEXINFO" >&2; exit 1; }
+  awk -v d="$dim" 'BEGIN{printf "QUERY 3"; for(i=0;i<d;i++) printf " 0.25"; print ""}'
+}
+
+echo "== driving the protocol"
+expect "PING" "PONG"
+expect "LISTINDEXES" "INDEXES audio,cifar"
+expect "INDEXINFO" "INDEXINFO name=audio points=* dim=*"
+expect "$(query_line)" "OK *:*"
+expect "USE cifar" "OK using cifar"
+expect "INDEXINFO" "INDEXINFO name=cifar points=* dim=*"
+expect "$(query_line)" "OK *:*"
+expect "STATS" "STATS index=cifar queries=1 *"
+
+echo "== auth gating"
+expect "USE audio" "OK using audio"
+expect "REINDEX $TMP/audio2.fvecs" "ERR authentication required*"
+expect "AUTH wrong-token" "ERR bad token"
+expect "AUTH $TOKEN" "OK authenticated"
+expect "REINDEX $TMP/audio2.fvecs" "OK index=audio epoch=1 *"
+expect "INDEXINFO" "INDEXINFO name=audio *epoch=1 *"
+expect "$(query_line)" "OK *:*"
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
+
+echo "== pmlsh reindex client against the running server"
+"$BIN" reindex --addr "127.0.0.1:$PORT" --data "$TMP/audio.fvecs" \
+  --index audio --auth-token "$TOKEN"
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "== serve smoke passed"

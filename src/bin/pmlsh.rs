@@ -5,15 +5,19 @@
 //! pmlsh stats       --data data.fvecs
 //! pmlsh query       --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
 //! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
-//! pmlsh batch-query --data data.fvecs --queries queries.fvecs --k 10 [--threads 4] [--build-threads 4]
-//! pmlsh serve       --data data.fvecs --port 7878 [--threads 4] [--build-threads 4]
-//! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs
+//! pmlsh batch-query --data audio=a.fvecs,deep=d.fvecs --index deep --queries q.fvecs --k 10
+//! pmlsh serve       --data audio=a.fvecs,deep=d.fvecs --port 7878 [--threads 4]
+//!                   [--auth-token t] [--max-connections 1024] [--drain-timeout-ms 5000]
+//! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs [--index deep] [--auth-token t]
 //! ```
 //!
-//! Files ending in `.csv` are parsed as headerless CSV; anything else as
-//! little-endian `fvecs` (the TEXMEX format the paper's real datasets ship
-//! in), so the same binary drives both the synthetic stand-ins and the real
-//! datasets when available.
+//! `--data` takes either one bare path (index name `default`) or a
+//! comma-separated list of `name=path` pairs — `serve` attaches every
+//! entry to one multi-index server, `batch-query` picks one with
+//! `--index`. Files ending in `.csv` are parsed as headerless CSV;
+//! anything else as little-endian `fvecs` (the TEXMEX format the paper's
+//! real datasets ship in), so the same binary drives both the synthetic
+//! stand-ins and the real datasets when available.
 
 use pm_lsh::data::{read_auto, write_csv, write_fvecs};
 use pm_lsh::prelude::*;
@@ -50,6 +54,7 @@ fn main() -> ExitCode {
             &opts,
             &[
                 "data",
+                "index",
                 "queries",
                 "k",
                 "c",
@@ -71,10 +76,14 @@ fn main() -> ExitCode {
                 "build-threads",
                 "batch-size",
                 "max-wait-us",
+                "auth-token",
+                "max-connections",
+                "drain-timeout-ms",
             ],
         )
         .and_then(|()| cmd_serve(&opts)),
-        "reindex" => known_opts(&opts, &["addr", "data"]).and_then(|()| cmd_reindex(&opts)),
+        "reindex" => known_opts(&opts, &["addr", "data", "index", "auth-token"])
+            .and_then(|()| cmd_reindex(&opts)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -99,24 +108,33 @@ USAGE:
   pmlsh query  --data <file> --queries <file> [--k <n>] [--c <ratio>]
                [--algo pm-lsh|srs|qalsh|multi-probe|r-lsh|lscan] [--no-truth]
   pmlsh bench  --data <file> --queries <file> [--k <n>] [--c <ratio>]
-  pmlsh batch-query --data <file> --queries <file> [--k <n>] [--c <ratio>]
-               [--threads <n>] [--build-threads <n>] [--no-truth]
-  pmlsh serve  --data <file> --port <p> [--threads <n>] [--c <ratio>]
+  pmlsh batch-query --data <specs> [--index <name>] --queries <file>
+               [--k <n>] [--c <ratio>] [--threads <n>] [--build-threads <n>]
+               [--no-truth]
+  pmlsh serve  --data <specs> --port <p> [--threads <n>] [--c <ratio>]
                [--build-threads <n>] [--batch-size <n>] [--max-wait-us <µs>]
+               [--auth-token <t>] [--max-connections <n>]
+               [--drain-timeout-ms <ms>]
   pmlsh reindex --addr <host:port> --data <server-side file>
+               [--index <name>] [--auth-token <t>]
 
-Files ending in .csv are headerless CSV; anything else is fvecs.
+`--data <specs>` is one bare path (served as index 'default') or a
+comma-separated list of name=path pairs; `serve` attaches every entry,
+`batch-query` picks one with --index (default: the first). Files ending
+in .csv are headerless CSV; anything else is fvecs.
 `serve` speaks a newline-delimited protocol: `QUERY <k> <v1> ... <vd>` is
 answered with `OK <id>:<dist>,...`; also PING, STATS, INDEXINFO,
-REINDEX <path> and QUIT (see docs/PROTOCOL.md). `reindex` asks a running
-server to rebuild onto a dataset file readable by the *server* and swap
-it in without dropping queries.
-`--threads 0` (the default) uses all available cores; `--build-threads`
-parallelizes index construction (0 = all cores, omitted = the
-single-threaded paper-faithful build).";
+LISTINDEXES, USE <name>, AUTH <token>, ATTACH <name> <path>,
+DETACH <name>, REINDEX <path> and QUIT (see docs/PROTOCOL.md). With
+--auth-token set, ATTACH/DETACH/REINDEX require a prior AUTH on the
+connection. `reindex` asks a running server to rebuild onto a dataset
+file readable by the *server* and swap it in without dropping queries.
+`--threads 0` (the default) uses all available cores per index;
+`--build-threads` parallelizes index construction (0 = all cores,
+omitted = the single-threaded paper-faithful build).";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
-    let mut map = HashMap::new();
+    let mut map: HashMap<String, String> = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = &args[i];
@@ -132,10 +150,55 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("missing value for {key}"))?;
-        map.insert(name, value.clone());
+        match map.entry(name) {
+            // Only --data is list-valued: repeating it accumulates
+            // comma-separated (`--data a=x --data b=y` == `--data
+            // a=x,b=y`). Every other flag repeated is a mistake — reject
+            // it rather than silently keeping (or worse, joining) one.
+            std::collections::hash_map::Entry::Occupied(mut e) if e.key() == "data" => {
+                let joined = e.get_mut();
+                joined.push(',');
+                joined.push_str(value);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err(format!("{key} given more than once"));
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value.clone());
+            }
+        }
         i += 2;
     }
     Ok(map)
+}
+
+/// Parses a `--data` value: one bare path (index name `default`) or a
+/// comma-separated list of `name=path` pairs, order preserved (the first
+/// entry becomes the served default).
+fn parse_data_specs(specs: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for entry in specs.split(',') {
+        if entry.is_empty() {
+            return Err("--data holds an empty entry (stray comma?)".to_string());
+        }
+        let (name, path) = match entry.split_once('=') {
+            Some((name, path)) => (name.to_string(), path.to_string()),
+            None => ("default".to_string(), entry.to_string()),
+        };
+        Router::validate_name(&name).map_err(|e| e.to_string())?;
+        if path.is_empty() {
+            return Err(format!("--data entry '{entry}' has an empty path"));
+        }
+        if out.iter().any(|(existing, _)| *existing == name) {
+            return Err(if name == "default" {
+                "--data lists several bare paths; name them (name=path,...)".to_string()
+            } else {
+                format!("--data names index '{name}' twice")
+            });
+        }
+        out.push((name, path));
+    }
+    Ok(out)
 }
 
 /// Rejects misspelled flags instead of silently ignoring them (a typo'd
@@ -362,7 +425,18 @@ fn parse_engine_config(opts: &HashMap<String, String>) -> Result<EngineConfig, S
 }
 
 fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
-    let data = Arc::new(load(opts.get("data").ok_or("batch-query needs --data")?)?);
+    let specs = parse_data_specs(opts.get("data").ok_or("batch-query needs --data")?)?;
+    let (name, path) = match opts.get("index") {
+        Some(wanted) => specs
+            .iter()
+            .find(|(name, _)| name == wanted)
+            .ok_or_else(|| format!("--index '{wanted}' is not in --data"))?,
+        None => &specs[0],
+    };
+    if specs.len() > 1 {
+        println!("querying index '{name}' ({path})");
+    }
+    let data = Arc::new(load(path)?);
     let queries = load(opts.get("queries").ok_or("batch-query needs --queries")?)?;
     if queries.dim() != data.dim() {
         return Err(format!(
@@ -418,7 +492,7 @@ fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
-    let data = Arc::new(load(opts.get("data").ok_or("serve needs --data")?)?);
+    let specs = parse_data_specs(opts.get("data").ok_or("serve needs --data")?)?;
     let port: u16 = opts
         .get("port")
         .ok_or("serve needs --port")?
@@ -427,23 +501,66 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let c = parse_c(opts)?;
     let config = parse_engine_config(opts)?;
     let build_threads = parse_build_threads(opts)?;
+    let max_connections: usize = opts
+        .get("max-connections")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--max-connections must be an integer")
+        })
+        .transpose()?
+        .unwrap_or_else(|| ServerConfig::default().max_connections);
+    let drain_timeout = opts
+        .get("drain-timeout-ms")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--drain-timeout-ms must be an integer")
+        })
+        .transpose()?
+        .map(std::time::Duration::from_millis)
+        .unwrap_or_else(|| ServerConfig::default().drain_timeout);
 
-    let start = Instant::now();
-    let index = build_pmlsh(data.clone(), c, build_threads);
-    println!(
-        "built PM-LSH over {} points in R^{} in {:.1} s",
-        data.len(),
-        data.dim(),
-        start.elapsed().as_secs_f64()
-    );
-    let engine = Engine::new(index, config);
-    let handle = serve(engine.clone(), ("0.0.0.0", port))
+    // The first --data entry becomes the default index new connections
+    // start on (attach order = spec order).
+    let router = Router::new();
+    for (name, path) in &specs {
+        let data = Arc::new(load(path)?);
+        let start = Instant::now();
+        let index = build_pmlsh(data.clone(), c, build_threads);
+        println!(
+            "[{name}] built PM-LSH over {} points in R^{} in {:.1} s",
+            data.len(),
+            data.dim(),
+            start.elapsed().as_secs_f64()
+        );
+        router
+            .attach(name, Engine::new(index, config))
+            .map_err(|e| e.to_string())?;
+    }
+
+    let auth_token = opts.get("auth-token").cloned();
+    if auth_token.as_deref() == Some("") {
+        return Err("--auth-token must not be empty (omit it to serve open)".into());
+    }
+    let server_config = ServerConfig {
+        max_connections,
+        drain_timeout,
+        auth_token,
+        // Wire ATTACHes inherit the CLI's parameters and engine tuning.
+        attach_params: pmlsh_params(c),
+        attach_engine_config: config,
+    };
+    let authed = server_config.auth_token.is_some();
+    let handle = serve_router(router.clone(), ("0.0.0.0", port), server_config)
         .map_err(|e| format!("binding port {port}: {e}"))?;
     println!(
-        "serving on {} with {} worker thread(s); protocol: QUERY <k> <v1..v{}> | PING | STATS | INDEXINFO | REINDEX <path> | QUIT",
+        "serving {} index(es) [{}] on {} ({} worker thread(s) each, max {max_connections} \
+         connections, mutating verbs {}); protocol: QUERY <k> <v1..vd> | PING | STATS | \
+         INDEXINFO | LISTINDEXES | USE | AUTH | ATTACH | DETACH | REINDEX | QUIT",
+        router.len(),
+        router.names().join(","),
         handle.addr(),
-        engine.threads(),
-        data.dim()
+        config.effective_threads(),
+        if authed { "AUTH-gated" } else { "open" },
     );
     handle.join();
     Ok(())
@@ -497,6 +614,21 @@ fn cmd_reindex(opts: &HashMap<String, String>) -> Result<(), String> {
         }
         Ok(reply.trim_end().to_string())
     };
+
+    // Auth and index selection are per-connection state: establish both
+    // before the REINDEX itself.
+    if let Some(token) = opts.get("auth-token") {
+        let reply = exchange(format!("AUTH {token}\n"))?;
+        if let Some(err) = reply.strip_prefix("ERR ") {
+            return Err(format!("authentication failed: {err}"));
+        }
+    }
+    if let Some(index) = opts.get("index") {
+        let reply = exchange(format!("USE {index}\n"))?;
+        if let Some(err) = reply.strip_prefix("ERR ") {
+            return Err(format!("selecting index '{index}': {err}"));
+        }
+    }
 
     println!("asking {addr} to reindex onto {data} (server-side path) ...");
     let reply = exchange(format!("REINDEX {data}\n"))?;

@@ -17,8 +17,11 @@
 //! * [`engine`] — the serving subsystem: a fixed worker pool and
 //!   micro-batching queue over one immutable index snapshot
 //!   ([`engine::Engine`]), aggregate throughput/latency statistics
-//!   ([`engine::EngineStats`]), and a newline-delimited TCP protocol
-//!   ([`engine::serve`], wire grammar in [`engine::server`]).
+//!   ([`engine::EngineStats`]), multi-index routing by name
+//!   ([`engine::Router`]), and a newline-delimited TCP protocol with
+//!   optional token auth, a connection cap and graceful drain
+//!   ([`engine::serve`] / [`engine::serve_router`], wire grammar in
+//!   [`engine::server`]).
 //! * [`baselines`] — the evaluation's competitors: SRS, QALSH, Multi-Probe
 //!   LSH, R-LSH and LScan, behind one [`baselines::AnnIndex`] trait.
 //! * [`data`] — seeded synthetic stand-ins for the paper's seven datasets,
@@ -70,8 +73,9 @@ pub mod prelude {
         SynthSpec,
     };
     pub use pm_lsh_engine::{
-        serve, Engine, EngineConfig, EngineStats, IndexInfo, ReindexError, ReindexReport,
-        ReindexTicket, ServerHandle,
+        serve, serve_router, DrainReport, Engine, EngineConfig, EngineStats, IndexInfo, QueryError,
+        ReindexError, ReindexReport, ReindexTicket, Router, RouterError, ServerConfig,
+        ServerHandle,
     };
     pub use pm_lsh_metric::{Dataset, Neighbor, PointId};
     pub use pm_lsh_stats::Rng;

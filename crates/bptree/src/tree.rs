@@ -2,9 +2,11 @@
 //!
 //! QALSH stores the projected value `h_i(o) = a_i · o` of every point in one
 //! B+-tree per hash function and answers queries by *expanding a window*
-//! around the query's own projection (virtual rehashing). The tree therefore
-//! needs ordered bulk loading, point inserts and bidirectional leaf scans —
-//! no deletes (indexes are immutable after preprocessing).
+//! around the query's own projection (virtual rehashing). The tree provides
+//! ordered bulk loading, point inserts, bidirectional leaf scans, and lazy
+//! point deletes ([`BPlusTree::delete`]: entries leave their leaves, nodes
+//! are never rebalanced — occupancy, not correctness, is what a
+//! delete-heavy sequence degrades).
 
 use pm_lsh_metric::PointId;
 
@@ -270,6 +272,43 @@ impl BPlusTree {
                 Some((up_key, right_id))
             }
         }
+    }
+
+    /// Removes one `(key, value)` pair; `false` when no exact match is
+    /// stored. With duplicate keys, the first matching pair in leaf-chain
+    /// order goes.
+    ///
+    /// Deletion is *lazy*: the pair leaves its leaf, but nodes are never
+    /// merged or rebalanced and separator keys stay put — an emptied leaf
+    /// simply remains in the chain, which every scan already skips. All
+    /// ordering, depth and chain invariants are preserved
+    /// ([`BPlusTree::verify_invariants`] holds after any delete
+    /// sequence); only node *occupancy* degrades under delete-heavy
+    /// workloads, which matches this crate's QALSH usage, where indexes
+    /// are rebuilt wholesale rather than compacted in place.
+    ///
+    /// # Panics
+    /// Panics on NaN keys.
+    pub fn delete(&mut self, key: f32, value: PointId) -> bool {
+        assert!(!key.is_nan(), "NaN keys are not allowed");
+        let mut pos = self.seek(key);
+        while let Some(p) = pos {
+            let (k, v) = self.entry_at(p);
+            if k != key {
+                return false;
+            }
+            if v == value {
+                let Node::Leaf(leaf) = &mut self.nodes[p.0 as usize] else {
+                    unreachable!()
+                };
+                leaf.keys.remove(p.1);
+                leaf.vals.remove(p.1);
+                self.len -= 1;
+                return true;
+            }
+            pos = self.next_pos(p);
+        }
+        false
     }
 
     /// All `(key, value)` pairs with `lo <= key <= hi`, in key order.

@@ -107,6 +107,14 @@ fn abandon_bound(kth: f32) -> f32 {
 /// distance distribution `F` used to choose the start radius `r_min`
 /// (Section 4.5).
 ///
+/// After building, the index supports single-point maintenance:
+/// [`PmLsh::insert`] projects a new point and grows the tree,
+/// [`PmLsh::delete`] removes one for real (the M-tree family is
+/// dynamic; the VLDBJ extension of the paper frames the PM-tree as an
+/// updatable index). Mutations keep the dataset row store, the
+/// projected points and the tree in lock-step; queries on a `&PmLsh`
+/// remain pure reads.
+///
 /// ```
 /// use pm_lsh_core::{PmLsh, PmLshParams};
 /// use pm_lsh_metric::Dataset;
@@ -282,19 +290,84 @@ impl PmLsh {
         }
     }
 
-    /// The indexed dataset.
+    /// The point store. Row `id` holds the vector behind external id `id`.
+    ///
+    /// After deletions this keeps the dead rows too (external ids are
+    /// stable row indexes, so the original-space store is append-only
+    /// until a rebuild); enumerate *live* points through
+    /// [`PmLsh::live_ids`], not by row-scanning.
     pub fn data(&self) -> &Dataset {
         &self.data
     }
 
-    /// Number of indexed points.
+    /// Number of *live* indexed points (tracks [`PmLsh::insert`] and
+    /// [`PmLsh::delete`]; equals `data().len()` until the first delete).
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.tree.len()
     }
 
-    /// `true` when the index is empty (impossible by construction).
+    /// `true` when every point has been deleted (a *built* index always
+    /// starts non-empty).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.tree.is_empty()
+    }
+
+    /// The external ids of every live point, in the index's internal
+    /// storage order.
+    pub fn live_ids(&self) -> &[pm_lsh_metric::PointId] {
+        self.tree.external_ids()
+    }
+
+    /// `true` when a live point carries this external id.
+    pub fn contains(&self, id: pm_lsh_metric::PointId) -> bool {
+        self.tree.contains_external(id)
+    }
+
+    /// Inserts one point, returning its external id (the id `query` will
+    /// report it under). The id is fresh: ids are never reused, even
+    /// after deletions.
+    ///
+    /// The point is projected through the index's hash functions and
+    /// inserted into the PM-tree, the dataset row is appended, and the
+    /// memoized `r_min` selections are reset (they depend on `n`). The
+    /// build-time distance distribution `F` is *not* resampled: `r_min`
+    /// drifts only as far as the data distribution itself drifts, and a
+    /// `REINDEX` restores an exactly-sampled `F` — the documented
+    /// trade-off of incremental maintenance.
+    ///
+    /// # Panics
+    /// Panics if `point` has the wrong dimensionality or a non-finite
+    /// component (serving layers validate first; see
+    /// `pm_lsh_engine::Engine::insert` for the error-returning form).
+    pub fn insert(&mut self, point: &[f32]) -> pm_lsh_metric::PointId {
+        assert_eq!(
+            point.len(),
+            self.data.dim(),
+            "point has wrong dimensionality"
+        );
+        assert!(
+            point.iter().all(|v| v.is_finite()),
+            "point contains a non-finite component"
+        );
+        let id = self.data.len() as pm_lsh_metric::PointId;
+        let projected = self.projector.project(point);
+        Arc::make_mut(&mut self.data).push(point);
+        self.tree.insert(&projected, id);
+        self.rmin_memo = RminMemo::new();
+        id
+    }
+
+    /// Deletes the point with external id `id`; `false` when no live
+    /// point carries it. The PM-tree entry is removed for real (leaf
+    /// removal with subtree pruning — see `PmTree::delete`); the
+    /// original-space row stays behind as a stable-id tombstone until the
+    /// next rebuild and is never returned by queries.
+    pub fn delete(&mut self, id: pm_lsh_metric::PointId) -> bool {
+        let deleted = self.tree.delete(id);
+        if deleted {
+            self.rmin_memo = RminMemo::new();
+        }
+        deleted
     }
 
     /// The effective parameters.
@@ -331,7 +404,7 @@ impl PmLsh {
     }
 
     fn compute_rmin(&self, k: usize) -> f64 {
-        let n = self.data.len() as f64;
+        let n = self.len() as f64;
         let target = (self.derived.beta + k as f64 / n).min(1.0);
         let r = self.dist_f.quantile(target);
         let r = if r > 0.0 {
@@ -412,7 +485,9 @@ impl PmLsh {
             .derive()
         };
 
-        let n = self.data.len();
+        // Live count: deletions shrink both the candidate budget and the
+        // radius-selection population.
+        let n = self.len();
         let budget = ((derived.beta * n as f64).ceil() as usize + k).min(n);
         ctx.qp.resize(self.params.m as usize, 0.0);
         self.projector.project_into(q, &mut ctx.qp);
@@ -501,7 +576,7 @@ impl PmLsh {
     ) -> Option<Neighbor> {
         assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
         assert!(r > 0.0, "radius must be positive");
-        let n = self.data.len();
+        let n = self.len();
         let beta_n = (self.derived.beta * n as f64).ceil() as usize;
         ctx.qp.resize(self.params.m as usize, 0.0);
         self.projector.project_into(q, &mut ctx.qp);
@@ -553,8 +628,8 @@ impl PmLsh {
     }
 
     /// Answers a batch of queries in parallel over `threads` OS threads
-    /// (0 = available parallelism). The index is immutable after build, so
-    /// queries share it without synchronization; results keep query order.
+    /// (0 = available parallelism). Queries never mutate the index, so
+    /// they share it without synchronization; results keep query order.
     ///
     /// The threads are spawned per call, which suits one-shot workloads
     /// with no extra dependencies. For sustained serving — a persistent

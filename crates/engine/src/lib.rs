@@ -21,6 +21,13 @@
 //!   snapshot for all its queries), so in-flight work completes on the
 //!   index it started with while new work sees the new one.
 //!   [`Engine::info`] reports the snapshot generation ([`IndexInfo`]).
+//! * [`Engine::insert`] / [`Engine::delete`] apply single-point mutations
+//!   *between* rebuilds, via copy-on-write snapshot publication: the
+//!   current snapshot is cloned, patched and swapped in under a writer
+//!   lock, bumping the epoch; readers keep pinning immutable snapshots
+//!   and never block on a mutation ([`MutationReport`],
+//!   [`MutationError`]). On the wire these are the AUTH-gated
+//!   `INSERT`/`DELETE` verbs.
 //! * The micro-batcher (a bounded channel and a collector thread) groups
 //!   up to `batch_size` concurrent requests, waiting at most `max_wait`
 //!   after the first, before handing them to the pool — one channel send
@@ -183,10 +190,69 @@ impl Engine {
         self.snapshot.load()
     }
 
-    /// The snapshot generation: 0 at construction, +1 per completed
-    /// [`Engine::reindex`] swap.
+    /// The snapshot generation: 0 at construction, +1 per snapshot
+    /// publication — a completed [`Engine::reindex`] swap or a
+    /// single-point [`Engine::insert`]/[`Engine::delete`].
     pub fn epoch(&self) -> u64 {
         self.snapshot.epoch()
+    }
+
+    /// Inserts one point into the served index and publishes the mutated
+    /// snapshot, returning the assigned external id and the new epoch.
+    ///
+    /// Publication is copy-on-write: the current snapshot is cloned,
+    /// patched (`PmLsh::insert`), and swapped in under the cell's writer
+    /// lock — readers keep pinning immutable `Arc<PmLsh>` snapshots and
+    /// never wait on the clone, in-flight queries finish on the snapshot
+    /// they started with, and queries arriving after the swap see the new
+    /// point. The clone makes a single mutation O(n); for bulk loads use
+    /// [`Engine::reindex`], which pays the build once for the whole
+    /// dataset.
+    pub fn insert(&self, point: &[f32]) -> Result<MutationReport, MutationError> {
+        let _writer = self.snapshot.begin_write();
+        if self.snapshot.is_rebuilding() {
+            return Err(MutationError::ReindexInProgress);
+        }
+        let current = self.snapshot.load();
+        if point.len() != current.data().dim() {
+            return Err(MutationError::DimensionMismatch {
+                expected: current.data().dim(),
+                got: point.len(),
+            });
+        }
+        if validate_points(point).is_err() {
+            return Err(MutationError::NonFiniteComponent);
+        }
+        let mut next = (*current).clone();
+        let id = next.insert(point);
+        let points = next.len();
+        let epoch = self.snapshot.swap(Arc::new(next));
+        Ok(MutationReport { id, epoch, points })
+    }
+
+    /// Deletes the point with external id `id` and publishes the mutated
+    /// snapshot (same copy-on-write discipline as [`Engine::insert`]).
+    /// The last live point cannot be deleted: a served index is non-empty
+    /// by construction, and every connected client holds protocol state
+    /// derived from it.
+    pub fn delete(&self, id: pm_lsh_metric::PointId) -> Result<MutationReport, MutationError> {
+        let _writer = self.snapshot.begin_write();
+        if self.snapshot.is_rebuilding() {
+            return Err(MutationError::ReindexInProgress);
+        }
+        let current = self.snapshot.load();
+        if !current.contains(id) {
+            return Err(MutationError::UnknownId(id));
+        }
+        if current.len() == 1 {
+            return Err(MutationError::WouldEmptyIndex);
+        }
+        let mut next = (*current).clone();
+        let deleted = next.delete(id);
+        debug_assert!(deleted, "contains() said the id was live");
+        let points = next.len();
+        let epoch = self.snapshot.swap(Arc::new(next));
+        Ok(MutationReport { id, epoch, points })
     }
 
     /// A summary of the served snapshot (the TCP `INDEXINFO` payload).
@@ -239,7 +305,7 @@ impl Engine {
         // wire, not a dead build thread — the same policy as query
         // validation, and what keeps `ReindexTicket::wait`'s no-panic
         // claim true.
-        if !data.as_flat().iter().all(|v| v.is_finite()) {
+        if validate_points(data.as_flat()).is_err() {
             return Err(ReindexError::NonFiniteData);
         }
         if !self.snapshot.try_begin_rebuild() {
@@ -261,7 +327,15 @@ impl Engine {
                 let start = Instant::now();
                 let points = data.len();
                 let next = Arc::new(PmLsh::build_with_opts(data, params, opts));
-                let epoch = snapshot.swap(next);
+                // The swap itself goes through the writer lock so it can
+                // never interleave inside a mutation's load → patch →
+                // swap sequence (which would silently orphan the
+                // mutation); a rebuild landing *after* a mutation
+                // replaces the dataset wholesale by design.
+                let epoch = {
+                    let _writer = snapshot.begin_write();
+                    snapshot.swap(next)
+                };
                 ReindexReport {
                     epoch,
                     points,
@@ -403,10 +477,25 @@ impl Engine {
     }
 }
 
+/// The single numeric-validity gate for every path that feeds floats into
+/// the index stack — queries ([`Engine::try_query`], [`Engine::query_batch`]),
+/// single-point inserts ([`Engine::insert`]), whole-dataset ingest
+/// ([`Engine::begin_reindex`] and the TCP `ATTACH` handler). A NaN/Inf
+/// smuggled past any of these panics deep inside distance kernels or pivot
+/// selection on some worker thread; rejecting here, on the caller's
+/// thread, turns every poisoned input into a typed error (an `ERR` line on
+/// the wire).
+///
+/// Returns `Err(i)` with the flat index of the first non-finite component.
+pub fn validate_points(values: &[f32]) -> Result<(), usize> {
+    match values.iter().position(|v| !v.is_finite()) {
+        None => Ok(()),
+        Some(i) => Err(i),
+    }
+}
+
 /// The single source of truth for query validation, shared by
-/// [`Engine::try_query`] and [`Engine::query_batch`]. Rejecting NaN/inf
-/// here, on the caller's thread, keeps a poisoned component from taking
-/// down the worker that draws the job.
+/// [`Engine::try_query`] and [`Engine::query_batch`].
 fn try_validate(snapshot: &PmLsh, q: &[f32], k: usize) -> Result<(), QueryError> {
     if q.len() != snapshot.data().dim() {
         return Err(QueryError::DimensionMismatch {
@@ -417,7 +506,7 @@ fn try_validate(snapshot: &PmLsh, q: &[f32], k: usize) -> Result<(), QueryError>
     if k == 0 {
         return Err(QueryError::ZeroK);
     }
-    if !q.iter().all(|v| v.is_finite()) {
+    if validate_points(q).is_err() {
         return Err(QueryError::NonFiniteComponent);
     }
     Ok(())
@@ -534,6 +623,64 @@ impl std::fmt::Display for ReindexError {
 
 impl std::error::Error for ReindexError {}
 
+/// Why a single-point mutation ([`Engine::insert`]/[`Engine::delete`])
+/// was refused. The TCP layer turns each variant into an `ERR` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationError {
+    /// The offered point's length differs from the served dimensionality.
+    DimensionMismatch {
+        /// Dimensionality of the served snapshot.
+        expected: usize,
+        /// Components in the offered point.
+        got: usize,
+    },
+    /// The offered point contains a NaN or infinite component.
+    NonFiniteComponent,
+    /// No live point carries this external id (never indexed, or already
+    /// deleted).
+    UnknownId(pm_lsh_metric::PointId),
+    /// Deleting this point would empty the index; a served index is
+    /// non-empty by construction (`REINDEX` onto a new dataset instead).
+    WouldEmptyIndex,
+    /// A background reindex is building; its swap would silently discard
+    /// a concurrent mutation, so mutations wait it out.
+    ReindexInProgress,
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::DimensionMismatch { expected, got } => write!(
+                f,
+                "point has {got} components, index dimensionality is {expected}"
+            ),
+            MutationError::NonFiniteComponent => {
+                write!(f, "point contains a non-finite component")
+            }
+            MutationError::UnknownId(id) => write!(f, "unknown point id {id}"),
+            MutationError::WouldEmptyIndex => {
+                write!(f, "cannot delete the last indexed point")
+            }
+            MutationError::ReindexInProgress => {
+                write!(f, "a reindex is in progress; retry once it completes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Summary of a published single-point mutation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationReport {
+    /// The external id inserted or deleted.
+    pub id: pm_lsh_metric::PointId,
+    /// The epoch the mutated snapshot was published as.
+    pub epoch: u64,
+    /// Live points in the published snapshot.
+    pub points: usize,
+}
+
 /// Summary of a completed reindex.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReindexReport {
@@ -619,6 +766,8 @@ const _: () = {
     assert_send_sync::<Router>();
     assert_send_sync::<ServerConfig>();
     assert_send_sync::<QueryError>();
+    assert_send_sync::<MutationError>();
+    assert_send_sync::<MutationReport>();
 };
 
 #[cfg(test)]
@@ -788,6 +937,132 @@ mod tests {
             QueryError::Internal
         );
         assert_eq!(engine.try_query(&q, 3).unwrap().neighbors, direct.neighbors);
+    }
+
+    #[test]
+    fn validate_points_reports_first_offender() {
+        assert_eq!(validate_points(&[]), Ok(()));
+        assert_eq!(validate_points(&[0.0, -1.5, 3.0e30]), Ok(()));
+        assert_eq!(validate_points(&[0.0, f32::NAN, f32::NAN]), Err(1));
+        assert_eq!(validate_points(&[f32::NEG_INFINITY]), Err(0));
+        assert_eq!(validate_points(&[1.0, 2.0, f32::INFINITY]), Err(2));
+    }
+
+    #[test]
+    fn insert_and_delete_publish_new_snapshots() {
+        let data = blob(200, 8, 90);
+        let q = data.point(0).to_vec();
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(engine.epoch(), 0);
+
+        // Insert: fresh id, epoch bump, immediately queryable at dist 0.
+        let point = vec![7.5f32; 8];
+        let ins = engine.insert(&point).expect("insert");
+        assert_eq!(ins.id, 200);
+        assert_eq!(ins.epoch, 1);
+        assert_eq!(ins.points, 201);
+        assert_eq!(engine.info().points, 201);
+        let res = engine.query(&point, 1);
+        assert_eq!(res.neighbors[0].id, 200);
+        assert_eq!(res.neighbors[0].dist, 0.0);
+
+        // A snapshot pinned before the delete keeps answering with the
+        // point; the served index no longer returns it.
+        let held = engine.index();
+        let del = engine.delete(200).expect("delete");
+        assert_eq!(del.epoch, 2);
+        assert_eq!(del.points, 200);
+        assert!(held.contains(200), "pinned snapshot must be immutable");
+        let res = engine.query(&point, 1);
+        assert_ne!(res.neighbors[0].id, 200, "deleted id served");
+
+        // Typed refusals, with the index left fully usable.
+        assert_eq!(
+            engine.delete(200).unwrap_err(),
+            MutationError::UnknownId(200)
+        );
+        assert_eq!(
+            engine.insert(&[1.0, 2.0]).unwrap_err(),
+            MutationError::DimensionMismatch {
+                expected: 8,
+                got: 2
+            }
+        );
+        let mut poisoned = point.clone();
+        poisoned[3] = f32::NAN;
+        assert_eq!(
+            engine.insert(&poisoned).unwrap_err(),
+            MutationError::NonFiniteComponent
+        );
+        assert_eq!(engine.epoch(), 2, "refused mutations must not publish");
+        assert_eq!(engine.query(&q, 3).neighbors.len(), 3);
+    }
+
+    #[test]
+    fn delete_refuses_to_empty_the_index() {
+        let ds = Dataset::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let engine = Engine::new(
+            PmLsh::build(ds, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        engine.delete(0).expect("first delete");
+        assert_eq!(
+            engine.delete(1).unwrap_err(),
+            MutationError::WouldEmptyIndex
+        );
+        assert_eq!(engine.info().points, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_never_fail_during_mutation_churn() {
+        let data = blob(500, 10, 91);
+        let queries: Vec<Vec<f32>> = (0..8).map(|i| data.point(i).to_vec()).collect();
+        let engine = Engine::new(
+            PmLsh::build(data, PmLshParams::default()),
+            EngineConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        std::thread::scope(|scope| {
+            let mutator = {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    let mut inserted = Vec::new();
+                    for round in 0..30 {
+                        let v = vec![round as f32 * 0.1; 10];
+                        inserted.push(engine.insert(&v).expect("insert").id);
+                        if round % 3 == 0 {
+                            let id = inserted.remove(0);
+                            engine.delete(id).expect("delete");
+                        }
+                    }
+                })
+            };
+            for chunk in queries.chunks(2) {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        for q in chunk {
+                            let res = engine.try_query(q, 5).expect("query during churn");
+                            assert_eq!(res.neighbors.len(), 5);
+                        }
+                    }
+                });
+            }
+            mutator.join().expect("mutator");
+        });
+        // 30 inserts + 10 deletes = 40 publications.
+        assert_eq!(engine.epoch(), 40);
     }
 
     #[test]

@@ -18,17 +18,22 @@
 //! ATTACH <name> <path>     ->  OK attached <name> points=<n> dim=<d> secs=<s>   (auth-gated)
 //! DETACH <name>            ->  OK detached <name>                               (auth-gated)
 //! REINDEX <path>           ->  OK index=<name> epoch=<e> points=<n> secs=<s>    (auth-gated)
+//! INSERT <v1> ... <vd>     ->  OK id=<id> epoch=<e> points=<n>                  (auth-gated)
+//! DELETE <id>              ->  OK deleted <id> epoch=<e> points=<n>             (auth-gated)
 //! QUIT                     ->  BYE (and the server closes the connection)
 //! anything else            ->  ERR <message>
 //! ```
 //!
-//! `QUERY`, `STATS`, `INDEXINFO` and `REINDEX` operate on the
-//! connection's *current* index — the router's default at connect time,
-//! switched with `USE`. When [`ServerConfig::auth_token`] is set, the
-//! mutating verbs (`REINDEX`/`ATTACH`/`DETACH`) answer
-//! `ERR authentication required` until the connection sends a matching
-//! `AUTH <token>`; without a configured token they are open (and `AUTH`
-//! answers `OK authentication not required`).
+//! `QUERY`, `STATS`, `INDEXINFO`, `REINDEX`, `INSERT` and `DELETE`
+//! operate on the connection's *current* index — the router's default at
+//! connect time, switched with `USE`. When [`ServerConfig::auth_token`]
+//! is set, the mutating verbs (`REINDEX`/`ATTACH`/`DETACH`/`INSERT`/
+//! `DELETE`) answer `ERR authentication required` until the connection
+//! sends a matching `AUTH <token>`; without a configured token they are
+//! open (and `AUTH` answers `OK authentication not required`).
+//! `INSERT`/`DELETE` publish a fresh snapshot per call (each bumps the
+//! `INDEXINFO` epoch); a `QUERY` after an `OK` reply observes the
+//! mutation.
 //!
 //! Malformed input never takes the server down: every parse failure is an
 //! `ERR` response, every I/O failure closes only that connection, a `k`
@@ -652,6 +657,8 @@ fn respond(line: &str, shared: &Shared, conn: &mut ConnState) -> Response {
         Some("ATTACH") => Response::Line(answer_attach(fields, shared, conn)),
         Some("DETACH") => Response::Line(answer_detach(fields, shared, conn)),
         Some("REINDEX") => Response::Line(answer_reindex(fields, shared, conn)),
+        Some("INSERT") => Response::Line(answer_insert(fields, shared, conn)),
+        Some("DELETE") => Response::Line(answer_delete(fields, shared, conn)),
         Some("QUIT") => Response::Close,
         Some(other) => Response::Line(format!("ERR unknown command '{other}'")),
         None => Response::Ignore,
@@ -777,9 +784,14 @@ fn answer_attach<'a>(
     }
     // A NaN/Inf component would panic deep inside the build, which runs
     // on this handler thread — the client would see a bare disconnect
-    // instead of this ERR.
-    if !data.as_flat().iter().all(|v| v.is_finite()) {
-        return "ERR dataset contains a non-finite (NaN/Inf) component".to_string();
+    // instead of this ERR. Name the poisoned row so a multi-gigabyte
+    // file is debuggable from the reply alone.
+    if let Err(flat) = crate::validate_points(data.as_flat()) {
+        return format!(
+            "ERR dataset contains a non-finite (NaN/Inf) component at row {} component {}",
+            flat / data.dim(),
+            flat % data.dim()
+        );
     }
     let start = Instant::now();
     let points = data.len();
@@ -852,6 +864,69 @@ fn answer_reindex<'a>(
         Ok(report) => format!(
             "OK index={name} epoch={} points={} secs={:.3}",
             report.epoch, report.points, report.build_secs
+        ),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Executes `INSERT <v1> ... <vd>` against the connection's current
+/// index: parses the vector with the same rules as `QUERY`, publishes the
+/// mutated snapshot, and reports the assigned id with the new epoch.
+fn answer_insert<'a>(
+    fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (_name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
+    let mut point = Vec::with_capacity(conn.dim.max(16));
+    for field in fields {
+        match field.parse::<f32>() {
+            Ok(v) if v.is_finite() => point.push(v),
+            _ => return format!("ERR bad vector component '{field}'"),
+        }
+    }
+    if point.is_empty() {
+        return "ERR INSERT needs <v1> ... <vd>".to_string();
+    }
+    match engine.insert(&point) {
+        Ok(report) => format!(
+            "OK id={} epoch={} points={}",
+            report.id, report.epoch, report.points
+        ),
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Executes `DELETE <id>` against the connection's current index.
+fn answer_delete<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (_name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
+    let id = match fields.next().map(str::parse::<u32>) {
+        Some(Ok(id)) => id,
+        _ => return "ERR DELETE needs a point id".to_string(),
+    };
+    if fields.next().is_some() {
+        return "ERR DELETE takes exactly one point id".to_string();
+    }
+    match engine.delete(id) {
+        Ok(report) => format!(
+            "OK deleted {} epoch={} points={}",
+            report.id, report.epoch, report.points
         ),
         Err(e) => format!("ERR {e}"),
     }

@@ -29,6 +29,14 @@ pub(crate) struct SnapshotCell {
     slot: Mutex<Arc<PmLsh>>,
     epoch: AtomicU64,
     rebuilding: AtomicBool,
+    /// Serializes *writers* (single-point mutations among themselves, and
+    /// a finishing rebuild's swap against an in-flight mutation) without
+    /// ever being touched by the read path. A mutation holds this lock
+    /// across its load → clone-and-patch → swap sequence, so no other
+    /// publication can interleave and orphan its work; `slot` is still
+    /// only locked for the pointer copy, so readers never wait on a
+    /// clone-and-patch in progress.
+    write: Mutex<()>,
 }
 
 impl SnapshotCell {
@@ -37,7 +45,14 @@ impl SnapshotCell {
             slot: Mutex::new(index),
             epoch: AtomicU64::new(0),
             rebuilding: AtomicBool::new(false),
+            write: Mutex::new(()),
         }
+    }
+
+    /// Claims the writer slot for a load → patch → swap sequence. The
+    /// guard must be held across the whole sequence.
+    pub(crate) fn begin_write(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.write.lock().expect("write lock poisoned")
     }
 
     /// The current snapshot. Callers hold it for as long as they need —

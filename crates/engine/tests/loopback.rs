@@ -536,6 +536,160 @@ fn wire_attach_builds_and_serves_a_new_index() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A vector INSERTed over TCP is returned by the very next QUERY without
+/// any reindex, DELETE makes it vanish again, and every mutation bumps
+/// the epoch INDEXINFO reports.
+#[test]
+fn wire_insert_query_delete_roundtrip() {
+    let data = blob(300, 6, 80);
+    let engine = Engine::new(
+        PmLsh::build(data, PmLshParams::default()),
+        EngineConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+
+    let vector = "0.5 -1.25 2 0.75 -0.5 3.5";
+    assert!(roundtrip("INDEXINFO").contains("points=300"));
+    assert!(roundtrip("INDEXINFO").contains("epoch=0"));
+
+    // INSERT publishes a new snapshot; the id comes back on the wire.
+    assert_eq!(
+        roundtrip(&format!("INSERT {vector}")),
+        "OK id=300 epoch=1 points=301"
+    );
+    let info = roundtrip("INDEXINFO");
+    assert!(
+        info.contains("points=301") && info.contains("epoch=1"),
+        "INDEXINFO must observe the insert: {info}"
+    );
+
+    // The inserted vector is its own nearest neighbor, no reindex needed.
+    let hits = parse_ok_response(&roundtrip(&format!("QUERY 1 {vector}"))).unwrap();
+    assert_eq!(hits, vec![(300, 0.0)]);
+
+    // DELETE removes it and bumps the epoch again.
+    assert_eq!(roundtrip("DELETE 300"), "OK deleted 300 epoch=2 points=300");
+    let info = roundtrip("INDEXINFO");
+    assert!(
+        info.contains("points=300") && info.contains("epoch=2"),
+        "INDEXINFO must observe the delete: {info}"
+    );
+    let hits = parse_ok_response(&roundtrip(&format!("QUERY 5 {vector}"))).unwrap();
+    assert!(
+        hits.iter().all(|&(id, _)| id != 300),
+        "deleted id still served: {hits:?}"
+    );
+
+    assert_eq!(roundtrip("QUIT"), "BYE");
+    handle.shutdown();
+}
+
+/// Malformed `INSERT`/`DELETE` lines: each gets its *specific* `ERR`
+/// reply, publishes nothing (the epoch never moves), and leaves both the
+/// connection and the index fully usable.
+#[test]
+fn malformed_mutations_get_specific_errors_and_change_nothing() {
+    let data = blob(200, 6, 81);
+    let good_query = format!(
+        "QUERY 3 {}",
+        data.point(0)
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let engine = Engine::new(
+        PmLsh::build(data, PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let router = Router::with_engine("default", engine).unwrap();
+    let config = ServerConfig {
+        auth_token: Some("sekrit".to_string()),
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), config).expect("bind port 0");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut roundtrip = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    };
+
+    // Mutations before AUTH are refused wholesale.
+    for unauthed in ["INSERT 1 2 3 4 5 6", "DELETE 0"] {
+        assert_eq!(
+            roundtrip(unauthed),
+            "ERR authentication required (AUTH <token>)"
+        );
+    }
+    assert_eq!(roundtrip("AUTH sekrit"), "OK authenticated");
+
+    // One malformed line per failure mode, each with its own message.
+    let table: &[(&str, &str)] = &[
+        ("INSERT", "ERR INSERT needs <v1> ... <vd>"),
+        (
+            "INSERT 1 2",
+            "ERR point has 2 components, index dimensionality is 6",
+        ),
+        (
+            "INSERT 1 2 3 4 5 6 7",
+            "ERR point has 7 components, index dimensionality is 6",
+        ),
+        ("INSERT 1 2 nan 4 5 6", "ERR bad vector component 'nan'"),
+        ("INSERT 1 2 inf 4 5 6", "ERR bad vector component 'inf'"),
+        ("INSERT 1 2 x 4 5 6", "ERR bad vector component 'x'"),
+        ("DELETE", "ERR DELETE needs a point id"),
+        ("DELETE abc", "ERR DELETE needs a point id"),
+        ("DELETE -3", "ERR DELETE needs a point id"),
+        ("DELETE 5 6", "ERR DELETE takes exactly one point id"),
+        ("DELETE 99999", "ERR unknown point id 99999"),
+    ];
+    for (request, want) in table {
+        assert_eq!(&roundtrip(request), want, "for request '{request}'");
+        // Nothing was published and the connection still serves.
+        let info = roundtrip("INDEXINFO");
+        assert!(
+            info.contains("points=200") && info.contains("epoch=0"),
+            "'{request}' must not mutate anything, got: {info}"
+        );
+    }
+
+    // The connection and the index survived the whole gauntlet.
+    assert_eq!(roundtrip("PING"), "PONG");
+    let hits = parse_ok_response(&roundtrip(&good_query)).unwrap();
+    assert_eq!(hits.len(), 3);
+    assert_eq!(hits[0].1, 0.0);
+
+    // And a *valid* mutation still works afterwards.
+    assert_eq!(
+        roundtrip("INSERT 9 9 9 9 9 9"),
+        "OK id=200 epoch=1 points=201"
+    );
+
+    assert_eq!(roundtrip("QUIT"), "BYE");
+    handle.shutdown();
+}
+
 #[test]
 fn shutdown_stops_accepting() {
     let generator = PaperDataset::Audio.generator(Scale::Smoke);

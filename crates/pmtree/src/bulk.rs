@@ -188,6 +188,16 @@ impl PmTree {
             }
             tree.points.extend_from_view(sub.points.view());
             tree.externals.extend_from_slice(&sub.externals);
+            // The mutable layer's bookkeeping splices with the same
+            // offsets as the arena: subtrees never free nodes during a
+            // build, so only the id map and the leaf map carry over.
+            debug_assert!(sub.free_nodes.is_empty());
+            for (local, &external) in sub.externals.iter().enumerate() {
+                tree.ext_index
+                    .insert(external, internal_offset + local as u32);
+            }
+            tree.leaf_of
+                .extend(sub.leaf_of.iter().map(|&leaf| leaf + node_offset));
 
             // The subtree's top node now hangs under a routing object (the
             // region pivot) instead of the root, so its entries' parent

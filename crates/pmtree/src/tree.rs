@@ -6,6 +6,7 @@ use crate::pivots::select_pivots;
 use crate::NodeId;
 use pm_lsh_metric::{euclidean, Dataset, MatrixView, PointId};
 use pm_lsh_stats::Rng;
+use std::collections::HashMap;
 
 /// A PM-tree node: either routing entries or point entries.
 #[derive(Clone, Debug)]
@@ -53,6 +54,13 @@ pub struct PmTree {
     pub(crate) root: NodeId,
     pub(crate) points: Dataset,
     pub(crate) externals: Vec<PointId>,
+    /// External id -> internal row, the lookup [`PmTree::delete`] starts
+    /// from (and what makes duplicate external ids detectable at insert).
+    pub(crate) ext_index: HashMap<PointId, u32>,
+    /// Internal row -> the leaf node currently holding its entry.
+    pub(crate) leaf_of: Vec<NodeId>,
+    /// Arena slots released by deletions, reused by the next allocation.
+    pub(crate) free_nodes: Vec<NodeId>,
     build_dist_computations: u64,
 }
 
@@ -77,6 +85,9 @@ impl PmTree {
             root: 0,
             points: Dataset::with_capacity(dim, 0),
             externals: Vec::new(),
+            ext_index: HashMap::new(),
+            leaf_of: Vec::new(),
+            free_nodes: Vec::new(),
             build_dist_computations: 0,
         }
     }
@@ -137,6 +148,17 @@ impl PmTree {
         self.build_dist_computations
     }
 
+    /// The external ids of every indexed point, in internal-row order
+    /// (the live set: deletions remove ids from this slice).
+    pub fn external_ids(&self) -> &[PointId] {
+        &self.externals
+    }
+
+    /// `true` when a point with this external id is indexed.
+    pub fn contains_external(&self, external: PointId) -> bool {
+        self.ext_index.contains_key(&external)
+    }
+
     /// Inserts one point with a caller-chosen external id.
     ///
     /// # Panics
@@ -168,8 +190,15 @@ impl PmTree {
         assert_eq!(vector.len(), self.dim, "point has wrong dimensionality");
         debug_assert_eq!(pd.len(), self.pivots.len());
         let internal = self.externals.len() as u32;
+        assert!(
+            !self.ext_index.contains_key(&external),
+            "external id {external} is already indexed"
+        );
         self.points.push(vector);
         self.externals.push(external);
+        self.ext_index.insert(external, internal);
+        // Placeholder; insert_rec records the leaf that receives the entry.
+        self.leaf_of.push(self.root);
 
         if let Some((e1, e2)) = self.insert_rec(self.root, vector, internal, &pd, 0.0, None) {
             let new_root = self.alloc(Node::Inner(vec![e1, e2]));
@@ -185,9 +214,24 @@ impl PmTree {
     }
 
     fn alloc(&mut self, node: Node) -> NodeId {
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(node);
-        id
+        match self.free_nodes.pop() {
+            Some(id) => {
+                self.nodes[id as usize] = node;
+                id
+            }
+            None => {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(node);
+                id
+            }
+        }
+    }
+
+    /// Releases an arena slot for reuse, blanking it so a stale routing
+    /// entry can never be traversed by mistake.
+    fn free(&mut self, node: NodeId) {
+        self.nodes[node as usize] = Node::Leaf(Vec::new());
+        self.free_nodes.push(node);
     }
 
     /// Recursive single-path insert. Returns the two replacement entries when
@@ -215,6 +259,7 @@ impl PmTree {
                 parent_dist: dist_to_node,
                 pivot_dists: pd.into(),
             });
+            self.leaf_of[internal as usize] = node;
             if entries.len() > capacity {
                 return Some(self.split_leaf(node, node_parent_center));
             }
@@ -344,8 +389,17 @@ impl PmTree {
             }
         }
 
+        for e in &g1 {
+            self.leaf_of[e.internal as usize] = node;
+        }
         self.nodes[node as usize] = Node::Leaf(g1);
         let new_node = self.alloc(Node::Leaf(g2));
+        let Node::Leaf(moved) = &self.nodes[new_node as usize] else {
+            unreachable!()
+        };
+        for e in moved {
+            self.leaf_of[e.internal as usize] = new_node;
+        }
 
         (
             InnerEntry {
@@ -434,18 +488,215 @@ impl PmTree {
         )
     }
 
+    /// Removes the point with external id `external`; `false` when no such
+    /// point is indexed (including ids that were already deleted).
+    ///
+    /// This is a true M-tree leaf removal, not a tombstone: the entry
+    /// leaves its leaf, a leaf that empties is pruned from its parent
+    /// (recursively — a routing entry never points at an empty subtree), a
+    /// root left with a single routing entry collapses into its child, and
+    /// the freed arena slots go on a free list the next allocation reuses.
+    /// The internal point store stays dense via swap-removal, so memory
+    /// tracks the live point count.
+    ///
+    /// Covering radii and hyper-rings of the surviving ancestors are *not*
+    /// shrunk: they remain correct upper/outer bounds (every remaining
+    /// point still satisfies them), merely looser than a fresh build would
+    /// produce — deletions trade a little pruning power for O(capacity)
+    /// structural work in the common case. Only when a leaf *empties*
+    /// does the prune pay a root-to-leaf path search (a DFS over inner
+    /// nodes; the arena stores no parent pointers), and a rebuild
+    /// restores tight bounds.
+    pub fn delete(&mut self, external: PointId) -> bool {
+        let Some(&internal) = self.ext_index.get(&external) else {
+            return false;
+        };
+        let leaf = self.leaf_of[internal as usize];
+        // The prune path is only needed when this removal empties the
+        // leaf; don't pay the DFS for the overwhelmingly common case.
+        let will_empty = matches!(&self.nodes[leaf as usize], Node::Leaf(e) if e.len() == 1);
+        let path = if will_empty {
+            self.path_to(leaf)
+        } else {
+            Vec::new()
+        };
+        let Node::Leaf(entries) = &mut self.nodes[leaf as usize] else {
+            unreachable!("leaf_of points at an inner node")
+        };
+        let pos = entries
+            .iter()
+            .position(|e| e.internal == internal)
+            .expect("leaf_of points at the holding leaf");
+        entries.remove(pos);
+        if entries.is_empty() {
+            self.prune(leaf, path);
+        }
+        self.ext_index.remove(&external);
+        self.compact_point_store(internal);
+        true
+    }
+
+    /// The `(inner node, entry index)` chain from the root down to (but
+    /// excluding) `target`; empty when `target` is the root.
+    fn path_to(&self, target: NodeId) -> Vec<(NodeId, usize)> {
+        let mut path = Vec::new();
+        if self.root != target {
+            let found = self.dfs_path(self.root, target, &mut path);
+            assert!(found, "node {target} not reachable from the root");
+        }
+        path
+    }
+
+    fn dfs_path(&self, node: NodeId, target: NodeId, path: &mut Vec<(NodeId, usize)>) -> bool {
+        let Node::Inner(entries) = &self.nodes[node as usize] else {
+            return false;
+        };
+        for (i, e) in entries.iter().enumerate() {
+            path.push((node, i));
+            if e.child == target || self.dfs_path(e.child, target, path) {
+                return true;
+            }
+            path.pop();
+        }
+        false
+    }
+
+    /// Detaches the emptied `node` from its parent, propagating upward
+    /// while parents empty too, then collapses a single-entry root. An
+    /// emptied *root* is normalized back to the empty-leaf state
+    /// [`PmTree::new`] starts from.
+    fn prune(&mut self, mut node: NodeId, mut path: Vec<(NodeId, usize)>) {
+        loop {
+            let Some((parent, idx)) = path.pop() else {
+                // The whole tree emptied out.
+                self.nodes[node as usize] = Node::Leaf(Vec::new());
+                return;
+            };
+            self.free(node);
+            let Node::Inner(entries) = &mut self.nodes[parent as usize] else {
+                unreachable!("path holds a leaf as a parent")
+            };
+            entries.remove(idx);
+            if !entries.is_empty() {
+                break;
+            }
+            node = parent;
+        }
+        self.collapse_root();
+    }
+
+    /// While the root is an inner node with exactly one routing entry,
+    /// adopt its child as the root (the inverse of a root split). Root
+    /// entries' `parent_dist` is ignored by both the cursor and the
+    /// invariant checker, so no distances need recomputing.
+    fn collapse_root(&mut self) {
+        while let Node::Inner(entries) = &self.nodes[self.root as usize] {
+            if entries.len() != 1 {
+                break;
+            }
+            let child = entries[0].child;
+            self.free(self.root);
+            self.root = child;
+        }
+    }
+
+    /// Keeps the internal point store dense after the removal of row
+    /// `internal`: the last row moves into the hole (leaf entry, external
+    /// map and leaf map rewritten to match) and every buffer shrinks by
+    /// one. The *deleted* entry is already gone from its leaf, so scanning
+    /// for the moved row's entry is unambiguous.
+    fn compact_point_store(&mut self, internal: u32) {
+        let last = (self.externals.len() - 1) as u32;
+        self.points.swap_remove(internal as usize);
+        if internal != last {
+            let moved_external = self.externals[last as usize];
+            self.externals[internal as usize] = moved_external;
+            self.ext_index.insert(moved_external, internal);
+            let moved_leaf = self.leaf_of[last as usize];
+            self.leaf_of[internal as usize] = moved_leaf;
+            let Node::Leaf(entries) = &mut self.nodes[moved_leaf as usize] else {
+                unreachable!("leaf_of points at an inner node")
+            };
+            let entry = entries
+                .iter_mut()
+                .find(|e| e.internal == last)
+                .expect("leaf_of points at the holding leaf");
+            entry.internal = internal;
+        }
+        self.externals.pop();
+        self.leaf_of.pop();
+    }
+
+    /// Panicking [`PmTree::verify_invariants`], for sprinkling through
+    /// property tests and debug builds (compiled under `cfg(test)` or the
+    /// `invariants` feature).
+    #[cfg(any(test, feature = "invariants"))]
+    pub fn check_invariants(&self) {
+        if let Err(violation) = self.verify_invariants() {
+            panic!("PM-tree invariant violated: {violation}");
+        }
+    }
+
     /// Validates every structural invariant; used by tests and proptests.
     ///
     /// Checks, for every routing entry: (1) all points of its subtree lie
     /// within `radius` of its center, (2) each hyper-ring contains the
     /// pivot distance of every point below it, (3) children's `parent_dist`
     /// matches the distance to the routing object, and (4) the leaf entries
-    /// cover exactly the inserted points.
+    /// cover exactly the live points. On top of the geometry, the mutable
+    /// layer's bookkeeping is audited: external ids are unique and
+    /// round-trip through the id map, `leaf_of` points at the leaf really
+    /// holding each row, and every arena slot is either reachable from the
+    /// root or parked on the free list — never both, never neither.
     pub fn verify_invariants(&self) -> Result<(), String> {
+        if self.externals.len() != self.points.len() {
+            return Err(format!(
+                "{} external ids but {} stored points",
+                self.externals.len(),
+                self.points.len()
+            ));
+        }
+        if self.leaf_of.len() != self.externals.len() {
+            return Err(format!(
+                "leaf map covers {} rows, point store holds {}",
+                self.leaf_of.len(),
+                self.externals.len()
+            ));
+        }
+        if self.ext_index.len() != self.externals.len() {
+            return Err(format!(
+                "id map holds {} entries for {} points (duplicate external id?)",
+                self.ext_index.len(),
+                self.externals.len()
+            ));
+        }
+        for (internal, &external) in self.externals.iter().enumerate() {
+            if self.ext_index.get(&external) != Some(&(internal as u32)) {
+                return Err(format!(
+                    "id map does not send external {external} back to row {internal}"
+                ));
+            }
+        }
         let mut seen = vec![false; self.len()];
-        self.verify_node(self.root, None, &mut seen)?;
+        let mut reached = vec![false; self.nodes.len()];
+        self.verify_node(self.root, None, &mut seen, &mut reached)?;
         if let Some(missing) = seen.iter().position(|s| !s) {
             return Err(format!("point {missing} not reachable from the root"));
+        }
+        let mut free = vec![false; self.nodes.len()];
+        for &f in &self.free_nodes {
+            if reached[f as usize] {
+                return Err(format!("node {f} is both reachable and on the free list"));
+            }
+            if free[f as usize] {
+                return Err(format!("node {f} is on the free list twice"));
+            }
+            free[f as usize] = true;
+        }
+        if let Some(leaked) = (0..self.nodes.len()).find(|&id| !reached[id] && !free[id]) {
+            return Err(format!(
+                "node {leaked} is neither reachable nor on the free list"
+            ));
         }
         Ok(())
     }
@@ -455,11 +706,22 @@ impl PmTree {
         node: NodeId,
         parent_center: Option<&[f32]>,
         seen: &mut [bool],
+        reached: &mut [bool],
     ) -> Result<(), String> {
         const EPS: f32 = 1e-3;
+        if reached[node as usize] {
+            return Err(format!("node {node} reachable through two parents"));
+        }
+        reached[node as usize] = true;
         match &self.nodes[node as usize] {
             Node::Leaf(entries) => {
                 for e in entries {
+                    if self.leaf_of[e.internal as usize] != node {
+                        return Err(format!(
+                            "leaf map sends row {} to node {}, found in node {node}",
+                            e.internal, self.leaf_of[e.internal as usize]
+                        ));
+                    }
                     let p = self.points.point(e.internal as usize);
                     if let Some(pc) = parent_center {
                         let d = euclidean(p, pc);
@@ -482,6 +744,12 @@ impl PmTree {
                         return Err(format!("point {} reachable twice", e.internal));
                     }
                     seen[e.internal as usize] = true;
+                    if e.external != self.externals[e.internal as usize] {
+                        return Err(format!(
+                            "leaf entry for row {} carries external {} (store says {})",
+                            e.internal, e.external, self.externals[e.internal as usize]
+                        ));
+                    }
                 }
                 Ok(())
             }
@@ -525,7 +793,7 @@ impl PmTree {
                             }
                         }
                     }
-                    self.verify_node(e.child, Some(&e.center), seen)?;
+                    self.verify_node(e.child, Some(&e.center), seen, reached)?;
                 }
                 Ok(())
             }

@@ -1,0 +1,216 @@
+//! Model-based mutation tests: a PM-tree under random interleaved
+//! insert/delete/query sequences must agree with a naive linear-scan
+//! model *exactly* — same k-NN ids, same distances — and satisfy every
+//! structural invariant after every single mutation.
+//!
+//! The PM-tree is an exact index over the projected space (the LSH
+//! approximation lives a layer up, in `pm-lsh-core`), so "agrees with a
+//! linear scan" is a hard equality here, not a recall target. Distances
+//! are compared bit-for-bit: both sides call the same `euclidean` kernel
+//! on the same `f32` data.
+
+use pm_lsh_metric::{euclidean, Dataset, PointId};
+use pm_lsh_pmtree::{PmTree, PmTreeConfig};
+use pm_lsh_stats::Rng;
+use proptest::prelude::*;
+
+/// The oracle: every live `(id, vector)` pair, scanned linearly.
+fn linear_knn(model: &[(PointId, Vec<f32>)], q: &[f32], k: usize) -> Vec<(PointId, f32)> {
+    let mut all: Vec<(PointId, f32)> = model.iter().map(|(id, v)| (*id, euclidean(q, v))).collect();
+    all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Ties inside a distance level may surface in either order from the
+/// cursor's heap; normalizing both sides to (dist, id) order makes the
+/// comparison exact without depending on heap insertion sequence.
+fn normalized(mut hits: Vec<(PointId, f32)>) -> Vec<(PointId, f32)> {
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    hits
+}
+
+fn assert_tree_matches_model(
+    tree: &PmTree,
+    model: &[(PointId, Vec<f32>)],
+    q: &[f32],
+    k: usize,
+    context: &str,
+) {
+    let got = normalized(tree.knn(q, k));
+    let want = linear_knn(model, q, k);
+    assert_eq!(
+        got, want,
+        "k-NN diverged from the linear-scan model {context}"
+    );
+}
+
+/// One full random episode: build over an initial batch, then interleave
+/// inserts and deletes, auditing invariants and k-NN parity after every
+/// mutation. Returns how many mutations ran (so callers can assert the
+/// episode was long enough to mean something).
+fn run_episode(dim: usize, seed: u64, ops: usize) -> usize {
+    let mut rng = Rng::new(seed);
+    let n0 = 50;
+    let mut ds = Dataset::with_capacity(dim, n0);
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..n0 {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    // Small nodes and few pivots force frequent splits, prunes and root
+    // collapses — the interesting structural churn.
+    let cfg = PmTreeConfig {
+        capacity: 6,
+        num_pivots: 3,
+        pivot_sample: 64,
+    };
+    let mut tree = PmTree::build(ds.view(), cfg, &mut rng);
+    let mut model: Vec<(PointId, Vec<f32>)> = ds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as PointId, p.to_vec()))
+        .collect();
+    let mut next_id = n0 as PointId;
+    tree.check_invariants();
+
+    let mut mutations = 0;
+    for op in 0..ops {
+        if model.is_empty() || rng.below(10) < 6 {
+            rng.fill_normal(&mut buf);
+            tree.insert(&buf, next_id);
+            model.push((next_id, buf.clone()));
+            next_id += 1;
+        } else {
+            let (victim, _) = model.swap_remove(rng.below(model.len()));
+            assert!(tree.delete(victim), "live id {victim} not deletable");
+            assert!(
+                !tree.delete(victim),
+                "id {victim} deletable twice (op {op})"
+            );
+            assert!(!tree.contains_external(victim));
+        }
+        mutations += 1;
+        tree.check_invariants();
+        assert_eq!(tree.len(), model.len(), "live count drifted at op {op}");
+
+        rng.fill_normal(&mut buf);
+        let k = 1 + op % 7;
+        assert_tree_matches_model(&tree, &model, &buf, k, &format!("at op {op}"));
+    }
+    mutations
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Two dimensionalities x 4 seeded cases x 220 ops each, with
+    // invariants and model parity asserted after every single mutation.
+    #[test]
+    fn interleaved_mutations_match_linear_scan_low_dim(seed in 0u64..1 << 32) {
+        prop_assert!(run_episode(3, seed, 220) >= 220);
+    }
+
+    #[test]
+    fn interleaved_mutations_match_linear_scan_paper_dim(seed in 0u64..1 << 32) {
+        // m = 15 is the paper's projected dimensionality.
+        prop_assert!(run_episode(15, seed, 220) >= 220);
+    }
+}
+
+#[test]
+fn delete_unknown_and_already_deleted_ids_are_rejected() {
+    let mut rng = Rng::new(7);
+    let mut ds = Dataset::with_capacity(4, 30);
+    let mut buf = [0.0f32; 4];
+    for _ in 0..30 {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    let mut tree = PmTree::build(ds.view(), PmTreeConfig::default(), &mut rng);
+    assert!(!tree.delete(999), "never-indexed id must not delete");
+    assert!(tree.delete(12));
+    assert!(!tree.delete(12), "double delete must report false");
+    tree.check_invariants();
+    assert_eq!(tree.len(), 29);
+}
+
+#[test]
+fn drain_to_empty_then_regrow() {
+    let mut rng = Rng::new(11);
+    let dim = 5;
+    let mut ds = Dataset::with_capacity(dim, 80);
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..80 {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    let cfg = PmTreeConfig {
+        capacity: 4,
+        num_pivots: 2,
+        pivot_sample: 32,
+    };
+    let mut tree = PmTree::build(ds.view(), cfg, &mut rng);
+
+    // Delete every point in a shuffled order; the tree must stay
+    // consistent through every prune and end genuinely empty.
+    let mut order: Vec<PointId> = (0..80).collect();
+    rng.shuffle(&mut order);
+    for (i, id) in order.iter().enumerate() {
+        assert!(tree.delete(*id));
+        tree.check_invariants();
+        assert_eq!(tree.len(), 80 - 1 - i);
+    }
+    assert!(tree.is_empty());
+    assert!(tree.knn(&vec![0.0; dim], 3).is_empty());
+
+    // A drained tree accepts new points (reusing freed arena slots).
+    let nodes_when_empty = tree.node_count();
+    for id in 0..40u32 {
+        rng.fill_normal(&mut buf);
+        tree.insert(&buf, 1000 + id);
+        tree.check_invariants();
+    }
+    assert_eq!(tree.len(), 40);
+    assert!(
+        tree.node_count() <= nodes_when_empty.max(1) + 40,
+        "regrowth must reuse freed arena slots, not leak them"
+    );
+    let hits = tree.knn(&buf, 1);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].1, 0.0, "the just-inserted point is its own NN");
+}
+
+#[test]
+fn deletions_preserve_radius_enlargement_semantics() {
+    // After heavy churn the cursor's incremental range scan must still
+    // yield every live point exactly once, in non-decreasing distance.
+    let mut rng = Rng::new(23);
+    let dim = 8;
+    let mut ds = Dataset::with_capacity(dim, 200);
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..200 {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    let mut tree = PmTree::build(ds.view(), PmTreeConfig::default(), &mut rng);
+    for id in (0..200).step_by(3) {
+        assert!(tree.delete(id));
+    }
+    tree.check_invariants();
+
+    rng.fill_normal(&mut buf);
+    let mut cursor = tree.cursor(&buf);
+    let mut yielded = std::collections::HashSet::new();
+    let mut last = 0.0f32;
+    // Enlarge the radius in stages, as Algorithm 2 does.
+    for radius in [0.5f32, 1.5, 4.0, f32::INFINITY] {
+        while let Some((id, d)) = cursor.next_within(radius) {
+            assert!(d >= last, "distance order violated after churn");
+            last = d;
+            assert!(yielded.insert(id), "id {id} yielded twice");
+            assert!(tree.contains_external(id), "deleted id {id} yielded");
+        }
+    }
+    assert_eq!(yielded.len(), tree.len(), "cursor missed live points");
+}

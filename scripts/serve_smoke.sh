@@ -91,6 +91,35 @@ expect "AUTH $TOKEN" "OK authenticated"
 expect "REINDEX $TMP/audio2.fvecs" "OK index=audio epoch=1 *"
 expect "INDEXINFO" "INDEXINFO name=audio *epoch=1 *"
 expect "$(query_line)" "OK *:*"
+
+echo "== mutation churn (INSERT / QUERY / DELETE / QUERY)"
+# INSERT a vector, prove the very next QUERY returns it at distance 0
+# (no reindex), DELETE it, prove the same QUERY no longer returns it —
+# with the epoch observable through INDEXINFO at every step.
+DIM=$(req "INDEXINFO" | sed -n 's/.* dim=\([0-9]*\).*/\1/p')
+[ -n "$DIM" ] || { echo "FAIL: could not parse dim for churn" >&2; exit 1; }
+INSERT_LINE=$(awk -v d="$DIM" 'BEGIN{printf "INSERT"; for(i=0;i<d;i++) printf " 0.125"; print ""}')
+PROBE_LINE=$(awk -v d="$DIM" 'BEGIN{printf "QUERY 1"; for(i=0;i<d;i++) printf " 0.125"; print ""}')
+REPLY=$(req "$INSERT_LINE")
+case "$REPLY" in
+  "OK id="*) printf 'ok: %-18s -> %s\n' "INSERT" "$REPLY" ;;
+  *) echo "FAIL: INSERT -> '$REPLY'" >&2; exit 1 ;;
+esac
+NEW_ID=${REPLY#OK id=}; NEW_ID=${NEW_ID%% *}
+expect "INDEXINFO" "INDEXINFO name=audio *epoch=2 *"
+expect "$PROBE_LINE" "OK $NEW_ID:0*"
+expect "DELETE $NEW_ID" "OK deleted $NEW_ID epoch=3 *"
+expect "INDEXINFO" "INDEXINFO name=audio *epoch=3 *"
+GONE=$(req "$PROBE_LINE")
+case "$GONE" in
+  "OK $NEW_ID:"*)
+    echo "FAIL: deleted id $NEW_ID still returned: '$GONE'" >&2
+    exit 1
+    ;;
+  "OK "*) printf 'ok: %-18s -> deleted id gone (%s)\n' "QUERY" "$GONE" ;;
+  *) echo "FAIL: post-delete QUERY -> '$GONE'" >&2; exit 1 ;;
+esac
+expect "DELETE $NEW_ID" "ERR unknown point id $NEW_ID"
 expect "QUIT" "BYE"
 exec 3<&- 3>&-
 

@@ -9,6 +9,8 @@
 //! pmlsh serve       --data audio=a.fvecs,deep=d.fvecs --port 7878 [--threads 4]
 //!                   [--auth-token t] [--max-connections 1024] [--drain-timeout-ms 5000]
 //! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs [--index deep] [--auth-token t]
+//! pmlsh insert      --addr 127.0.0.1:7878 --vector 0.1,0.2,... [--index deep] [--auth-token t]
+//! pmlsh delete      --addr 127.0.0.1:7878 --id 42 [--index deep] [--auth-token t]
 //! ```
 //!
 //! `--data` takes either one bare path (index name `default`) or a
@@ -84,6 +86,10 @@ fn main() -> ExitCode {
         .and_then(|()| cmd_serve(&opts)),
         "reindex" => known_opts(&opts, &["addr", "data", "index", "auth-token"])
             .and_then(|()| cmd_reindex(&opts)),
+        "insert" => known_opts(&opts, &["addr", "vector", "index", "auth-token"])
+            .and_then(|()| cmd_insert(&opts)),
+        "delete" => known_opts(&opts, &["addr", "id", "index", "auth-token"])
+            .and_then(|()| cmd_delete(&opts)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -117,6 +123,10 @@ USAGE:
                [--drain-timeout-ms <ms>]
   pmlsh reindex --addr <host:port> --data <server-side file>
                [--index <name>] [--auth-token <t>]
+  pmlsh insert --addr <host:port> --vector <v1,v2,...>
+               [--index <name>] [--auth-token <t>]
+  pmlsh delete --addr <host:port> --id <point id>
+               [--index <name>] [--auth-token <t>]
 
 `--data <specs>` is one bare path (served as index 'default') or a
 comma-separated list of name=path pairs; `serve` attaches every entry,
@@ -125,10 +135,13 @@ in .csv are headerless CSV; anything else is fvecs.
 `serve` speaks a newline-delimited protocol: `QUERY <k> <v1> ... <vd>` is
 answered with `OK <id>:<dist>,...`; also PING, STATS, INDEXINFO,
 LISTINDEXES, USE <name>, AUTH <token>, ATTACH <name> <path>,
-DETACH <name>, REINDEX <path> and QUIT (see docs/PROTOCOL.md). With
---auth-token set, ATTACH/DETACH/REINDEX require a prior AUTH on the
+DETACH <name>, REINDEX <path>, INSERT <v1..vd>, DELETE <id> and QUIT
+(see docs/PROTOCOL.md). With --auth-token set, the mutating verbs
+(ATTACH/DETACH/REINDEX/INSERT/DELETE) require a prior AUTH on the
 connection. `reindex` asks a running server to rebuild onto a dataset
-file readable by the *server* and swap it in without dropping queries.
+file readable by the *server* and swap it in without dropping queries;
+`insert`/`delete` apply single-point mutations between rebuilds (each
+publishes a fresh snapshot and bumps the INDEXINFO epoch).
 `--threads 0` (the default) uses all available cores per index;
 `--build-threads` parallelizes index construction (0 = all cores,
 omitted = the single-threaded paper-faithful build).";
@@ -587,56 +600,139 @@ fn parse_build_threads(opts: &HashMap<String, String>) -> Result<Option<usize>, 
         .transpose()
 }
 
+/// A newline-delimited protocol client over one TCP connection, shared by
+/// the `reindex`, `insert` and `delete` subcommands (auth and the current
+/// index are per-connection server state, so each command runs its whole
+/// session on a single connection).
+struct WireClient {
+    addr: String,
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl WireClient {
+    fn connect(addr: &str) -> Result<Self, String> {
+        let stream =
+            std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+        let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Self {
+            addr: addr.to_string(),
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn exchange(&mut self, request: String) -> Result<String, String> {
+        use std::io::{BufRead, Write};
+        self.writer
+            .write_all(request.as_bytes())
+            .map_err(|e| format!("sending to {}: {e}", self.addr))?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("reading from {}: {e}", self.addr))?;
+        if n == 0 {
+            // EOF before a reply line: the server dropped the connection
+            // (e.g. the request tripped the line cap). Silence must not
+            // look like success to scripts checking our exit code.
+            return Err(format!(
+                "{} closed the connection without replying",
+                self.addr
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Establishes the per-connection session state: `AUTH` when
+    /// `--auth-token` was given, `USE` when `--index` was.
+    fn setup_session(&mut self, opts: &HashMap<String, String>) -> Result<(), String> {
+        if let Some(token) = opts.get("auth-token") {
+            let reply = self.exchange(format!("AUTH {token}\n"))?;
+            if let Some(err) = reply.strip_prefix("ERR ") {
+                return Err(format!("authentication failed: {err}"));
+            }
+        }
+        if let Some(index) = opts.get("index") {
+            let reply = self.exchange(format!("USE {index}\n"))?;
+            if let Some(err) = reply.strip_prefix("ERR ") {
+                return Err(format!("selecting index '{index}': {err}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 fn cmd_reindex(opts: &HashMap<String, String>) -> Result<(), String> {
-    use std::io::{BufRead, BufReader, Write};
     let addr = opts.get("addr").ok_or("reindex needs --addr <host:port>")?;
     let data = opts.get("data").ok_or("reindex needs --data <path>")?;
     if data.chars().any(|ch| ch.is_ascii_whitespace()) {
         return Err("the wire protocol cannot carry whitespace in paths".into());
     }
-    let stream =
-        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut writer = stream;
-    let mut exchange = |request: String| -> Result<String, String> {
-        writer
-            .write_all(request.as_bytes())
-            .map_err(|e| format!("sending to {addr}: {e}"))?;
-        let mut reply = String::new();
-        let n = reader
-            .read_line(&mut reply)
-            .map_err(|e| format!("reading from {addr}: {e}"))?;
-        if n == 0 {
-            // EOF before a reply line: the server dropped the connection
-            // (e.g. the request tripped the line cap). Silence must not
-            // look like success to scripts checking our exit code.
-            return Err(format!("{addr} closed the connection without replying"));
-        }
-        Ok(reply.trim_end().to_string())
-    };
-
-    // Auth and index selection are per-connection state: establish both
-    // before the REINDEX itself.
-    if let Some(token) = opts.get("auth-token") {
-        let reply = exchange(format!("AUTH {token}\n"))?;
-        if let Some(err) = reply.strip_prefix("ERR ") {
-            return Err(format!("authentication failed: {err}"));
-        }
-    }
-    if let Some(index) = opts.get("index") {
-        let reply = exchange(format!("USE {index}\n"))?;
-        if let Some(err) = reply.strip_prefix("ERR ") {
-            return Err(format!("selecting index '{index}': {err}"));
-        }
-    }
+    let mut client = WireClient::connect(addr)?;
+    client.setup_session(opts)?;
 
     println!("asking {addr} to reindex onto {data} (server-side path) ...");
-    let reply = exchange(format!("REINDEX {data}\n"))?;
+    let reply = client.exchange(format!("REINDEX {data}\n"))?;
     if let Some(err) = reply.strip_prefix("ERR ") {
         return Err(format!("server refused: {err}"));
     }
     println!("{reply}");
-    println!("{}", exchange("INDEXINFO\n".to_string())?);
+    println!("{}", client.exchange("INDEXINFO\n".to_string())?);
+    Ok(())
+}
+
+fn cmd_insert(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts.get("addr").ok_or("insert needs --addr <host:port>")?;
+    let vector = opts
+        .get("vector")
+        .ok_or("insert needs --vector v1,v2,...")?;
+    // Parse locally first: a malformed component should fail before any
+    // network traffic, with a message naming the component.
+    let mut components = Vec::new();
+    for field in vector.split(',') {
+        match field.trim().parse::<f32>() {
+            Ok(v) if v.is_finite() => components.push(v),
+            _ => return Err(format!("--vector holds a bad component '{field}'")),
+        }
+    }
+    if components.is_empty() {
+        return Err("--vector must hold at least one component".into());
+    }
+    let mut client = WireClient::connect(addr)?;
+    client.setup_session(opts)?;
+
+    let mut line = String::from("INSERT");
+    for v in &components {
+        line.push(' ');
+        line.push_str(&v.to_string());
+    }
+    line.push('\n');
+    let reply = client.exchange(line)?;
+    if let Some(err) = reply.strip_prefix("ERR ") {
+        return Err(format!("server refused: {err}"));
+    }
+    println!("{reply}");
+    println!("{}", client.exchange("INDEXINFO\n".to_string())?);
+    Ok(())
+}
+
+fn cmd_delete(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts.get("addr").ok_or("delete needs --addr <host:port>")?;
+    let id: u32 = opts
+        .get("id")
+        .ok_or("delete needs --id <point id>")?
+        .parse()
+        .map_err(|_| "--id must be a non-negative integer")?;
+    let mut client = WireClient::connect(addr)?;
+    client.setup_session(opts)?;
+
+    let reply = client.exchange(format!("DELETE {id}\n"))?;
+    if let Some(err) = reply.strip_prefix("ERR ") {
+        return Err(format!("server refused: {err}"));
+    }
+    println!("{reply}");
+    println!("{}", client.exchange("INDEXINFO\n".to_string())?);
     Ok(())
 }
 

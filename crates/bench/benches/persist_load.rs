@@ -1,0 +1,193 @@
+//! Cold-start bench: loading a `.pmlsh` snapshot vs rebuilding from the
+//! fvecs it came from.
+//!
+//! The scenario is a server (re)start: the index must be in memory and
+//! answering before the first query. Path A reads the dataset file and
+//! runs the paper build (`pmlsh serve --data name=file.fvecs`); path B
+//! deserializes a previously saved snapshot (`--data name=file.pmlsh`).
+//! Both start from the filesystem, so the comparison is end to end —
+//! file read included.
+//!
+//! Before any number is reported, the loaded index's `neighbors` **and**
+//! `QueryStats` are asserted bit-identical to the rebuilt index's on the
+//! whole query stream (the build is deterministic, so rebuild and
+//! snapshot describe the same index — the snapshot must not change a
+//! single answer). The run asserts load ≥ 10x faster than rebuild and
+//! writes `BENCH_persist_load.json` at the workspace root (override
+//! with `PMLSH_BENCH_OUT`).
+//!
+//! Knobs: `PMLSH_SCALE` (smoke|bench|full), `PMLSH_QUERIES`,
+//! `PMLSH_FORCE_SCALAR=1` (pin the scalar kernels).
+
+use pm_lsh_bench::{f, queries_from_env, scale_from_env, Table};
+use pm_lsh_core::{PmLsh, PmLshParams, QueryResult};
+use pm_lsh_data::{read_auto, write_fvecs, PaperDataset};
+use pm_lsh_persist::Snapshot;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const K: usize = 10;
+const REPEATS: usize = 3;
+const MIN_SPEEDUP: f64 = 10.0;
+
+struct Report {
+    dataset: &'static str,
+    n: usize,
+    d: usize,
+    queries: usize,
+    build_s: f64,
+    load_s: f64,
+    snapshot_bytes: u64,
+}
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pmlsh-bench-{tag}-{}-{}.{ext}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ))
+}
+
+fn main() {
+    let scale = scale_from_env();
+    println!("snapshot load vs fvecs rebuild — scale {scale:?}, k = {K}\n");
+
+    let reports: Vec<Report> = [PaperDataset::Audio, PaperDataset::Trevi]
+        .into_iter()
+        .map(|ds| run_dataset(ds, scale))
+        .collect();
+
+    let json_entries: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"dataset\": \"{}\",\n      \"n\": {},\n      \"d\": {},\n      \"k\": {K},\n      \"queries\": {},\n      \"fvecs_rebuild_s\": {:.4},\n      \"pmlsh_load_s\": {:.4},\n      \"load_speedup\": {:.1},\n      \"snapshot_bytes\": {}\n    }}",
+                r.dataset,
+                r.n,
+                r.d,
+                r.queries,
+                r.build_s,
+                r.load_s,
+                r.build_s / r.load_s,
+                r.snapshot_bytes,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"persist_load\",\n  \"scale\": \"{:?}\",\n  \"parity\": true,\n  \"min_speedup_asserted\": {MIN_SPEEDUP},\n  \"datasets\": [\n{}\n  ]\n}}\n",
+        scale,
+        json_entries.join(",\n"),
+    );
+    let out_path = std::env::var("PMLSH_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_persist_load.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => println!("could not write {out_path}: {e}"),
+    }
+}
+
+fn run_dataset(ds: PaperDataset, scale: pm_lsh_data::Scale) -> Report {
+    let generator = ds.generator(scale);
+    let data = generator.dataset();
+    let queries = generator.queries(queries_from_env());
+    println!(
+        "{} — n = {}, d = {}, {} queries",
+        ds.name(),
+        data.len(),
+        data.dim(),
+        queries.len()
+    );
+
+    let fvecs = temp_path(ds.name(), "fvecs");
+    let snap = temp_path(ds.name(), "pmlsh");
+    write_fvecs(&fvecs, &data).expect("write fvecs");
+
+    // --- path A: cold start from the dataset file --------------------------
+    let mut built: Option<PmLsh> = None;
+    let mut build_best_s = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let data = Arc::new(read_auto(&fvecs, None).expect("read fvecs"));
+        let index = PmLsh::build(data, PmLshParams::paper_defaults());
+        build_best_s = build_best_s.min(start.elapsed().as_secs_f64());
+        built = Some(index);
+    }
+    let built = built.unwrap();
+    let reference: Vec<QueryResult> = queries.iter().map(|q| built.query(q, K)).collect();
+
+    let snapshot_bytes = built.save(&snap).expect("save snapshot").bytes;
+
+    // --- path B: cold start from the snapshot -------------------------------
+    let mut loaded: Option<PmLsh> = None;
+    let mut load_best_s = f64::INFINITY;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let index = PmLsh::load(&snap).expect("load snapshot");
+        load_best_s = load_best_s.min(start.elapsed().as_secs_f64());
+        loaded = Some(index);
+    }
+    let loaded = loaded.unwrap();
+
+    // Parity before performance: the snapshot must not change one answer.
+    for (qi, q) in queries.iter().enumerate() {
+        let got = loaded.query(q, K);
+        assert_eq!(
+            got.neighbors,
+            reference[qi].neighbors,
+            "{}: loaded index diverged on query {qi}",
+            ds.name()
+        );
+        assert_eq!(
+            got.stats,
+            reference[qi].stats,
+            "{}: loaded index did different work on query {qi}",
+            ds.name()
+        );
+    }
+
+    let speedup = build_best_s / load_best_s;
+    let mut table = Table::new(&["cold-start path", "seconds", "speedup", "identical"]);
+    table.row(vec![
+        "fvecs read + build".into(),
+        f(build_best_s, 3),
+        "1.00x".into(),
+        "-".into(),
+    ]);
+    table.row(vec![
+        ".pmlsh load".into(),
+        f(load_best_s, 3),
+        format!("{speedup:.1}x"),
+        "yes".into(),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "snapshot: {:.2} MiB on disk\n",
+        snapshot_bytes as f64 / (1024.0 * 1024.0)
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "{}: snapshot load is only {speedup:.1}x faster than rebuild (gate: {MIN_SPEEDUP}x)",
+        ds.name()
+    );
+
+    let _ = std::fs::remove_file(&fvecs);
+    let _ = std::fs::remove_file(&snap);
+
+    Report {
+        dataset: ds.name(),
+        n: data.len(),
+        d: data.dim(),
+        queries: queries.len(),
+        build_s: build_best_s,
+        load_s: load_best_s,
+        snapshot_bytes,
+    }
+}

@@ -390,6 +390,86 @@ impl PmLsh {
         &self.dist_f
     }
 
+    /// The Gaussian projector (the index's `m` hash functions).
+    pub fn projector(&self) -> &GaussianProjector {
+        &self.projector
+    }
+
+    /// Reassembles an index from its constituent parts — the
+    /// deserialization path of the `pm-lsh-persist` snapshot format.
+    ///
+    /// The derived Eq. 10 parameters and the memoized `r_min` slots are
+    /// *recomputed*, not restored: both are deterministic functions of
+    /// `params`, `dist_f` and the live point count, so a reassembled
+    /// index answers every query — including every [`QueryStats`]
+    /// counter — bit-identically to the index the parts came from.
+    ///
+    /// Cross-component consistency is validated (dimensionalities, id
+    /// ranges); internal tree structure is the caller's concern
+    /// (`PmTree::from_parts` checks it).
+    pub fn from_parts(
+        data: Arc<Dataset>,
+        projector: GaussianProjector,
+        tree: PmTree,
+        params: PmLshParams,
+        dist_f: Ecdf,
+    ) -> Result<Self, String> {
+        if data.is_empty() {
+            return Err("cannot index an empty dataset".into());
+        }
+        if projector.input_dim() != data.dim() {
+            return Err(format!(
+                "projector reads R^{}, data lives in R^{}",
+                projector.input_dim(),
+                data.dim()
+            ));
+        }
+        if projector.output_dim() != params.m as usize {
+            return Err(format!(
+                "projector writes R^{}, params declare m={}",
+                projector.output_dim(),
+                params.m
+            ));
+        }
+        if tree.dim() != params.m as usize {
+            return Err(format!(
+                "tree indexes R^{}, params declare m={}",
+                tree.dim(),
+                params.m
+            ));
+        }
+        if tree.len() > data.len() {
+            return Err(format!(
+                "{} live tree points but only {} stored rows",
+                tree.len(),
+                data.len()
+            ));
+        }
+        if let Some(&bad) = tree
+            .external_ids()
+            .iter()
+            .find(|&&id| id as usize >= data.len())
+        {
+            return Err(format!(
+                "external id {bad} outside the {}-row point store",
+                data.len()
+            ));
+        }
+        if dist_f.is_empty() {
+            return Err("distance distribution has no samples".into());
+        }
+        let derived = params.derive();
+        Ok(Self {
+            data,
+            projector,
+            tree,
+            params,
+            derived,
+            dist_f,
+            rmin_memo: RminMemo::new(),
+        })
+    }
+
     /// The start radius of Algorithm 2 for a given `k`: the paper picks `r`
     /// with `n·F(r) = βn + k`, then shrinks it slightly.
     ///

@@ -260,14 +260,35 @@ impl Engine {
     /// always consistent; `reindexing` is inherently transient.
     pub fn info(&self) -> IndexInfo {
         let (index, epoch) = self.snapshot.load_with_epoch();
+        let reindexing = self.snapshot.is_rebuilding();
         IndexInfo {
             points: index.len(),
             dim: index.data().dim(),
             m: index.params().m,
             c: index.params().c,
             epoch,
-            reindexing: self.snapshot.is_rebuilding(),
+            reindexing,
+            state: if reindexing { "building" } else { "serving" },
+            pct: if reindexing {
+                self.snapshot.progress()
+            } else {
+                100
+            },
         }
+    }
+
+    /// Atomically writes the currently served snapshot to `path` as a
+    /// `.pmlsh` file (see `pm-lsh-persist`). The snapshot is pinned once
+    /// at entry: serialization runs on the calling thread against that
+    /// immutable `Arc`, holding no engine locks, so concurrent queries,
+    /// mutations and reindexes proceed undisturbed — a mutation landing
+    /// mid-save is simply not part of the saved snapshot.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<pm_lsh_persist::SaveReport, pm_lsh_persist::PersistError> {
+        let snapshot = self.snapshot.load();
+        pm_lsh_persist::save(&snapshot, path)
     }
 
     /// Rebuilds the served index over `data` on a background thread and
@@ -326,7 +347,13 @@ impl Engine {
                 let _slot = RebuildSlot(Arc::clone(&snapshot));
                 let start = Instant::now();
                 let points = data.len();
+                // Phase-boundary progress for INDEXINFO: the build itself
+                // has no per-point instrumentation, so the gauge moves in
+                // coarse steps — 10 entering the build, 90 when the built
+                // index awaits its swap, 100 once serving resumes.
+                snapshot.set_progress(10);
                 let next = Arc::new(PmLsh::build_with_opts(data, params, opts));
+                snapshot.set_progress(90);
                 // The swap itself goes through the writer lock so it can
                 // never interleave inside a mutation's load → patch →
                 // swap sequence (which would silently orphan the
@@ -735,14 +762,27 @@ pub struct IndexInfo {
     pub epoch: u64,
     /// `true` while a background reindex is building.
     pub reindexing: bool,
+    /// `"building"` while a background reindex runs, `"serving"` otherwise
+    /// (the same fact as `reindexing`, in the wire protocol's vocabulary).
+    pub state: &'static str,
+    /// Coarse progress percentage: 100 while serving, the rebuild's
+    /// phase-boundary gauge while building.
+    pub pct: u8,
 }
 
 impl std::fmt::Display for IndexInfo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "points={} dim={} m={} c={} epoch={} reindexing={}",
-            self.points, self.dim, self.m, self.c, self.epoch, self.reindexing
+            "points={} dim={} m={} c={} epoch={} reindexing={} state={} pct={}",
+            self.points,
+            self.dim,
+            self.m,
+            self.c,
+            self.epoch,
+            self.reindexing,
+            self.state,
+            self.pct
         )
     }
 }

@@ -11,7 +11,7 @@
 //! QUERY <k> <v1> ... <vd>  ->  OK <id>:<dist>,<id>:<dist>,...
 //! PING                     ->  PONG
 //! STATS                    ->  STATS index=<name> <EngineStats as one line>
-//! INDEXINFO                ->  INDEXINFO name=<name> points=... dim=... m=... c=... epoch=... reindexing=...
+//! INDEXINFO                ->  INDEXINFO name=<name> points=... dim=... m=... c=... epoch=... reindexing=... state=... pct=...
 //! LISTINDEXES              ->  INDEXES <name1>,<name2>,...   (sorted; bare "INDEXES" when empty)
 //! USE <name>               ->  OK using <name>
 //! AUTH <token>             ->  OK authenticated
@@ -20,17 +20,25 @@
 //! REINDEX <path>           ->  OK index=<name> epoch=<e> points=<n> secs=<s>    (auth-gated)
 //! INSERT <v1> ... <vd>     ->  OK id=<id> epoch=<e> points=<n>                  (auth-gated)
 //! DELETE <id>              ->  OK deleted <id> epoch=<e> points=<n>             (auth-gated)
+//! SAVE <path>              ->  OK saved <name> points=<n> bytes=<b> secs=<s>    (auth-gated)
 //! QUIT                     ->  BYE (and the server closes the connection)
 //! anything else            ->  ERR <message>
 //! ```
 //!
-//! `QUERY`, `STATS`, `INDEXINFO`, `REINDEX`, `INSERT` and `DELETE`
-//! operate on the connection's *current* index — the router's default at
-//! connect time, switched with `USE`. When [`ServerConfig::auth_token`]
-//! is set, the mutating verbs (`REINDEX`/`ATTACH`/`DETACH`/`INSERT`/
-//! `DELETE`) answer `ERR authentication required` until the connection
-//! sends a matching `AUTH <token>`; without a configured token they are
-//! open (and `AUTH` answers `OK authentication not required`).
+//! `QUERY`, `STATS`, `INDEXINFO`, `REINDEX`, `INSERT`, `DELETE` and
+//! `SAVE` operate on the connection's *current* index — the router's
+//! default at connect time, switched with `USE`. When
+//! [`ServerConfig::auth_token`] is set, the mutating verbs
+//! (`REINDEX`/`ATTACH`/`DETACH`/`INSERT`/`DELETE`) and `SAVE` (which
+//! writes server-side files) answer `ERR authentication required` until
+//! the connection sends a matching `AUTH <token>`; without a configured
+//! token they are open (and `AUTH` answers `OK authentication not
+//! required`).
+//!
+//! `ATTACH` auto-detects the file format: a `.pmlsh` snapshot (by magic
+//! bytes — see `pm-lsh-persist`) is loaded directly and serves within
+//! milliseconds with its saved parameters; fvecs/csv datasets are built
+//! from scratch with [`ServerConfig::attach_params`].
 //! `INSERT`/`DELETE` publish a fresh snapshot per call (each bumps the
 //! `INDEXINFO` epoch); a `QUERY` after an `OK` reply observes the
 //! mutation.
@@ -659,6 +667,7 @@ fn respond(line: &str, shared: &Shared, conn: &mut ConnState) -> Response {
         Some("REINDEX") => Response::Line(answer_reindex(fields, shared, conn)),
         Some("INSERT") => Response::Line(answer_insert(fields, shared, conn)),
         Some("DELETE") => Response::Line(answer_delete(fields, shared, conn)),
+        Some("SAVE") => Response::Line(answer_save(fields, shared, conn)),
         Some("QUIT") => Response::Close,
         Some(other) => Response::Line(format!("ERR unknown command '{other}'")),
         None => Response::Ignore,
@@ -774,6 +783,26 @@ fn answer_attach<'a>(
     }
     if shared.router.get(name).is_some() {
         return format!("ERR an index named '{name}' is already attached");
+    }
+    // A `.pmlsh` snapshot (detected by magic bytes, not extension) skips
+    // the build entirely: the index inside is already constructed, with
+    // its own saved parameters, and serves as soon as it deserializes.
+    if pm_lsh_persist::is_pmlsh_file(path) {
+        let start = Instant::now();
+        let index = match pm_lsh_persist::load(path) {
+            Ok(index) => index,
+            Err(e) => return format!("ERR reading {path}: {e}"),
+        };
+        let points = index.len();
+        let dim = index.data().dim();
+        let engine = Engine::new(index, shared.config.attach_engine_config);
+        return match shared.router.attach(name, engine) {
+            Ok(()) => format!(
+                "OK attached {name} points={points} dim={dim} secs={:.3}",
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => format!("ERR {e}"),
+        };
     }
     let data = match pm_lsh_data::read_auto(path, None) {
         Ok(data) => data,
@@ -929,6 +958,42 @@ fn answer_delete<'a>(
             report.id, report.epoch, report.points
         ),
         Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Executes `SAVE <path>` against the connection's current index: pins
+/// the served snapshot and writes it to a server-side `.pmlsh` file
+/// (atomic tmp-file + rename). Serialization runs on this handler thread
+/// with no engine locks held, so every other connection keeps being
+/// served; the saved snapshot excludes mutations that land mid-save.
+/// Auth-gated: it writes files on the server's filesystem.
+fn answer_save<'a>(
+    mut fields: impl Iterator<Item = &'a str>,
+    shared: &Shared,
+    conn: &ConnState,
+) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
+    let Some(path) = fields.next() else {
+        return "ERR SAVE needs a destination file path".to_string();
+    };
+    if fields.next().is_some() {
+        return "ERR SAVE takes exactly one (whitespace-free) path".to_string();
+    }
+    let start = Instant::now();
+    match engine.save(path) {
+        Ok(report) => format!(
+            "OK saved {name} points={} bytes={} secs={:.3}",
+            report.points,
+            report.bytes,
+            start.elapsed().as_secs_f64()
+        ),
+        Err(e) => format!("ERR saving {path}: {e}"),
     }
 }
 

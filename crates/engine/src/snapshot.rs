@@ -21,7 +21,7 @@
 //! being consulted by the query path.
 
 use pm_lsh_core::PmLsh;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The swappable snapshot slot plus its generation counter.
@@ -29,6 +29,10 @@ pub(crate) struct SnapshotCell {
     slot: Mutex<Arc<PmLsh>>,
     epoch: AtomicU64,
     rebuilding: AtomicBool,
+    /// Coarse percentage of the rebuild in progress (meaningful only while
+    /// `rebuilding`): updated at phase boundaries by the rebuild thread,
+    /// read lock-free by `INDEXINFO`. 100 whenever the cell is serving.
+    progress: AtomicU8,
     /// Serializes *writers* (single-point mutations among themselves, and
     /// a finishing rebuild's swap against an in-flight mutation) without
     /// ever being touched by the read path. A mutation holds this lock
@@ -45,6 +49,7 @@ impl SnapshotCell {
             slot: Mutex::new(index),
             epoch: AtomicU64::new(0),
             rebuilding: AtomicBool::new(false),
+            progress: AtomicU8::new(100),
             write: Mutex::new(()),
         }
     }
@@ -86,16 +91,34 @@ impl SnapshotCell {
     }
 
     /// Claims the (single) rebuild slot; `false` when a rebuild is already
-    /// running.
+    /// running. Claiming resets the progress gauge to 0.
     pub(crate) fn try_begin_rebuild(&self) -> bool {
-        self.rebuilding
+        let claimed = self
+            .rebuilding
             .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
+            .is_ok();
+        if claimed {
+            self.progress.store(0, Ordering::SeqCst);
+        }
+        claimed
     }
 
-    /// Releases the rebuild slot.
+    /// Releases the rebuild slot and restores the serving gauge.
     pub(crate) fn end_rebuild(&self) {
+        self.progress.store(100, Ordering::SeqCst);
         self.rebuilding.store(false, Ordering::SeqCst);
+    }
+
+    /// Advances the rebuild progress gauge (phase boundaries only; there
+    /// is no per-point instrumentation inside the build).
+    pub(crate) fn set_progress(&self, pct: u8) {
+        self.progress.store(pct.min(100), Ordering::SeqCst);
+    }
+
+    /// The current progress gauge: 100 while serving, the rebuild's
+    /// last-reported phase percentage while rebuilding.
+    pub(crate) fn progress(&self) -> u8 {
+        self.progress.load(Ordering::SeqCst)
     }
 
     /// `true` while a rebuild claimed via [`Self::try_begin_rebuild`] runs.

@@ -59,6 +59,25 @@ impl GaussianProjector {
         &self.coeffs[i * self.d..(i + 1) * self.d]
     }
 
+    /// The whole row-major `m x d` coefficient matrix. Together with
+    /// [`Self::from_flat`] this round-trips a projector bit-exactly, which
+    /// index snapshots rely on.
+    #[inline]
+    pub fn coeffs_flat(&self) -> &[f32] {
+        &self.coeffs
+    }
+
+    /// Rebuilds a projector from a row-major `m x d` coefficient matrix
+    /// (the inverse of [`Self::coeffs_flat`]).
+    ///
+    /// # Panics
+    /// Panics if `d` or `m` is zero or `coeffs.len() != m * d`.
+    pub fn from_flat(coeffs: Vec<f32>, d: usize, m: usize) -> Self {
+        assert!(d > 0 && m > 0, "dimensions must be positive");
+        assert_eq!(coeffs.len(), m * d, "coefficient matrix has wrong size");
+        Self { coeffs, d, m }
+    }
+
     /// Projects one point into the `m`-dimensional space, writing into `out`.
     pub fn project_into(&self, point: &[f32], out: &mut [f32]) {
         assert_eq!(point.len(), self.d, "point has wrong dimensionality");

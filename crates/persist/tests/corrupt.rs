@@ -1,0 +1,204 @@
+//! Corrupt-input hardening: every malformed `.pmlsh` byte stream must map
+//! to a typed [`PersistError`] — never a panic, never a silently wrong
+//! index. The tamper helpers below re-sign checksums so each test reaches
+//! exactly the validation layer it targets.
+
+use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_data::{PaperDataset, Scale};
+use pm_lsh_persist::{crc32, deserialize, serialize, PersistError, FORMAT_VERSION, MAGIC};
+
+fn snapshot() -> Vec<u8> {
+    let generator = PaperDataset::Audio.generator(Scale::Smoke);
+    let index = PmLsh::build(generator.dataset(), PmLshParams::paper_defaults());
+    serialize(&index)
+}
+
+/// Byte offset where a section's payload starts, plus its length.
+fn section_bounds(bytes: &[u8], section_id: u32) -> (usize, usize) {
+    let mut pos = 12; // magic + version
+    loop {
+        let id = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        if id == section_id {
+            return (pos + 12, len);
+        }
+        pos += 12 + len + 4;
+    }
+}
+
+/// Recomputes every section CRC and the whole-file CRC, so a tamper test
+/// can target validation layers *behind* the checksums.
+fn resign(bytes: &mut [u8]) {
+    let mut pos = 12;
+    let body_end = bytes.len() - 4;
+    while pos < body_end {
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let crc = crc32(&bytes[pos + 12..pos + 12 + len]);
+        bytes[pos + 12 + len..pos + 16 + len].copy_from_slice(&crc.to_le_bytes());
+        pos += 16 + len;
+    }
+    let crc = crc32(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Recomputes only the whole-file CRC, leaving section CRCs untouched.
+fn resign_file_only(bytes: &mut [u8]) {
+    let body_end = bytes.len() - 4;
+    let crc = crc32(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn truncation_at_every_layer() {
+    let good = snapshot();
+    // Representative cut points: empty, mid-magic, mid-version, mid-header,
+    // mid-payload, and one byte short of complete.
+    for cut in [0usize, 5, 10, 40, good.len() / 2, good.len() - 1] {
+        let err = deserialize(&good[..cut]).expect_err("truncated must fail");
+        assert!(
+            matches!(err, PersistError::Truncated | PersistError::FileCrc),
+            "cut at {cut} gave {err:?}"
+        );
+    }
+    // Cuts that happen before the trailing CRC exists are Truncated
+    // specifically, not a checksum complaint.
+    assert!(matches!(
+        deserialize(&good[..5]),
+        Err(PersistError::Truncated)
+    ));
+    assert!(matches!(deserialize(&[]), Err(PersistError::Truncated)));
+}
+
+#[test]
+fn wrong_magic() {
+    let mut bad = snapshot();
+    bad[0] ^= 0xFF;
+    assert!(matches!(deserialize(&bad), Err(PersistError::BadMagic)));
+    // A different file format entirely (say, fvecs) also reports BadMagic.
+    let fvecs = [192u32.to_le_bytes().as_slice(), &[0u8; 768]].concat();
+    assert!(matches!(deserialize(&fvecs), Err(PersistError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let mut bad = snapshot();
+    bad[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    resign(&mut bad);
+    match deserialize(&bad) {
+        Err(PersistError::UnsupportedVersion(v)) => assert_eq!(v, FORMAT_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn bit_flip_fails_the_file_checksum() {
+    let good = snapshot();
+    // Flip one bit in a spread of positions; all must fail CRC (or the
+    // magic/version gate for the first 12 bytes).
+    for pos in [
+        12usize,
+        100,
+        good.len() / 3,
+        good.len() / 2,
+        good.len() - 20,
+    ] {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x10;
+        let err = deserialize(&bad).expect_err("bit flip must fail");
+        assert!(
+            matches!(err, PersistError::FileCrc),
+            "flip at {pos} gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flip_in_each_section_fails_its_section_checksum() {
+    let good = snapshot();
+    for section in 1u32..=8 {
+        let (start, len) = section_bounds(&good, section);
+        assert!(len > 0, "section {section} is empty");
+        let mut bad = good.clone();
+        bad[start + len / 2] ^= 0x01;
+        resign_file_only(&mut bad);
+        match deserialize(&bad) {
+            Err(PersistError::SectionCrc { section: s }) => assert_eq!(s, section),
+            other => panic!("section {section} flip gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dimension_mismatch_is_corrupt_not_panic() {
+    // Tamper the header's declared dimensionality: the projection matrix
+    // and point store no longer agree with it.
+    let good = snapshot();
+    let (hdr, _) = section_bounds(&good, 1);
+    let mut bad = good.clone();
+    let d = u64::from_le_bytes(bad[hdr..hdr + 8].try_into().unwrap());
+    bad[hdr..hdr + 8].copy_from_slice(&(d + 1).to_le_bytes());
+    resign(&mut bad);
+    assert!(matches!(deserialize(&bad), Err(PersistError::Corrupt(_))));
+
+    // Same for the projected dimensionality m (header offset 16).
+    let mut bad = good.clone();
+    bad[hdr + 16..hdr + 20].copy_from_slice(&7u32.to_le_bytes());
+    resign(&mut bad);
+    assert!(matches!(deserialize(&bad), Err(PersistError::Corrupt(_))));
+}
+
+#[test]
+fn zero_point_snapshot_is_empty_index() {
+    let good = snapshot();
+    let (hdr, _) = section_bounds(&good, 1);
+    // n_rows lives at header offset 8, live at offset 24.
+    for offset in [8usize, 24] {
+        let mut bad = good.clone();
+        bad[hdr + offset..hdr + offset + 8].copy_from_slice(&0u64.to_le_bytes());
+        resign(&mut bad);
+        assert!(
+            matches!(deserialize(&bad), Err(PersistError::EmptyIndex)),
+            "zeroing header offset {offset} must report EmptyIndex"
+        );
+    }
+}
+
+#[test]
+fn hostile_header_values_never_panic() {
+    let good = snapshot();
+    let (hdr, hdr_len) = section_bounds(&good, 1);
+    // Overwrite each 4-byte window of the header with extreme values and
+    // demand a typed error or a successful load — never a panic and never
+    // an index that disagrees with its own structure checks.
+    for off in (0..hdr_len.saturating_sub(4)).step_by(4) {
+        for pattern in [[0xFFu8; 4], [0u8; 4], [0x80, 0x00, 0x00, 0x7F]] {
+            let mut bad = good.clone();
+            bad[hdr + off..hdr + off + 4].copy_from_slice(&pattern);
+            resign(&mut bad);
+            if let Ok(index) = deserialize(&bad) {
+                index
+                    .tree()
+                    .verify_invariants()
+                    .expect("accepted load must be sound");
+            }
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let mut bad = snapshot();
+    bad.extend_from_slice(b"extra");
+    let err = deserialize(&bad).expect_err("trailing bytes must fail");
+    assert!(
+        matches!(err, PersistError::FileCrc | PersistError::Corrupt(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn magic_constant_matches_spec() {
+    assert_eq!(&MAGIC, b"PMLSHSNP");
+    let good = snapshot();
+    assert_eq!(&good[..8], b"PMLSHSNP");
+}

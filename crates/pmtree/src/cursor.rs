@@ -20,7 +20,7 @@
 use crate::entry::{InnerEntry, LeafEntry};
 use crate::tree::{Node, PmTree};
 use crate::NodeId;
-use pm_lsh_metric::{euclidean, PointId};
+use pm_lsh_metric::{euclidean, sq_dist_within, PointId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -32,8 +32,31 @@ enum ItemKind {
     InnerReady { child: NodeId, dq_center: f32 },
     /// Leaf entry not yet resolved (pivot/parent bounds only).
     LeafApprox { node: NodeId, idx: u32 },
+    /// Leaf entry whose exact distance computation was abandoned
+    /// mid-kernel: the distance provably exceeds the radius of the round
+    /// that touched it. Resurfaces in a later (larger-radius) round and is
+    /// then re-measured against that round's bound — without recounting
+    /// the distance computation, which was paid on first touch.
+    LeafAbandoned { node: NodeId, idx: u32 },
     /// Point with exact projected distance; pops by yielding.
     LeafExact { external: PointId, dist: f32 },
+}
+
+/// Conservative squared-radius admission bound for early-abandoning leaf
+/// distances: every squared distance whose rounded `sqrt` is `<= radius`
+/// satisfies `sq <= sq_bound(radius)`, so abandonment can only drop
+/// points the exact comparison would also have kept *outside* the radius.
+/// Squaring and stepping up two ulps covers the worst-case rounding of
+/// both the square and the candidate's own `sqrt` (the same argument as
+/// the verification bound in `pm-lsh-core`); borderline over-admitted
+/// points are simply computed in full, exactly as before abandonment.
+#[inline]
+fn sq_bound(radius: f32) -> f32 {
+    if radius.is_infinite() {
+        f32::INFINITY
+    } else {
+        (radius * radius).next_up().next_up()
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -267,21 +290,40 @@ impl<'t> RangeCursor<'t> {
             },
             Node::Leaf(entries) => match self.mode {
                 RefineMode::Lazy => {
+                    let bound = sq_bound(radius);
                     for (i, e) in entries.iter().enumerate() {
                         let lb = self.leaf_cheap_bound(e, dq_center);
                         if lb <= radius {
-                            let dist = euclidean(
+                            // Early-abandoning measurement: a point whose
+                            // squared distance exceeds the round's bound
+                            // provably lies beyond `radius`, so it would
+                            // not have surfaced this round anyway — park
+                            // it just past the radius instead of paying
+                            // the rest of the kernel and the sqrt.
+                            let sq = sq_dist_within(
                                 &self.scratch.query,
                                 self.tree.points.point(e.internal as usize),
+                                bound,
                             );
                             self.dist_computations += 1;
-                            self.push(
-                                dist,
-                                ItemKind::LeafExact {
-                                    external: e.external,
+                            if sq <= bound {
+                                let dist = sq.sqrt();
+                                self.push(
                                     dist,
-                                },
-                            );
+                                    ItemKind::LeafExact {
+                                        external: e.external,
+                                        dist,
+                                    },
+                                );
+                            } else {
+                                self.push(
+                                    lb.max(radius.next_up()),
+                                    ItemKind::LeafAbandoned {
+                                        node,
+                                        idx: i as u32,
+                                    },
+                                );
+                            }
                         } else {
                             self.push(
                                 lb,
@@ -351,18 +393,59 @@ impl<'t> RangeCursor<'t> {
                         unreachable!()
                     };
                     let e = &entries[idx as usize];
-                    let dist = euclidean(
+                    let bound = sq_bound(radius);
+                    let sq = sq_dist_within(
                         &self.scratch.query,
                         self.tree.points.point(e.internal as usize),
+                        bound,
                     );
                     self.dist_computations += 1;
-                    self.push(
-                        dist,
-                        ItemKind::LeafExact {
-                            external: e.external,
+                    if sq <= bound {
+                        let dist = sq.sqrt();
+                        self.push(
                             dist,
-                        },
+                            ItemKind::LeafExact {
+                                external: e.external,
+                                dist,
+                            },
+                        );
+                    } else {
+                        self.push(
+                            top.key.max(radius.next_up()),
+                            ItemKind::LeafAbandoned { node, idx },
+                        );
+                    }
+                }
+                ItemKind::LeafAbandoned { node, idx } => {
+                    // Re-measure against the current (larger) round's
+                    // bound. The distance computation was counted on
+                    // first touch; finishing an abandoned kernel is the
+                    // remainder of that same computation, not a new one.
+                    let Node::Leaf(entries) = &self.tree.nodes[node as usize] else {
+                        unreachable!()
+                    };
+                    let e = &entries[idx as usize];
+                    let bound = sq_bound(radius);
+                    let sq = sq_dist_within(
+                        &self.scratch.query,
+                        self.tree.points.point(e.internal as usize),
+                        bound,
                     );
+                    if sq <= bound {
+                        let dist = sq.sqrt();
+                        self.push(
+                            dist,
+                            ItemKind::LeafExact {
+                                external: e.external,
+                                dist,
+                            },
+                        );
+                    } else {
+                        self.push(
+                            top.key.max(radius.next_up()),
+                            ItemKind::LeafAbandoned { node, idx },
+                        );
+                    }
                 }
                 ItemKind::LeafExact { external, dist } => {
                     return Some((external, dist));

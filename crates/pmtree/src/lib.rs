@@ -33,7 +33,7 @@ pub use cost::expected_distance_computations;
 pub use cursor::{CursorScratch, RangeCursor, RefineMode};
 pub use entry::{InnerEntry, LeafEntry, Ring};
 pub use pivots::select_pivots;
-pub use tree::{PmTree, PmTreeConfig};
+pub use tree::{PmTree, PmTreeConfig, PmTreeParts, RawNode};
 
 /// Index of a node inside the tree arena.
 pub type NodeId = u32;

@@ -39,6 +39,49 @@ impl Default for PmTreeConfig {
     }
 }
 
+/// One node of a [`PmTreeParts`] snapshot: the public mirror of the
+/// private arena node, with children referring to *compacted* node ids.
+#[derive(Clone, Debug)]
+pub enum RawNode {
+    /// Inner node holding routing entries.
+    Inner(Vec<InnerEntry>),
+    /// Leaf node holding point entries.
+    Leaf(Vec<LeafEntry>),
+}
+
+/// The complete state of a [`PmTree`], exported with
+/// [`PmTree::to_parts`] and re-imported with [`PmTree::from_parts`] —
+/// the serialization boundary index snapshots go through.
+///
+/// The node arena is *free-list-compacted*: freed slots are dropped and
+/// surviving nodes renumbered densely, preserving their relative order.
+/// Node ids never influence traversal order or query answers (the
+/// cursor orders by distance key and push sequence), so a round-tripped
+/// tree answers every query bit-identically. `ext_index` and
+/// `free_nodes` are not part of the export — the id map is rebuilt by
+/// inverting `externals`, and a compacted arena has no free slots.
+#[derive(Clone, Debug)]
+pub struct PmTreeParts {
+    /// Dimensionality of the indexed space.
+    pub dim: usize,
+    /// Construction parameters.
+    pub cfg: PmTreeConfig,
+    /// The `s` global pivots.
+    pub pivots: Vec<Box<[f32]>>,
+    /// Compacted node arena.
+    pub nodes: Vec<RawNode>,
+    /// Root node id (into the compacted arena).
+    pub root: NodeId,
+    /// Dense internal point store (projected points).
+    pub points: Dataset,
+    /// Internal row -> external id.
+    pub externals: Vec<PointId>,
+    /// Internal row -> holding leaf (compacted ids).
+    pub leaf_of: Vec<NodeId>,
+    /// Distance computations spent on construction so far.
+    pub build_dist_computations: u64,
+}
+
 /// A PM-tree over points in `R^dim` under the Euclidean distance.
 ///
 /// The tree owns a copy of every inserted point (60 bytes per point in the
@@ -625,6 +668,254 @@ impl PmTree {
         }
         self.externals.pop();
         self.leaf_of.pop();
+    }
+
+    /// Exports the complete tree state with the node arena free-list-
+    /// compacted (see [`PmTreeParts`]). The tree itself is untouched.
+    pub fn to_parts(&self) -> PmTreeParts {
+        // Dense remap dropping freed slots; surviving nodes keep their
+        // relative order (ids never influence traversal, but a stable
+        // order keeps the export deterministic).
+        let mut free = vec![false; self.nodes.len()];
+        for &f in &self.free_nodes {
+            free[f as usize] = true;
+        }
+        let mut remap = vec![NodeId::MAX; self.nodes.len()];
+        let mut next: NodeId = 0;
+        for id in 0..self.nodes.len() {
+            if !free[id] {
+                remap[id] = next;
+                next += 1;
+            }
+        }
+        let mut nodes = Vec::with_capacity(next as usize);
+        for (id, node) in self.nodes.iter().enumerate() {
+            if free[id] {
+                continue;
+            }
+            nodes.push(match node {
+                Node::Inner(es) => RawNode::Inner(
+                    es.iter()
+                        .map(|e| {
+                            let mut e = e.clone();
+                            e.child = remap[e.child as usize];
+                            e
+                        })
+                        .collect(),
+                ),
+                Node::Leaf(es) => RawNode::Leaf(es.clone()),
+            });
+        }
+        PmTreeParts {
+            dim: self.dim,
+            cfg: self.cfg,
+            pivots: self.pivots.clone(),
+            nodes,
+            root: remap[self.root as usize],
+            points: self.points.clone(),
+            externals: self.externals.clone(),
+            leaf_of: self.leaf_of.iter().map(|&l| remap[l as usize]).collect(),
+            build_dist_computations: self.build_dist_computations,
+        }
+    }
+
+    /// Reassembles a tree from exported parts, rebuilding the id map by
+    /// inverting `externals` and starting with an empty free list (the
+    /// exported arena is compacted). The result is validated with
+    /// [`PmTree::verify_structure`] before it is returned, so corrupted
+    /// or internally inconsistent parts come back as `Err`, never as a
+    /// tree that panics later.
+    pub fn from_parts(parts: PmTreeParts) -> Result<Self, String> {
+        if parts.dim == 0 {
+            return Err("dimension must be positive".into());
+        }
+        if parts.cfg.capacity < 2 {
+            return Err(format!("node capacity {} below 2", parts.cfg.capacity));
+        }
+        if parts.pivots.len() != parts.cfg.num_pivots {
+            return Err(format!(
+                "{} pivots but config declares {}",
+                parts.pivots.len(),
+                parts.cfg.num_pivots
+            ));
+        }
+        let mut ext_index = HashMap::with_capacity(parts.externals.len());
+        for (internal, &external) in parts.externals.iter().enumerate() {
+            if ext_index.insert(external, internal as u32).is_some() {
+                return Err(format!("external id {external} appears twice"));
+            }
+        }
+        let tree = Self {
+            dim: parts.dim,
+            cfg: parts.cfg,
+            pivots: parts.pivots,
+            nodes: parts
+                .nodes
+                .into_iter()
+                .map(|n| match n {
+                    RawNode::Inner(es) => Node::Inner(es),
+                    RawNode::Leaf(es) => Node::Leaf(es),
+                })
+                .collect(),
+            root: parts.root,
+            points: parts.points,
+            externals: parts.externals,
+            ext_index,
+            leaf_of: parts.leaf_of,
+            free_nodes: Vec::new(),
+            build_dist_computations: parts.build_dist_computations,
+        };
+        tree.verify_structure()?;
+        Ok(tree)
+    }
+
+    /// Validates the *structural* invariants only — index ranges, map
+    /// consistency, arena reachability — without recomputing a single
+    /// distance. This is the cheap load-time check snapshot restoration
+    /// runs ([`PmTree::verify_invariants`] adds the O(n · height)
+    /// geometric audit on top; checksums already guard against bit-rot,
+    /// structure checks guard against panics and out-of-bounds access).
+    pub fn verify_structure(&self) -> Result<(), String> {
+        let n = self.externals.len();
+        if n != self.points.len() {
+            return Err(format!(
+                "{} external ids but {} stored points",
+                n,
+                self.points.len()
+            ));
+        }
+        if !self.points.is_empty() && self.points.dim() != self.dim {
+            return Err(format!(
+                "point store in R^{}, tree in R^{}",
+                self.points.dim(),
+                self.dim
+            ));
+        }
+        if self.leaf_of.len() != n {
+            return Err(format!(
+                "leaf map covers {} rows, point store holds {n}",
+                self.leaf_of.len()
+            ));
+        }
+        if self.ext_index.len() != n {
+            return Err(format!(
+                "id map holds {} entries for {n} points",
+                self.ext_index.len()
+            ));
+        }
+        for (internal, &external) in self.externals.iter().enumerate() {
+            if self.ext_index.get(&external) != Some(&(internal as u32)) {
+                return Err(format!(
+                    "id map does not send external {external} back to row {internal}"
+                ));
+            }
+        }
+        for p in &self.pivots {
+            if p.len() != self.dim {
+                return Err(format!("pivot in R^{}, tree in R^{}", p.len(), self.dim));
+            }
+        }
+        let s = self.pivots.len();
+        if self.root as usize >= self.nodes.len() {
+            return Err(format!(
+                "root {} outside the {}-node arena",
+                self.root,
+                self.nodes.len()
+            ));
+        }
+        let mut reached = vec![false; self.nodes.len()];
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if reached[node as usize] {
+                return Err(format!("node {node} reachable through two parents"));
+            }
+            reached[node as usize] = true;
+            match &self.nodes[node as usize] {
+                Node::Inner(entries) => {
+                    if entries.is_empty() {
+                        return Err("inner node with no entries".into());
+                    }
+                    for e in entries {
+                        if e.center.len() != self.dim {
+                            return Err(format!(
+                                "routing center in R^{}, tree in R^{}",
+                                e.center.len(),
+                                self.dim
+                            ));
+                        }
+                        if e.rings.len() != s {
+                            return Err(format!(
+                                "{} rings on a routing entry, {s} pivots",
+                                e.rings.len()
+                            ));
+                        }
+                        if e.child as usize >= self.nodes.len() {
+                            return Err(format!(
+                                "child {} outside the {}-node arena",
+                                e.child,
+                                self.nodes.len()
+                            ));
+                        }
+                        stack.push(e.child);
+                    }
+                }
+                Node::Leaf(entries) => {
+                    for e in entries {
+                        if e.internal as usize >= n {
+                            return Err(format!(
+                                "leaf row {} outside the {n}-point store",
+                                e.internal
+                            ));
+                        }
+                        if e.pivot_dists.len() != s {
+                            return Err(format!(
+                                "{} pivot distances on a leaf entry, {s} pivots",
+                                e.pivot_dists.len()
+                            ));
+                        }
+                        if seen[e.internal as usize] {
+                            return Err(format!("point {} reachable twice", e.internal));
+                        }
+                        seen[e.internal as usize] = true;
+                        if self.leaf_of[e.internal as usize] != node {
+                            return Err(format!(
+                                "leaf map sends row {} to node {}, found in node {node}",
+                                e.internal, self.leaf_of[e.internal as usize]
+                            ));
+                        }
+                        if e.external != self.externals[e.internal as usize] {
+                            return Err(format!(
+                                "leaf entry for row {} carries external {} (store says {})",
+                                e.internal, e.external, self.externals[e.internal as usize]
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!("point {missing} not reachable from the root"));
+        }
+        let mut free = vec![false; self.nodes.len()];
+        for &f in &self.free_nodes {
+            if f as usize >= self.nodes.len() {
+                return Err(format!("free-list id {f} outside the arena"));
+            }
+            if reached[f as usize] {
+                return Err(format!("node {f} is both reachable and on the free list"));
+            }
+            if free[f as usize] {
+                return Err(format!("node {f} is on the free list twice"));
+            }
+            free[f as usize] = true;
+        }
+        if let Some(leaked) = (0..self.nodes.len()).find(|&id| !reached[id] && !free[id]) {
+            return Err(format!(
+                "node {leaked} is neither reachable nor on the free list"
+            ));
+        }
+        Ok(())
     }
 
     /// Panicking [`PmTree::verify_invariants`], for sprinkling through

@@ -97,6 +97,13 @@ impl Ecdf {
     pub fn mean(&self) -> f64 {
         self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
     }
+
+    /// The underlying samples in ascending order. Feeding these back into
+    /// [`Ecdf::new`] reconstructs a bit-identical ECDF (sorting already
+    /// sorted data is a no-op), which is what index snapshots rely on.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
 }
 
 /// The pairwise distance distribution `F(x)` of Eq. 4, estimated from

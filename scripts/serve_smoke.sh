@@ -29,17 +29,23 @@ echo "== starting pmlsh serve (two indexes, auth-gated mutating verbs)"
   --port "$PORT" --threads 2 --auth-token "$TOKEN" &
 SERVE_PID=$!
 
+wait_ready() { # blocks until the serve process accepts connections
+  for _ in $(seq 1 120); do
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+      echo "FAIL: serve process died during startup" >&2
+      exit 1
+    fi
+    if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
+      return 0
+    fi
+    sleep 1
+  done
+  echo "FAIL: server never accepted a connection" >&2
+  exit 1
+}
+
 echo "== waiting for the server to accept connections"
-for _ in $(seq 1 120); do
-  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-    echo "FAIL: serve process died during startup" >&2
-    exit 1
-  fi
-  if (exec 3<>"/dev/tcp/127.0.0.1/$PORT") 2>/dev/null; then
-    break
-  fi
-  sleep 1
-done
+wait_ready
 
 # One persistent connection for the whole scripted session (auth and the
 # current index are per-connection state).
@@ -126,6 +132,43 @@ exec 3<&- 3>&-
 echo "== pmlsh reindex client against the running server"
 "$BIN" reindex --addr "127.0.0.1:$PORT" --data "$TMP/audio.fvecs" \
   --index audio --auth-token "$TOKEN"
+
+echo "== snapshot save (pmlsh save client -> wire SAVE verb)"
+"$BIN" save --addr "127.0.0.1:$PORT" --out "$TMP/audio.pmlsh" \
+  --index audio --auth-token "$TOKEN"
+[ -s "$TMP/audio.pmlsh" ] || { echo "FAIL: snapshot file not written" >&2; exit 1; }
+
+# Capture the served answer to one fixed query for the parity check below.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+PARITY_LINE=$(query_line)
+PARITY_BEFORE=$(req "$PARITY_LINE")
+case "$PARITY_BEFORE" in
+  "OK "*:*) ;;
+  *) echo "FAIL: parity query -> '$PARITY_BEFORE'" >&2; exit 1 ;;
+esac
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
+
+echo "== save -> kill -> re-serve from the .pmlsh snapshot"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+"$BIN" serve --data "audio=$TMP/audio.pmlsh" --port "$PORT" --threads 2 &
+SERVE_PID=$!
+wait_ready
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+expect "INDEXINFO" "INDEXINFO name=audio *state=serving pct=100"
+PARITY_AFTER=$(req "$PARITY_LINE")
+if [ "$PARITY_BEFORE" = "$PARITY_AFTER" ]; then
+  printf 'ok: %-18s -> restored snapshot answers identically\n' "PARITY"
+else
+  echo "FAIL: snapshot parity broke:" >&2
+  echo "  before: $PARITY_BEFORE" >&2
+  echo "  after:  $PARITY_AFTER" >&2
+  exit 1
+fi
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
 
 kill "$SERVE_PID"
 wait "$SERVE_PID" 2>/dev/null || true

@@ -6,8 +6,10 @@
 //! pmlsh query       --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
 //! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
 //! pmlsh batch-query --data audio=a.fvecs,deep=d.fvecs --index deep --queries q.fvecs --k 10
-//! pmlsh serve       --data audio=a.fvecs,deep=d.fvecs --port 7878 [--threads 4]
+//! pmlsh serve       --data audio=a.fvecs,deep=d.pmlsh --port 7878 [--threads 4]
 //!                   [--auth-token t] [--max-connections 1024] [--drain-timeout-ms 5000]
+//! pmlsh save        --data a.fvecs --out a.pmlsh                  (build + snapshot)
+//! pmlsh save        --addr 127.0.0.1:7878 --out /srv/a.pmlsh      (running server)
 //! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs [--index deep] [--auth-token t]
 //! pmlsh insert      --addr 127.0.0.1:7878 --vector 0.1,0.2,... [--index deep] [--auth-token t]
 //! pmlsh delete      --addr 127.0.0.1:7878 --id 42 [--index deep] [--auth-token t]
@@ -16,7 +18,9 @@
 //! `--data` takes either one bare path (index name `default`) or a
 //! comma-separated list of `name=path` pairs — `serve` attaches every
 //! entry to one multi-index server, `batch-query` picks one with
-//! `--index`. Files ending in `.csv` are parsed as headerless CSV;
+//! `--index`. Files starting with the `.pmlsh` snapshot magic are loaded
+//! as pre-built indexes (no rebuild — instant serving with the saved
+//! parameters); files ending in `.csv` are parsed as headerless CSV;
 //! anything else as little-endian `fvecs` (the TEXMEX format the paper's
 //! real datasets ship in), so the same binary drives both the synthetic
 //! stand-ins and the real datasets when available.
@@ -84,6 +88,19 @@ fn main() -> ExitCode {
             ],
         )
         .and_then(|()| cmd_serve(&opts)),
+        "save" => known_opts(
+            &opts,
+            &[
+                "data",
+                "out",
+                "c",
+                "build-threads",
+                "addr",
+                "index",
+                "auth-token",
+            ],
+        )
+        .and_then(|()| cmd_save(&opts)),
         "reindex" => known_opts(&opts, &["addr", "data", "index", "auth-token"])
             .and_then(|()| cmd_reindex(&opts)),
         "insert" => known_opts(&opts, &["addr", "vector", "index", "auth-token"])
@@ -121,6 +138,10 @@ USAGE:
                [--build-threads <n>] [--batch-size <n>] [--max-wait-us <µs>]
                [--auth-token <t>] [--max-connections <n>]
                [--drain-timeout-ms <ms>]
+  pmlsh save   --data <file> --out <file.pmlsh> [--c <ratio>]
+               [--build-threads <n>]
+  pmlsh save   --addr <host:port> --out <server-side file.pmlsh>
+               [--index <name>] [--auth-token <t>]
   pmlsh reindex --addr <host:port> --data <server-side file>
                [--index <name>] [--auth-token <t>]
   pmlsh insert --addr <host:port> --vector <v1,v2,...>
@@ -130,15 +151,20 @@ USAGE:
 
 `--data <specs>` is one bare path (served as index 'default') or a
 comma-separated list of name=path pairs; `serve` attaches every entry,
-`batch-query` picks one with --index (default: the first). Files ending
-in .csv are headerless CSV; anything else is fvecs.
+`batch-query` picks one with --index (default: the first). `.pmlsh`
+snapshots (detected by magic bytes) are loaded as pre-built indexes
+with their saved parameters — no rebuild; files ending in .csv are
+headerless CSV; anything else is fvecs.
 `serve` speaks a newline-delimited protocol: `QUERY <k> <v1> ... <vd>` is
 answered with `OK <id>:<dist>,...`; also PING, STATS, INDEXINFO,
 LISTINDEXES, USE <name>, AUTH <token>, ATTACH <name> <path>,
-DETACH <name>, REINDEX <path>, INSERT <v1..vd>, DELETE <id> and QUIT
-(see docs/PROTOCOL.md). With --auth-token set, the mutating verbs
-(ATTACH/DETACH/REINDEX/INSERT/DELETE) require a prior AUTH on the
-connection. `reindex` asks a running server to rebuild onto a dataset
+DETACH <name>, REINDEX <path>, INSERT <v1..vd>, DELETE <id>,
+SAVE <path> and QUIT (see docs/PROTOCOL.md). With --auth-token set, the
+mutating verbs (ATTACH/DETACH/REINDEX/INSERT/DELETE) and SAVE require a
+prior AUTH on the connection. `save` snapshots an index to a `.pmlsh`
+file: with --data it builds locally and writes --out; with --addr it
+asks a running server to save its current index to a path writable by
+the *server*. `reindex` asks a running server to rebuild onto a dataset
 file readable by the *server* and swap it in without dropping queries;
 `insert`/`delete` apply single-point mutations between rebuilds (each
 publishes a fresh snapshot and bumps the INDEXINFO epoch).
@@ -449,28 +475,21 @@ fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
     if specs.len() > 1 {
         println!("querying index '{name}' ({path})");
     }
-    let data = Arc::new(load(path)?);
-    let queries = load(opts.get("queries").ok_or("batch-query needs --queries")?)?;
-    if queries.dim() != data.dim() {
-        return Err(format!(
-            "dimension mismatch: data R^{}, queries R^{}",
-            data.dim(),
-            queries.dim()
-        ));
-    }
     let (k, c) = parse_kc(opts)?;
     let config = parse_engine_config(opts)?;
     let build_threads = parse_build_threads(opts)?;
     let with_truth = !opts.contains_key("no-truth");
 
-    let start = Instant::now();
-    let index = build_pmlsh(data.clone(), c, build_threads);
-    println!(
-        "built PM-LSH over {} points in {:.1} s",
-        data.len(),
-        start.elapsed().as_secs_f64()
-    );
-    let engine = Engine::new(index, config);
+    let index = Arc::new(load_or_build_index(path, c, build_threads)?);
+    let queries = load(opts.get("queries").ok_or("batch-query needs --queries")?)?;
+    if queries.dim() != index.data().dim() {
+        return Err(format!(
+            "dimension mismatch: data R^{}, queries R^{}",
+            index.data().dim(),
+            queries.dim()
+        ));
+    }
+    let engine = Engine::new(Arc::clone(&index), config);
     println!("engine: {} worker thread(s)", engine.threads());
 
     let query_vecs: Vec<&[f32]> = queries.iter().collect();
@@ -488,7 +507,7 @@ fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("engine stats: {stats}");
 
     if with_truth {
-        let truth = exact_knn_batch(data.view(), queries.view(), k, 0);
+        let truth = exact_knn_batch(index.data().view(), queries.view(), k, 0);
         let nq = results.len() as f64;
         let (mut recall_sum, mut ratio_sum) = (0.0, 0.0);
         for (res, t) in results.iter().zip(&truth) {
@@ -536,15 +555,8 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     // start on (attach order = spec order).
     let router = Router::new();
     for (name, path) in &specs {
-        let data = Arc::new(load(path)?);
-        let start = Instant::now();
-        let index = build_pmlsh(data.clone(), c, build_threads);
-        println!(
-            "[{name}] built PM-LSH over {} points in R^{} in {:.1} s",
-            data.len(),
-            data.dim(),
-            start.elapsed().as_secs_f64()
-        );
+        print!("[{name}] ");
+        let index = load_or_build_index(path, c, build_threads)?;
         router
             .attach(name, Engine::new(index, config))
             .map_err(|e| e.to_string())?;
@@ -568,7 +580,8 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "serving {} index(es) [{}] on {} ({} worker thread(s) each, max {max_connections} \
          connections, mutating verbs {}); protocol: QUERY <k> <v1..vd> | PING | STATS | \
-         INDEXINFO | LISTINDEXES | USE | AUTH | ATTACH | DETACH | REINDEX | QUIT",
+         INDEXINFO | LISTINDEXES | USE | AUTH | ATTACH | DETACH | REINDEX | INSERT | \
+         DELETE | SAVE | QUIT",
         router.len(),
         router.names().join(","),
         handle.addr(),
@@ -577,6 +590,88 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     );
     handle.join();
     Ok(())
+}
+
+/// `pmlsh save` — snapshot an index to a versioned, checksummed `.pmlsh`
+/// file. Two modes: `--data` builds locally and writes `--out`; `--addr`
+/// sends the `SAVE` verb to a running server, which writes `--out` on
+/// *its* filesystem (auth-gated when the server has a token).
+fn cmd_save(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").ok_or("save needs --out <file.pmlsh>")?;
+    match (opts.get("addr"), opts.get("data")) {
+        (Some(_), Some(_)) => {
+            Err("save takes --data (local build) or --addr (running server), not both".into())
+        }
+        (None, None) => Err("save needs --data <file> or --addr <host:port>".into()),
+        (Some(addr), None) => {
+            for flag in ["c", "build-threads"] {
+                if opts.contains_key(flag) {
+                    return Err(format!(
+                        "--{flag} only applies to a local save (the server keeps its own \
+                         parameters)"
+                    ));
+                }
+            }
+            if out.chars().any(|ch| ch.is_ascii_whitespace()) {
+                return Err("the wire protocol cannot carry whitespace in paths".into());
+            }
+            let mut client = WireClient::connect(addr)?;
+            client.setup_session(opts)?;
+            let reply = client.exchange(format!("SAVE {out}\n"))?;
+            if let Some(err) = reply.strip_prefix("ERR ") {
+                return Err(format!("server refused: {err}"));
+            }
+            println!("{reply}");
+            Ok(())
+        }
+        (None, Some(data_path)) => {
+            for flag in ["index", "auth-token"] {
+                if opts.contains_key(flag) {
+                    return Err(format!("--{flag} only applies with --addr"));
+                }
+            }
+            let c = parse_c(opts)?;
+            let build_threads = parse_build_threads(opts)?;
+            let index = load_or_build_index(data_path, c, build_threads)?;
+            let start = Instant::now();
+            let report = index.save(out).map_err(|e| format!("writing {out}: {e}"))?;
+            println!(
+                "wrote {} points ({} bytes) to {out} in {:.2} s",
+                report.points,
+                report.bytes,
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Materializes `path` as a ready-to-serve index. A `.pmlsh` snapshot
+/// (detected by magic bytes, not extension) deserializes in milliseconds
+/// with its *saved* parameters — `--c`/`--build-threads` do not apply;
+/// anything else is read as a dataset (fvecs/csv) and built from scratch.
+fn load_or_build_index(path: &str, c: f64, build_threads: Option<usize>) -> Result<PmLsh, String> {
+    let start = Instant::now();
+    if pm_lsh::persist::is_pmlsh_file(path) {
+        let index = PmLsh::load(path).map_err(|e| format!("reading {path}: {e}"))?;
+        println!(
+            "loaded .pmlsh snapshot {path}: {} points in R^{} in {:.3} s",
+            index.len(),
+            index.data().dim(),
+            start.elapsed().as_secs_f64()
+        );
+        Ok(index)
+    } else {
+        let data = Arc::new(load(path)?);
+        let index = build_pmlsh(data, c, build_threads);
+        println!(
+            "built PM-LSH over {} points in R^{} in {:.1} s ({path})",
+            index.len(),
+            index.data().dim(),
+            start.elapsed().as_secs_f64()
+        );
+        Ok(index)
+    }
 }
 
 /// Builds the PM-LSH index, routing through the parallel bulk loader when

@@ -24,6 +24,10 @@
 //!   [`engine::server`]).
 //! * [`baselines`] — the evaluation's competitors: SRS, QALSH, Multi-Probe
 //!   LSH, R-LSH and LScan, behind one [`baselines::AnnIndex`] trait.
+//! * [`persist`] — versioned, checksummed `.pmlsh` on-disk snapshots:
+//!   [`persist::Snapshot`] gives `index.save(path)` / `PmLsh::load(path)`
+//!   with bit-identical query answers after a restart, and the serving
+//!   layer ATTACHes snapshot files instantly instead of rebuilding.
 //! * [`data`] — seeded synthetic stand-ins for the paper's seven datasets,
 //!   exact ground truth and the recall / overall-ratio metrics.
 //! * [`stats`] / [`metric`] — numerics (χ², Φ, ECDFs, RC/LID/HV) and dense
@@ -55,6 +59,7 @@ pub use pm_lsh_data as data;
 pub use pm_lsh_engine as engine;
 pub use pm_lsh_hash as hash;
 pub use pm_lsh_metric as metric;
+pub use pm_lsh_persist as persist;
 pub use pm_lsh_pmtree as pmtree;
 pub use pm_lsh_rtree as rtree;
 pub use pm_lsh_stats as stats;
@@ -78,5 +83,6 @@ pub mod prelude {
         ServerHandle,
     };
     pub use pm_lsh_metric::{Dataset, Neighbor, PointId};
+    pub use pm_lsh_persist::{PersistError, SaveReport, Snapshot};
     pub use pm_lsh_stats::Rng;
 }

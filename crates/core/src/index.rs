@@ -375,6 +375,24 @@ impl PmLsh {
         &self.params
     }
 
+    /// The Algorithm 2 candidate budget this index verifies before it
+    /// stops: `⌈β·n⌉ + k`, clamped to the live count `n` (a budget beyond
+    /// the live points is exhaustive anyway). Exposed so sharded serving
+    /// layers can prove their per-shard budgets sum to at least the
+    /// monolithic budget — the paper's quality guarantee (§4.4) survives
+    /// partitioning exactly when they do.
+    pub fn candidate_budget(&self, k: usize) -> usize {
+        self.budget_with(self.derived.beta, k)
+    }
+
+    /// `⌈β·n⌉ + k` clamped to the live count, for an explicit `β` (the
+    /// per-query `c` sweeps re-derive β; everything else uses the build
+    /// derivation via [`PmLsh::candidate_budget`]).
+    fn budget_with(&self, beta: f64, k: usize) -> usize {
+        let n = self.len();
+        ((beta * n as f64).ceil() as usize + k).min(n)
+    }
+
     /// The Eq. 10 derivation in effect.
     pub fn derived(&self) -> DerivedParams {
         self.derived
@@ -549,6 +567,63 @@ impl PmLsh {
         ctx: &mut QueryContext,
         out: &mut Vec<Neighbor>,
     ) -> QueryStats {
+        self.query_into_mode(q, k, c, ctx, out, None)
+    }
+
+    /// Algorithm 2 as the per-shard leg of a scatter-gather query: spends
+    /// an explicit candidate `budget` (clamped to the live count) and
+    /// skips the line-4 early termination.
+    ///
+    /// Two things change versus [`PmLsh::query_into`], both because a
+    /// shard holds only a slice of the data:
+    ///
+    /// 1. **No line-4 stop.** Line 4 terminates once the k-th candidate
+    ///    sits within `c·r` — a property of the *final* answer, which no
+    ///    single shard holds. Stopping on the shard-local top-k leaves
+    ///    budget unspent and lets the merged recall fall below the
+    ///    monolithic index's. This leg stops only when the budget is
+    ///    exhausted or the whole tree has been consumed.
+    /// 2. **Caller-supplied budget.** The caller passes the *pooled*
+    ///    budget `⌈β·n_total⌉ + k` computed over all shards. Because the
+    ///    verified set is always a prefix of the projected-distance order,
+    ///    and a point's rank within its shard never exceeds its global
+    ///    rank, every candidate the monolithic index would verify is then
+    ///    verified by some shard — the merged candidate pool is a
+    ///    superset, which makes `recall(sharded) ≥ recall(monolithic)`
+    ///    deterministic rather than statistical.
+    pub fn query_fanout_into(
+        &self,
+        q: &[f32],
+        k: usize,
+        budget: usize,
+        ctx: &mut QueryContext,
+        out: &mut Vec<Neighbor>,
+    ) -> QueryStats {
+        self.query_into_mode(q, k, self.params.c, ctx, out, Some(budget))
+    }
+
+    /// [`PmLsh::query_fanout_into`] returning an owned [`QueryResult`].
+    pub fn query_fanout_with_context(
+        &self,
+        q: &[f32],
+        k: usize,
+        budget: usize,
+        ctx: &mut QueryContext,
+    ) -> QueryResult {
+        let mut neighbors = Vec::new();
+        let stats = self.query_fanout_into(q, k, budget, ctx, &mut neighbors);
+        QueryResult { neighbors, stats }
+    }
+
+    fn query_into_mode(
+        &self,
+        q: &[f32],
+        k: usize,
+        c: f64,
+        ctx: &mut QueryContext,
+        out: &mut Vec<Neighbor>,
+        fanout_budget: Option<usize>,
+    ) -> QueryStats {
         assert_eq!(q.len(), self.data.dim(), "query has wrong dimensionality");
         assert!(k >= 1, "k must be positive");
         assert!(c > 1.0, "approximation ratio must exceed 1");
@@ -566,9 +641,12 @@ impl PmLsh {
         };
 
         // Live count: deletions shrink both the candidate budget and the
-        // radius-selection population.
-        let n = self.len();
-        let budget = ((derived.beta * n as f64).ceil() as usize + k).min(n);
+        // radius-selection population. A fan-out leg spends the pooled
+        // budget its caller computed over all shards instead.
+        let budget = match fanout_budget {
+            Some(b) => b.min(self.len()),
+            None => self.budget_with(derived.beta, k),
+        };
         ctx.qp.resize(self.params.m as usize, 0.0);
         self.projector.project_into(q, &mut ctx.qp);
         let mut cursor = self
@@ -591,8 +669,9 @@ impl PmLsh {
             // within c·r of the query. (Linear domain on purpose: squaring
             // both sides would round differently and could flip the
             // comparison at the boundary, breaking exact parity with the
-            // reference path.)
-            if top.is_full() && (top.kth_dist() as f64) <= c * r {
+            // reference path.) Skipped on the fan-out path, where the local
+            // top-k is not the final answer.
+            if fanout_budget.is_none() && top.is_full() && (top.kth_dist() as f64) <= c * r {
                 break;
             }
             // Pull candidates from the incremental range query B(q', t·r).

@@ -43,6 +43,7 @@ pub mod estimator_study;
 pub mod index;
 pub mod params;
 pub mod reference;
+pub mod shard;
 
 pub use build::BuildOptions;
 pub use context::QueryContext;

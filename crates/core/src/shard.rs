@@ -1,0 +1,162 @@
+//! Shard-aware id mapping and dataset partitioning.
+//!
+//! A sharded deployment splits one logical index across `S` independent
+//! [`PmLsh`](crate::PmLsh) instances. Each shard numbers its own rows
+//! densely from 0 (`local` ids), while clients keep seeing one flat
+//! `global` id space. The two are related by an interleaved bijection:
+//!
+//! ```text
+//! global = local · S + shard        shard = global mod S
+//!                                   local = global div S
+//! ```
+//!
+//! Interleaving — rather than contiguous ranges — has two properties the
+//! serving layer leans on:
+//!
+//! * **Round-robin build parity.** [`partition`] deals rows round-robin,
+//!   so row `i` of the original dataset lands in shard `i mod S` at local
+//!   index `i div S` — which maps back to global id `i`. A freshly built
+//!   sharded index therefore exposes *exactly* the ids a monolithic build
+//!   over the same dataset would, making monolith-vs-sharded parity
+//!   testable id-for-id.
+//! * **Monotone growth without coordination.** Each shard appends locally
+//!   (its next local id is its own row count), and as long as inserts go
+//!   to the shard with the fewest rows, the globally assigned ids continue
+//!   the sequence `n, n+1, n+2, …` — again matching the monolith.
+//!
+//! All helpers are `const`-free plain functions on `u64` intermediates so
+//! the mapping cannot overflow for any `u32` [`PointId`] and shard count.
+
+use pm_lsh_metric::{Dataset, PointId};
+
+/// The shard that owns `global` among `shards` shards.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+pub fn owner(global: PointId, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    (global as u64 % shards as u64) as usize
+}
+
+/// The shard-local id of `global` among `shards` shards.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+pub fn to_local(global: PointId, shards: usize) -> PointId {
+    assert!(shards > 0, "shard count must be positive");
+    (global as u64 / shards as u64) as PointId
+}
+
+/// The global id of `local` on shard `shard` among `shards` shards.
+///
+/// # Panics
+/// Panics when `shards` is zero, `shard >= shards`, or the mapped id
+/// would not fit a [`PointId`].
+pub fn to_global(local: PointId, shard: usize, shards: usize) -> PointId {
+    assert!(shards > 0, "shard count must be positive");
+    assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+    let global = local as u64 * shards as u64 + shard as u64;
+    assert!(
+        global <= PointId::MAX as u64,
+        "global id {global} overflows PointId"
+    );
+    global as PointId
+}
+
+/// Deals the rows of `data` round-robin into `shards` datasets: shard `k`
+/// receives rows `k, k + S, k + 2S, …` in order, so local index `j` on
+/// shard `k` is original row [`to_global`]`(j, k, S)`.
+///
+/// With `shards == 1` this is a plain copy. Shards may differ in size by
+/// at most one row; every shard is non-empty when `data.len() >= shards`.
+///
+/// # Panics
+/// Panics when `shards` is zero.
+pub fn partition(data: &Dataset, shards: usize) -> Vec<Dataset> {
+    assert!(shards > 0, "shard count must be positive");
+    let mut out: Vec<Dataset> = (0..shards)
+        .map(|k| {
+            let rows = data.len() / shards + usize::from(k < data.len() % shards);
+            Dataset::with_capacity(data.dim(), rows)
+        })
+        .collect();
+    for (i, row) in data.iter().enumerate() {
+        out[i % shards].push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_a_bijection() {
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            for global in 0u32..2_000 {
+                let s = owner(global, shards);
+                let l = to_local(global, shards);
+                assert!(s < shards);
+                assert_eq!(to_global(l, s, shards), global);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_from_local_side() {
+        for shards in [1usize, 2, 5, 8] {
+            for shard in 0..shards {
+                for local in 0u32..500 {
+                    let g = to_global(local, shard, shards);
+                    assert_eq!(owner(g, shards), shard);
+                    assert_eq!(to_local(g, shards), local);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_survives_large_ids() {
+        let shards = 16usize;
+        let local = (PointId::MAX / 16) - 1;
+        let g = to_global(local, 15, shards);
+        assert_eq!(owner(g, shards), 15);
+        assert_eq!(to_local(g, shards), local);
+    }
+
+    #[test]
+    fn partition_deals_round_robin() {
+        let data = Dataset::from_rows((0..11).map(|i| vec![i as f32, -1.0]).collect());
+        for shards in [1usize, 2, 3, 4] {
+            let parts = partition(&data, shards);
+            assert_eq!(parts.len(), shards);
+            assert_eq!(parts.iter().map(Dataset::len).sum::<usize>(), data.len());
+            for (k, part) in parts.iter().enumerate() {
+                for (j, row) in part.iter().enumerate() {
+                    let original = to_global(j as PointId, k, shards) as usize;
+                    assert_eq!(row, data.point(original), "shard {k} local {j}");
+                }
+            }
+            // Balanced to within one row.
+            let min = parts.iter().map(Dataset::len).min().unwrap();
+            let max = parts.iter().map(Dataset::len).max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn partition_of_fewer_rows_than_shards_leaves_empty_tails() {
+        let data = Dataset::from_rows(vec![vec![1.0f32], vec![2.0]]);
+        let parts = partition(&data, 4);
+        assert_eq!(
+            parts.iter().map(Dataset::len).collect::<Vec<_>>(),
+            vec![1, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_panics() {
+        owner(3, 0);
+    }
+}

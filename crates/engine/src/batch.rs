@@ -23,6 +23,9 @@ pub(crate) struct Request {
     pub snapshot: Arc<PmLsh>,
     pub query: Vec<f32>,
     pub k: usize,
+    /// Per-shard leg of a scatter-gather query (see
+    /// [`QueryJob::fanout_budget`]).
+    pub fanout_budget: Option<usize>,
     pub enqueued: Instant,
     pub reply: Sender<(usize, QueryResult)>,
 }
@@ -108,6 +111,7 @@ fn collector_loop(
                 snapshot: request.snapshot,
                 query: request.query,
                 k: request.k,
+                fanout_budget: request.fanout_budget,
                 enqueued: request.enqueued,
                 reply: request.reply,
             })

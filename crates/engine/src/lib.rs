@@ -86,11 +86,13 @@ mod batch;
 mod pool;
 pub mod router;
 pub mod server;
+pub mod sharded;
 mod snapshot;
 mod stats;
 
 pub use router::{Router, RouterError};
 pub use server::{serve, serve_router, DrainReport, ServerConfig, ServerHandle};
+pub use sharded::ShardedEngine;
 pub use stats::EngineStats;
 
 use crate::batch::{BatchQueue, Request};
@@ -274,6 +276,7 @@ impl Engine {
             } else {
                 100
             },
+            shards: 1,
         }
     }
 
@@ -434,6 +437,7 @@ impl Engine {
             snapshot,
             query: q.to_vec(),
             k,
+            fanout_budget: None,
             enqueued: Instant::now(),
             reply,
         });
@@ -478,6 +482,7 @@ impl Engine {
                 snapshot: Arc::clone(&snapshot),
                 query: q.as_ref().to_vec(),
                 k,
+                fanout_budget: None,
                 enqueued,
                 reply: reply.clone(),
             })
@@ -766,15 +771,18 @@ pub struct IndexInfo {
     /// (the same fact as `reindexing`, in the wire protocol's vocabulary).
     pub state: &'static str,
     /// Coarse progress percentage: 100 while serving, the rebuild's
-    /// phase-boundary gauge while building.
+    /// phase-boundary gauge while building (the slowest shard's gauge
+    /// when sharded).
     pub pct: u8,
+    /// Shards serving this logical index (1 for a monolithic engine).
+    pub shards: usize,
 }
 
 impl std::fmt::Display for IndexInfo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "points={} dim={} m={} c={} epoch={} reindexing={} state={} pct={}",
+            "points={} dim={} m={} c={} epoch={} reindexing={} state={} pct={} shards={}",
             self.points,
             self.dim,
             self.m,
@@ -782,7 +790,8 @@ impl std::fmt::Display for IndexInfo {
             self.epoch,
             self.reindexing,
             self.state,
-            self.pct
+            self.pct,
+            self.shards
         )
     }
 }
@@ -799,6 +808,7 @@ const _: () = {
     assert_send_sync::<QueryResult>();
     assert_send_sync::<QueryStats>();
     assert_send_sync::<Engine>();
+    assert_send_sync::<ShardedEngine>();
     assert_send_sync::<EngineStats>();
     assert_send_sync::<ServerHandle>();
     assert_send_sync::<IndexInfo>();

@@ -41,6 +41,12 @@ pub(crate) struct QueryJob {
     pub query: Vec<f32>,
     /// Neighbors requested.
     pub k: usize,
+    /// `Some(pooled_budget)` when this job is one shard's leg of a
+    /// scatter-gather query: the worker answers it with
+    /// [`PmLsh::query_fanout_with_context`], which spends the pooled
+    /// candidate budget instead of stopping at the local (non-final)
+    /// top-k.
+    pub fanout_budget: Option<usize>,
     /// When the request entered the engine; latency is measured from here.
     pub enqueued: Instant,
     /// Where the worker sends `(slot, result)`.
@@ -145,7 +151,12 @@ fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
                 if job.query.first() == Some(&CRASH_TEST_SENTINEL) {
                     panic!("injected worker panic (test only)");
                 }
-                job.snapshot.query_with_context(&job.query, job.k, &mut ctx)
+                match job.fanout_budget {
+                    Some(budget) => job
+                        .snapshot
+                        .query_fanout_with_context(&job.query, job.k, budget, &mut ctx),
+                    None => job.snapshot.query_with_context(&job.query, job.k, &mut ctx),
+                }
             }));
             match outcome {
                 Ok(result) => {

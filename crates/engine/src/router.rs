@@ -1,11 +1,15 @@
-//! Multi-index routing: a named map of [`Engine`]s served by one process.
+//! Multi-index routing: a named map of [`ShardedEngine`]s served by one
+//! process.
 //!
 //! PR 1–3 made one process serve exactly one dataset; the router lifts
 //! that to several. It is the same snapshot-cell idea one level up: the
 //! engines themselves are immutable-snapshot machines, and the router is
 //! the single mutable slot saying *which engines exist* — a
-//! `RwLock<HashMap<String, Engine>>` read once per routed command, never
-//! on the per-query hot path inside an engine.
+//! `RwLock<HashMap<String, ShardedEngine>>` read once per routed
+//! command, never on the per-query hot path inside an engine. Every
+//! attached entry is a [`ShardedEngine`]; a plain [`crate::Engine`]
+//! attaches as a single-shard one (`impl Into<ShardedEngine>`), so the
+//! monolithic call sites read unchanged.
 //!
 //! The TCP layer resolves a connection's *current* index name through
 //! [`Router::get`] on every routed verb, so an [`Router::attach`] or
@@ -21,14 +25,14 @@
 //! start on; detaching it promotes the lexicographically smallest
 //! remaining name (or clears the default when the router empties).
 
-use crate::Engine;
+use crate::ShardedEngine;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Longest accepted index name (a wire-protocol token).
 pub const MAX_INDEX_NAME_LEN: usize = 64;
 
-/// A cheaply clonable, thread-safe map of named [`Engine`]s.
+/// A cheaply clonable, thread-safe map of named [`ShardedEngine`]s.
 ///
 /// All clones share one underlying map; the TCP accept loop hands a clone
 /// to every connection handler.
@@ -39,7 +43,7 @@ pub struct Router {
 
 #[derive(Default)]
 struct RouterInner {
-    indexes: RwLock<HashMap<String, Engine>>,
+    indexes: RwLock<HashMap<String, ShardedEngine>>,
     /// Name new connections start on. Set by the first attach, repointed
     /// to the smallest remaining name when its index is detached.
     default: Mutex<Option<String>>,
@@ -53,7 +57,7 @@ impl Router {
     }
 
     /// A router pre-loaded with one engine, which becomes the default.
-    pub fn with_engine(name: &str, engine: Engine) -> Result<Self, RouterError> {
+    pub fn with_engine(name: &str, engine: impl Into<ShardedEngine>) -> Result<Self, RouterError> {
         let router = Self::new();
         router.attach(name, engine)?;
         Ok(router)
@@ -76,8 +80,9 @@ impl Router {
 
     /// Attaches `engine` under `name`. The first attach sets the default
     /// index new connections start on.
-    pub fn attach(&self, name: &str, engine: Engine) -> Result<(), RouterError> {
+    pub fn attach(&self, name: &str, engine: impl Into<ShardedEngine>) -> Result<(), RouterError> {
         Self::validate_name(name)?;
+        let engine = engine.into();
         let mut indexes = self.inner.indexes.write().expect("router lock poisoned");
         if indexes.contains_key(name) {
             return Err(RouterError::DuplicateIndex(name.to_string()));
@@ -95,7 +100,7 @@ impl Router {
     /// was `name` get `ERR index ... is not attached` on their next
     /// routed command. Detaching the default promotes the smallest
     /// remaining name.
-    pub fn detach(&self, name: &str) -> Result<Engine, RouterError> {
+    pub fn detach(&self, name: &str) -> Result<ShardedEngine, RouterError> {
         let mut indexes = self.inner.indexes.write().expect("router lock poisoned");
         let engine = indexes
             .remove(name)
@@ -108,7 +113,7 @@ impl Router {
     }
 
     /// A clone of the engine under `name`, if attached.
-    pub fn get(&self, name: &str) -> Option<Engine> {
+    pub fn get(&self, name: &str) -> Option<ShardedEngine> {
         self.inner
             .indexes
             .read()
@@ -196,7 +201,7 @@ impl std::error::Error for RouterError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::EngineConfig;
+    use crate::{Engine, EngineConfig};
     use pm_lsh_core::{PmLsh, PmLshParams};
     use pm_lsh_metric::Dataset;
 

@@ -11,7 +11,7 @@
 //! QUERY <k> <v1> ... <vd>  ->  OK <id>:<dist>,<id>:<dist>,...
 //! PING                     ->  PONG
 //! STATS                    ->  STATS index=<name> <EngineStats as one line>
-//! INDEXINFO                ->  INDEXINFO name=<name> points=... dim=... m=... c=... epoch=... reindexing=... state=... pct=...
+//! INDEXINFO                ->  INDEXINFO name=<name> points=... dim=... m=... c=... epoch=... reindexing=... state=... pct=... shards=...
 //! LISTINDEXES              ->  INDEXES <name1>,<name2>,...   (sorted; bare "INDEXES" when empty)
 //! USE <name>               ->  OK using <name>
 //! AUTH <token>             ->  OK authenticated
@@ -37,8 +37,10 @@
 //!
 //! `ATTACH` auto-detects the file format: a `.pmlsh` snapshot (by magic
 //! bytes — see `pm-lsh-persist`) is loaded directly and serves within
-//! milliseconds with its saved parameters; fvecs/csv datasets are built
-//! from scratch with [`ServerConfig::attach_params`].
+//! milliseconds with its saved parameters; a sharded manifest (also by
+//! magic bytes) restores the whole shard set as one [`ShardedEngine`];
+//! fvecs/csv datasets are built from scratch with
+//! [`ServerConfig::attach_params`].
 //! `INSERT`/`DELETE` publish a fresh snapshot per call (each bumps the
 //! `INDEXINFO` epoch); a `QUERY` after an `OK` reply observes the
 //! mutation.
@@ -75,7 +77,7 @@
 //! which is how the loopback tests run without port clashes.
 
 use crate::router::Router;
-use crate::{Engine, EngineConfig, QueryError};
+use crate::{Engine, EngineConfig, QueryError, ShardedEngine};
 use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -233,7 +235,12 @@ impl Drop for ServerHandle {
 
 /// Serves a single engine under the index name `"default"` with a default
 /// [`ServerConfig`] — the one-dataset convenience over [`serve_router`].
-pub fn serve(engine: Engine, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+/// Accepts a plain [`Engine`] (serving it as a single shard) or a
+/// [`ShardedEngine`].
+pub fn serve(
+    engine: impl Into<ShardedEngine>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<ServerHandle> {
     let router = Router::with_engine("default", engine)
         .expect("'default' is a valid index name for a fresh router");
     serve_router(router, addr, ServerConfig::default())
@@ -501,9 +508,9 @@ struct ConnState {
 
 impl ConnState {
     /// Points this connection at `engine` under `name` (or at nothing).
-    fn select(&mut self, name: Option<String>, engine: Option<&Engine>) {
+    fn select(&mut self, name: Option<String>, engine: Option<&ShardedEngine>) {
         self.index = name;
-        self.dim = engine.map_or(0, |engine| engine.index().data().dim());
+        self.dim = engine.map_or(0, ShardedEngine::dim);
         // A legitimate line is `QUERY <k> <v1..vd>`: ~32 bytes per float
         // is generous; the 512-byte floor leaves room for ATTACH/REINDEX
         // paths even at tiny dimensionalities (and with no index selected
@@ -676,7 +683,7 @@ fn respond(line: &str, shared: &Shared, conn: &mut ConnState) -> Response {
 
 /// Resolves the connection's current index to a live engine, or the `ERR`
 /// line explaining why it cannot.
-fn current_engine(shared: &Shared, conn: &ConnState) -> Result<(String, Engine), String> {
+fn current_engine(shared: &Shared, conn: &ConnState) -> Result<(String, ShardedEngine), String> {
     let Some(name) = conn.index.as_deref() else {
         return Err("ERR no index attached (ATTACH one, then USE it)".to_string());
     };
@@ -784,6 +791,26 @@ fn answer_attach<'a>(
     if shared.router.get(name).is_some() {
         return format!("ERR an index named '{name}' is already attached");
     }
+    // A sharded manifest (detected by magic bytes, not extension)
+    // restores every shard file it names and serves them as one
+    // scatter-gather engine — the set a wire `SAVE` of a sharded index
+    // wrote.
+    if pm_lsh_persist::is_manifest_file(path) {
+        let start = Instant::now();
+        let engine = match pm_lsh_persist::load_sharded(path) {
+            Ok(shards) => ShardedEngine::from_indexes(shards, shared.config.attach_engine_config),
+            Err(e) => return format!("ERR reading {path}: {e}"),
+        };
+        let points = engine.len();
+        let dim = engine.dim();
+        return match shared.router.attach(name, engine) {
+            Ok(()) => format!(
+                "OK attached {name} points={points} dim={dim} secs={:.3}",
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => format!("ERR {e}"),
+        };
+    }
     // A `.pmlsh` snapshot (detected by magic bytes, not extension) skips
     // the build entirely: the index inside is already constructed, with
     // its own saved parameters, and serves as soon as it deserializes.
@@ -888,7 +915,7 @@ fn answer_reindex<'a>(
     // Keep the serving parameters; only the dataset changes. The build
     // runs on the reindex thread, so this connection blocks while every
     // other connection keeps being served.
-    let params = *engine.index().params();
+    let params = engine.params();
     match engine.reindex(data, params, BuildOptions::all_cores()) {
         Ok(report) => format!(
             "OK index={name} epoch={} points={} secs={:.3}",

@@ -1,0 +1,587 @@
+//! Sharded scatter-gather serving: `S` independent [`Engine`]s behind the
+//! monolithic engine's API.
+//!
+//! A [`ShardedEngine`] deals the dataset round-robin into `S` shards
+//! (`pm_lsh_core::shard::partition`), builds one [`PmLsh`] per shard, and
+//! gives every shard its own snapshot cell, worker pool and micro-batcher
+//! — an [`Engine`] each. The pay-off over one monolithic engine:
+//!
+//! * **Build parallelism beyond the pivot regions.** The bulk loader's
+//!   concurrency is bounded by the `s ≈ 5` pivot regions; `S` shards
+//!   build `S` trees concurrently on top of that.
+//! * **O(n/S) mutations.** Copy-on-write publication clones only the
+//!   owning shard, so a single `INSERT`/`DELETE` pays `O(n/S)` instead of
+//!   `O(n)`.
+//!
+//! # Scatter-gather and the βn + k budget
+//!
+//! [`ShardedEngine::query`] fans the query to every shard concurrently
+//! (one pinned snapshot and one micro-batched request per shard), then
+//! merges the `S` top-k answers through one [`TopK`] heap — `Neighbor`
+//! orders by `(dist, id)`, so the merge is a deterministic total order.
+//! Each fan-out leg runs Algorithm 2 *without* the line-4 early stop
+//! (that test compares the final top-k against `c·r`, and no single
+//! shard holds the final top-k) and spends the *pooled* budget
+//! `B = min(⌈β·n⌉ + k, n)` computed over the total live count, clamped
+//! to the shard's own size — see [`PmLsh::query_fanout_into`]. Because a
+//! verified set is always a prefix of the projected-distance order, and
+//! a point's rank within its shard never exceeds its global rank, every
+//! candidate the monolithic engine verifies is verified by some shard:
+//! the merged candidate pool is a superset of the monolith's, the
+//! per-shard budgets sum to `Σ_s min(B, n_s) ≥ B = ⌈β·n⌉ + k`, and
+//! `recall(sharded) ≥ recall(monolithic)` holds *deterministically*, not
+//! just in expectation — the paper's §4.4 quality guarantee survives
+//! partitioning. The price is aggregate verification work (up to `S·B`
+//! candidates instead of `B`), spent on `S` trees of `n/S` points in
+//! parallel, which is the classic scatter-gather latency-for-throughput
+//! trade.
+//!
+//! # Global ids
+//!
+//! Clients see one flat id space; shards number rows locally. The two are
+//! related by the interleaved bijection in [`pm_lsh_core::shard`]
+//! (`global = local·S + shard`), and inserts go to the shard with the
+//! fewest stored rows (ties to the lowest shard index), which keeps the
+//! globally visible id sequence *identical* to a monolithic engine's —
+//! freshly built or mid-churn. The equivalence harness in
+//! `tests/sharded_parity.rs` and `tests/sharded_model.rs` holds a
+//! monolithic twin to exactly that standard.
+//!
+//! With `S == 1` every entry point delegates to the single inner engine
+//! (the id mapping degenerates to the identity), so a `ShardedEngine` of
+//! one shard is bit-for-bit the monolithic engine.
+
+use crate::batch::Request;
+use crate::pool::QueryJob;
+use crate::{
+    panic_for_query_error, try_validate, Engine, EngineConfig, IndexInfo, MutationError,
+    MutationReport, QueryError, ReindexError, ReindexReport, ReindexTicket,
+};
+use pm_lsh_core::shard::{owner, partition, to_global, to_local};
+use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
+use pm_lsh_metric::{Dataset, Neighbor, PointId, TopK};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `S` independent [`Engine`]s serving one logical index — see the
+/// module docs for the partitioning, budget and id-mapping story.
+///
+/// Cloning is cheap and shares every shard's pool, queue and statistics,
+/// exactly like cloning an [`Engine`].
+#[derive(Clone)]
+pub struct ShardedEngine {
+    shards: Vec<Engine>,
+}
+
+impl From<Engine> for ShardedEngine {
+    fn from(engine: Engine) -> Self {
+        Self {
+            shards: vec![engine],
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Partitions `data` round-robin into `shards` shards, builds one
+    /// [`PmLsh`] per shard (each with `params` and `opts`), and spins up
+    /// one [`Engine`] per shard with `config`.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or `data` holds fewer points than
+    /// `shards` (every shard must serve a non-empty index).
+    pub fn build(
+        data: &Dataset,
+        params: PmLshParams,
+        opts: BuildOptions,
+        shards: usize,
+        config: EngineConfig,
+    ) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(
+            data.len() >= shards,
+            "{} points cannot populate {shards} shards",
+            data.len()
+        );
+        // One OS thread per shard: the builds are independent and
+        // deterministic, so concurrency changes wall-clock only — this is
+        // the "build parallelism beyond the pivot regions" the module
+        // docs promise. `opts` still governs intra-shard threading.
+        let indexes: Vec<PmLsh> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition(data, shards)
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || PmLsh::build_with_opts(Arc::new(part), params, opts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build panicked"))
+                .collect()
+        });
+        Self::from_indexes(indexes, config)
+    }
+
+    /// Wraps pre-built per-shard indexes (the `.pmlsh` manifest load
+    /// path) into engines; shard order is id-significant and must match
+    /// the order they were built or saved in.
+    ///
+    /// # Panics
+    /// Panics when `indexes` is empty.
+    pub fn from_indexes(indexes: Vec<PmLsh>, config: EngineConfig) -> Self {
+        assert!(!indexes.is_empty(), "a sharded engine needs >= 1 shard");
+        Self {
+            shards: indexes
+                .into_iter()
+                .map(|index| Engine::new(index, config))
+                .collect(),
+        }
+    }
+
+    /// Wraps already-running engines as shards (shard order is
+    /// id-significant).
+    ///
+    /// # Panics
+    /// Panics when `engines` is empty.
+    pub fn from_engines(engines: Vec<Engine>) -> Self {
+        assert!(!engines.is_empty(), "a sharded engine needs >= 1 shard");
+        Self { shards: engines }
+    }
+
+    /// Number of shards `S`.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard engines, in id order (shard `s` owns global ids
+    /// `≡ s (mod S)`). Exposed for the parity/invariant test harness.
+    pub fn shards(&self) -> &[Engine] {
+        &self.shards
+    }
+
+    /// Original-space dimensionality served by every shard.
+    pub fn dim(&self) -> usize {
+        self.shards[0].index().data().dim()
+    }
+
+    /// The PM-LSH parameters the shards were built with (identical across
+    /// shards by construction).
+    pub fn params(&self) -> PmLshParams {
+        *self.shards[0].index().params()
+    }
+
+    /// Live points across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.index().len()).sum()
+    }
+
+    /// `false` — a served index is non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The logical snapshot generation: the *sum* of the shard epochs.
+    /// Every single-point mutation bumps exactly one shard (+1) and a
+    /// reindex bumps every shard (+S), so the sum is monotone and starts
+    /// at 0, like the monolithic epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(Engine::epoch).sum()
+    }
+
+    /// Summed Algorithm 2 candidate budget across shards for one query —
+    /// `Σ_s min(B, n_s)` with the pooled `B = min(⌈β·n⌉ + k, n)` every
+    /// fan-out leg spends, which the parity harness proves is at least
+    /// the monolithic `⌈β·n⌉ + k` (see the module docs).
+    pub fn candidate_budget(&self, k: usize) -> usize {
+        if self.shards.len() == 1 {
+            return self.shards[0].index().candidate_budget(k);
+        }
+        let snaps: Vec<Arc<PmLsh>> = self.shards.iter().map(|s| s.index()).collect();
+        let total: usize = snaps.iter().map(|s| s.len()).sum();
+        let budget = pooled_budget(&snaps, total, k.min(total));
+        snaps.iter().map(|s| budget.min(s.len())).sum()
+    }
+
+    /// A summary of the served state (the TCP `INDEXINFO` payload):
+    /// points, epoch and budget-relevant counts summed over shards,
+    /// parameters from shard 0 (identical everywhere), `reindexing` true
+    /// while *any* shard rebuilds, `pct` the slowest shard's gauge.
+    pub fn info(&self) -> IndexInfo {
+        let mut merged = self.shards[0].info();
+        merged.shards = self.shards.len();
+        for shard in &self.shards[1..] {
+            let info = shard.info();
+            merged.points += info.points;
+            merged.epoch += info.epoch;
+            merged.reindexing |= info.reindexing;
+            merged.pct = merged.pct.min(info.pct);
+        }
+        if merged.reindexing {
+            merged.state = "building";
+        }
+        merged
+    }
+
+    /// Merged serving statistics. Logical query counts and latency come
+    /// from shard 0 — every scatter-gather query visits every shard, so
+    /// shard 0 sees each logical query exactly once — while the summed
+    /// per-query execution counters and micro-batch counts aggregate over
+    /// all shards (that is where the work actually happened).
+    pub fn stats(&self) -> crate::EngineStats {
+        let mut merged = self.shards[0].stats();
+        for shard in &self.shards[1..] {
+            let s = shard.stats();
+            merged.query_stats.merge(&s.query_stats);
+            merged.batches += s.batches;
+            merged.p50_ms = merged.p50_ms.max(s.p50_ms);
+            merged.p99_ms = merged.p99_ms.max(s.p99_ms);
+        }
+        merged
+    }
+
+    /// Scatter-gather `(c, k)`-ANN: fans the query to every shard's
+    /// micro-batcher concurrently, merges the `S` answers through one
+    /// [`TopK`], and maps shard-local ids back to global ids. Results and
+    /// failure modes mirror [`Engine::try_query`]; with one shard this
+    /// *is* [`Engine::try_query`].
+    pub fn try_query(&self, q: &[f32], k: usize) -> Result<QueryResult, QueryError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].try_query(q, k);
+        }
+        // Pin one snapshot per shard up front: the whole fan-out answers
+        // against a consistent set even if mutations land mid-query.
+        let snaps: Vec<Arc<PmLsh>> = self.shards.iter().map(|s| s.index()).collect();
+        try_validate(&snaps[0], q, k)?;
+        let total_live: usize = snaps.iter().map(|s| s.len()).sum();
+        let k = k.min(total_live);
+        let budget = pooled_budget(&snaps, total_live, k);
+
+        // Scatter: enqueue on every shard before receiving from any, so
+        // the shards execute concurrently; one reply channel per shard
+        // keeps the shard attribution the local→global mapping needs.
+        let receivers: Vec<_> = self
+            .shards
+            .iter()
+            .zip(&snaps)
+            .map(|(shard, snap)| {
+                let (reply, receive) = channel();
+                // Engine's fields are crate-visible: this enqueues on the
+                // shard's own micro-batcher, exactly like Engine::try_query.
+                // Fan-out leg: the shard spends the pooled budget so the
+                // merged candidate pool is a superset of the monolith's
+                // (see `PmLsh::query_fanout_into` for the rank argument).
+                shard.queue.enqueue(Request {
+                    snapshot: Arc::clone(snap),
+                    query: q.to_vec(),
+                    k: k.min(snap.len()),
+                    fanout_budget: Some(budget),
+                    enqueued: Instant::now(),
+                    reply,
+                });
+                receive
+            })
+            .collect();
+
+        // Gather: merge through one heap. Neighbor orders by (dist, id)
+        // and global ids are unique across shards, so the merged top-k is
+        // a deterministic total order regardless of arrival order.
+        let shards = self.shards.len();
+        let mut top = TopK::new(k);
+        let mut stats = QueryStats::default();
+        for (s, receive) in receivers.into_iter().enumerate() {
+            // A dropped sender means that shard's worker panicked; the
+            // whole logical query reports Internal, like the monolith.
+            let (_slot, result) = receive.recv().map_err(|_| QueryError::Internal)?;
+            stats.merge(&result.stats);
+            for n in &result.neighbors {
+                top.push(n.dist, to_global(n.id, s, shards));
+            }
+        }
+        Ok(QueryResult {
+            neighbors: top.into_sorted_vec(),
+            stats,
+        })
+    }
+
+    /// The panicking [`ShardedEngine::try_query`], mirroring
+    /// [`Engine::query`].
+    ///
+    /// # Panics
+    /// On a dimension mismatch, a non-finite query component, or `k == 0`.
+    pub fn query(&self, q: &[f32], k: usize) -> QueryResult {
+        self.try_query(q, k)
+            .unwrap_or_else(|e| panic_for_query_error(e))
+    }
+
+    /// Scatter-gather batch: every query is fanned to every shard's
+    /// worker pool (bypassing the micro-batcher — a batch already is a
+    /// batch), answers are merged per query, and input order is
+    /// preserved. Mirrors [`Engine::query_batch`], panics included.
+    ///
+    /// # Panics
+    /// On a dimension mismatch, a non-finite query component, or `k == 0`.
+    pub fn query_batch(&self, queries: &[impl AsRef<[f32]>], k: usize) -> Vec<QueryResult> {
+        if self.shards.len() == 1 {
+            return self.shards[0].query_batch(queries, k);
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let snaps: Vec<Arc<PmLsh>> = self.shards.iter().map(|s| s.index()).collect();
+        for q in queries {
+            if let Err(e) = try_validate(&snaps[0], q.as_ref(), k) {
+                panic_for_query_error(e);
+            }
+        }
+        let total_live: usize = snaps.iter().map(|s| s.len()).sum();
+        let k = k.min(total_live);
+        let budget = pooled_budget(&snaps, total_live, k);
+        let shards = self.shards.len();
+        let enqueued = Instant::now();
+        let (reply, receive) = channel();
+        // slot = query_index · S + shard encodes both coordinates the
+        // gather side needs through the pool's one usize slot.
+        for (s, (shard, snap)) in self.shards.iter().zip(&snaps).enumerate() {
+            let jobs: Vec<QueryJob> = queries
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| QueryJob {
+                    slot: qi * shards + s,
+                    snapshot: Arc::clone(snap),
+                    query: q.as_ref().to_vec(),
+                    k: k.min(snap.len()),
+                    fanout_budget: Some(budget),
+                    enqueued,
+                    reply: reply.clone(),
+                })
+                .collect();
+            shard.pool.submit_sharded(jobs);
+        }
+        drop(reply);
+
+        let mut tops: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+        let mut stats: Vec<QueryStats> = vec![QueryStats::default(); queries.len()];
+        for _ in 0..queries.len() * shards {
+            let (slot, result) = receive
+                .recv()
+                .expect("query execution panicked in the engine worker pool");
+            let (qi, s) = (slot / shards, slot % shards);
+            stats[qi].merge(&result.stats);
+            for n in &result.neighbors {
+                tops[qi].push(n.dist, to_global(n.id, s, shards));
+            }
+        }
+        tops.into_iter()
+            .zip(stats)
+            .map(|(top, stats)| QueryResult {
+                neighbors: top.into_sorted_vec(),
+                stats,
+            })
+            .collect()
+    }
+
+    /// Scatter-gather `(r, c)`-ball-cover (Algorithm 1): every shard
+    /// answers on the calling thread against its pinned snapshot, and the
+    /// closest hit (ties to the lowest global id) wins. Each shard spends
+    /// its own `⌈β·n_s⌉ + 1` candidate cap, so the summed work mirrors
+    /// the monolithic `⌈β·n⌉ + 1` bound the same way `query` does.
+    pub fn query_bc(&self, q: &[f32], r: f64) -> Option<Neighbor> {
+        let shards = self.shards.len();
+        if shards == 1 {
+            return self.shards[0].index().query_bc(q, r);
+        }
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, shard)| {
+                shard.index().query_bc(q, r).map(|n| Neighbor {
+                    dist: n.dist,
+                    id: to_global(n.id, s, shards),
+                })
+            })
+            .min()
+    }
+
+    /// Inserts one point into the shard with the fewest stored rows (ties
+    /// to the lowest shard index) and reports the *global* id — a
+    /// placement rule that keeps the assigned id sequence identical to a
+    /// monolithic engine's (see the module docs). The copy-on-write clone
+    /// touches only that shard: O(n/S).
+    ///
+    /// `points` and `epoch` in the report aggregate over all shards, like
+    /// [`ShardedEngine::info`].
+    pub fn insert(&self, point: &[f32]) -> Result<MutationReport, MutationError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].insert(point);
+        }
+        let target = self
+            .shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, shard)| shard.index().data().len())
+            .map(|(s, _)| s)
+            .expect("a sharded engine holds >= 1 shard");
+        let report = self.shards[target].insert(point)?;
+        Ok(self.globalize(
+            target,
+            report,
+            to_global(report.id, target, self.shards.len()),
+        ))
+    }
+
+    /// Deletes the point with *global* id `id` by routing to its owning
+    /// shard (`id mod S`); the clone is O(n/S). A shard's last live point
+    /// cannot be deleted ([`MutationError::WouldEmptyIndex`]) — with ids
+    /// dealt round-robin a shard only runs that low when the whole index
+    /// is nearly empty.
+    pub fn delete(&self, id: PointId) -> Result<MutationReport, MutationError> {
+        let shards = self.shards.len();
+        if shards == 1 {
+            return self.shards[0].delete(id);
+        }
+        let target = owner(id, shards);
+        let report = self.shards[target]
+            .delete(to_local(id, shards))
+            .map_err(|e| match e {
+                // The shard speaks local ids; the caller sent a global one.
+                MutationError::UnknownId(_) => MutationError::UnknownId(id),
+                other => other,
+            })?;
+        Ok(self.globalize(target, report, id))
+    }
+
+    /// Rewrites a shard-local mutation report in global terms: the mapped
+    /// id, the shard-summed epoch and the shard-summed live count.
+    fn globalize(&self, target: usize, report: MutationReport, id: PointId) -> MutationReport {
+        let mut points = report.points;
+        let mut epoch = report.epoch;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if s != target {
+                points += shard.index().len();
+                epoch += shard.epoch();
+            }
+        }
+        MutationReport { id, epoch, points }
+    }
+
+    /// Rebuilds every shard over a fresh round-robin partition of `data`
+    /// on background threads and returns once every shard has swapped —
+    /// the sharded [`Engine::reindex`]. Queries keep flowing throughout;
+    /// a query that lands mid-swap may see a mix of old and new shards
+    /// for one fan-out (each shard swap is individually atomic).
+    ///
+    /// In addition to the monolithic validations, `data` must hold at
+    /// least `S` points ([`ReindexError::EmptyDataset`] otherwise — every
+    /// shard must stay non-empty).
+    pub fn reindex(
+        &self,
+        data: impl Into<Arc<Dataset>>,
+        params: PmLshParams,
+        opts: BuildOptions,
+    ) -> Result<ReindexReport, ReindexError> {
+        let data = data.into();
+        if self.shards.len() == 1 {
+            return self.shards[0].reindex(data, params, opts);
+        }
+        // Validate the whole dataset first so the caller sees exactly the
+        // monolithic engine's errors, then the shard-count floor.
+        if data.is_empty() || data.len() < self.shards.len() {
+            return Err(ReindexError::EmptyDataset);
+        }
+        let served_dim = self.dim();
+        if data.dim() != served_dim {
+            return Err(ReindexError::DimensionMismatch {
+                served: served_dim,
+                offered: data.dim(),
+            });
+        }
+        if crate::validate_points(data.as_flat()).is_err() {
+            return Err(ReindexError::NonFiniteData);
+        }
+        let mut tickets: Vec<ReindexTicket> = Vec::with_capacity(self.shards.len());
+        let mut failure: Option<ReindexError> = None;
+        for (shard, part) in self.shards.iter().zip(partition(&data, self.shards.len())) {
+            match shard.begin_reindex(part, params, opts) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(e) => {
+                    // Shards that already started still complete and swap;
+                    // drain them before reporting so the error leaves no
+                    // rebuild running behind the caller's back.
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let mut report = ReindexReport {
+            epoch: 0,
+            points: 0,
+            build_secs: 0.0,
+        };
+        for ticket in tickets {
+            let r = ticket.wait();
+            report.epoch += r.epoch;
+            report.points += r.points;
+            report.build_secs = report.build_secs.max(r.build_secs);
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Atomically snapshots the served state to disk. One shard writes
+    /// the plain single-file `.pmlsh` format; `S > 1` writes one
+    /// `.pmlsh` file per shard plus a checksummed manifest at `path`
+    /// (`pm_lsh_persist::save_sharded`), which `ATTACH` and the CLI
+    /// restore as a whole set. Every shard snapshot is pinned up front,
+    /// so the saved set is one consistent fan-out view.
+    pub fn save(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<pm_lsh_persist::SaveReport, pm_lsh_persist::PersistError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].save(path);
+        }
+        let snaps: Vec<Arc<PmLsh>> = self.shards.iter().map(|s| s.index()).collect();
+        pm_lsh_persist::save_sharded(&snaps, path)
+    }
+
+    /// Restores a [`ShardedEngine`] from `path`: a sharded manifest
+    /// (written by [`ShardedEngine::save`] at `S > 1`) restores the whole
+    /// set; a plain `.pmlsh` file restores a single shard.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        config: EngineConfig,
+    ) -> Result<Self, pm_lsh_persist::PersistError> {
+        let path = path.as_ref();
+        if pm_lsh_persist::is_manifest_file(path) {
+            Ok(Self::from_indexes(
+                pm_lsh_persist::load_sharded(path)?,
+                config,
+            ))
+        } else {
+            Ok(Engine::new(pm_lsh_persist::load(path)?, config).into())
+        }
+    }
+}
+
+/// The monolithic Algorithm 2 budget `min(⌈β·n⌉ + k, total)` computed
+/// over the whole shard set's `total` live points — what every fan-out
+/// leg spends (clamped to its own live count), so the merged candidate
+/// pool provably covers the monolith's. Mirrors
+/// `PmLsh::candidate_budget` term for term; β is identical across shards
+/// by construction.
+fn pooled_budget(snaps: &[Arc<PmLsh>], total: usize, k: usize) -> usize {
+    let beta = snaps[0].derived().beta;
+    ((beta * total as f64).ceil() as usize + k).min(total)
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("points", &self.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}

@@ -713,3 +713,71 @@ fn shutdown_stops_accepting() {
         assert_eq!(n, 0, "server answered '{}' after shutdown", response.trim());
     }
 }
+
+/// Satellite of the sharded engine: a scatter-gather query already
+/// fanned out across `S = 4` shards when `shutdown_within` fires must
+/// complete every leg, merge, and deliver its full `OK` reply intact —
+/// the drain counts a logical query as in-flight until the *gather* is
+/// done, not any single shard's leg.
+#[test]
+fn drain_completes_inflight_scatter_gather_query() {
+    let data = blob(800, 16, 52);
+    let q = data.point(5).to_vec();
+    // The same wide-open micro-batch window as the monolithic drain
+    // test, but per shard: each of the four fan-out legs parks in its
+    // own shard's batcher for ~800 ms, so shutdown provably lands while
+    // the fan-out is mid-flight.
+    let sharded = pm_lsh_engine::ShardedEngine::build(
+        &data,
+        PmLshParams::default(),
+        BuildOptions::default(),
+        4,
+        EngineConfig {
+            threads: 1,
+            batch_size: 64,
+            max_wait: Duration::from_millis(800),
+            ..Default::default()
+        },
+    );
+    let handle = serve(sharded.clone(), ("127.0.0.1", 0)).expect("bind port 0");
+    let addr = handle.addr();
+
+    let mut line = String::from("QUERY 5");
+    for v in &q {
+        line.push(' ');
+        line.push_str(&v.to_string());
+    }
+    line.push('\n');
+
+    let client = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let mut next = String::new();
+        reader.read_line(&mut next).unwrap();
+        (reply.trim_end().to_string(), next.trim_end().to_string())
+    });
+
+    // Let the handler enqueue all four legs, then drain mid-fan-out.
+    std::thread::sleep(Duration::from_millis(250));
+    let report = handle.shutdown_within(Duration::from_secs(30));
+    assert!(report.drained, "drain did not complete: {report:?}");
+    assert_eq!(report.forced, 0, "no socket should need force-closing");
+
+    let (reply, next) = client.join().expect("client thread");
+    let served = parse_ok_response(&reply).expect("intact OK reply across shutdown");
+    let direct: Vec<(u32, f32)> = sharded
+        .query(&q, 5)
+        .neighbors
+        .iter()
+        .map(|n| (n.id, n.dist))
+        .collect();
+    assert_eq!(
+        served, direct,
+        "drained scatter-gather reply diverged from the in-process answer"
+    );
+    assert_eq!(next, "ERR server shutting down");
+}

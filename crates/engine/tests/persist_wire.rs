@@ -218,7 +218,7 @@ fn indexinfo_reports_state_and_progress() {
     let mut client = Client::connect(handle.addr());
     let line = client.exchange("INDEXINFO");
     assert!(
-        line.ends_with("reindexing=false state=serving pct=100"),
+        line.ends_with("reindexing=false state=serving pct=100 shards=1"),
         "unexpected INDEXINFO: {line}"
     );
 
@@ -252,7 +252,7 @@ fn indexinfo_reports_state_and_progress() {
     assert_eq!(info.pct, 100);
     let line = client.exchange("INDEXINFO");
     assert!(
-        line.contains("points=20000") && line.ends_with("state=serving pct=100"),
+        line.contains("points=20000") && line.ends_with("state=serving pct=100 shards=1"),
         "unexpected post-reindex INDEXINFO: {line}"
     );
 

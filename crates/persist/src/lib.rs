@@ -60,9 +60,13 @@ use pm_lsh_core::PmLsh;
 
 pub mod crc;
 pub mod format;
+pub mod manifest;
 
 pub use crc::{crc32, Crc32};
 pub use format::{deserialize, serialize, FORMAT_VERSION, MAGIC};
+pub use manifest::{
+    is_manifest_file, load_sharded, save_sharded, MANIFEST_MAGIC, MANIFEST_VERSION,
+};
 
 /// Why a `.pmlsh` snapshot could not be saved or loaded.
 ///

@@ -1,0 +1,350 @@
+//! Multi-shard snapshot sets: one `.pmlsh` file per shard plus a small
+//! checksummed manifest.
+//!
+//! A sharded engine's state is `S` independent [`PmLsh`] indexes whose
+//! *order* is id-significant (shard `s` owns global ids `≡ s (mod S)`).
+//! [`save_sharded`] writes each shard through the ordinary single-file
+//! [`save`] path as a `<manifest>.s<k>` sibling, then
+//! atomically writes the manifest naming them in order — so every shard
+//! file is independently CRC-protected and loadable, and the manifest
+//! pins the set's cardinality and order.
+//!
+//! # Manifest layout (version 1)
+//!
+//! ```text
+//! magic      8 bytes   b"PMLSHMAN"
+//! version    u32 LE    1
+//! shards     u32 LE    S >= 1
+//! entry × S            name_len: u16 LE | name: UTF-8 (relative, no
+//!                      path separators — resolved beside the manifest)
+//! crc        u32 LE    CRC-32 of every preceding byte
+//! ```
+//!
+//! The manifest magic differs from the single-file snapshot magic, so
+//! [`is_pmlsh_file`](crate::is_pmlsh_file) and [`is_manifest_file`] can
+//! cheaply dispatch `ATTACH`/CLI paths to the right loader.
+
+use crate::{crc32, load, save, PersistError, SaveReport, MAGIC};
+use pm_lsh_core::PmLsh;
+use std::io::Write as _;
+use std::path::Path;
+
+/// First 8 bytes of every sharded-snapshot manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"PMLSHMAN";
+
+/// Manifest format version this build writes and reads.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// `true` if `path` starts with the sharded-manifest magic bytes (the
+/// sibling of [`is_pmlsh_file`](crate::is_pmlsh_file); I/O errors and
+/// short files report `false`).
+pub fn is_manifest_file(path: impl AsRef<Path>) -> bool {
+    use std::io::Read as _;
+    let mut head = [0u8; 8];
+    match std::fs::File::open(path) {
+        Ok(mut f) => f.read_exact(&mut head).is_ok() && head == MANIFEST_MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// Writes `shards` as a sharded snapshot set rooted at `path`: shard `k`
+/// goes to the sibling file `<path>.s<k>` (ordinary single-file format),
+/// then the manifest is atomically written to `path` itself. The report
+/// sums bytes and live points over the manifest and every shard file.
+///
+/// Shard files are written before the manifest, so a crash mid-save never
+/// leaves a manifest naming files that do not exist; stale `.s<k>` files
+/// from a previous, wider save are harmless (the manifest pins the set).
+///
+/// # Panics
+/// Panics when `shards` is empty — an index set cannot be empty.
+pub fn save_sharded(
+    shards: &[impl AsRef<PmLsh>],
+    path: impl AsRef<Path>,
+) -> Result<SaveReport, PersistError> {
+    assert!(!shards.is_empty(), "cannot save zero shards");
+    let path = path.as_ref();
+    let base_name = path
+        .file_name()
+        .ok_or_else(|| PersistError::Corrupt("manifest path has no file name".into()))?
+        .to_string_lossy()
+        .into_owned();
+
+    let mut bytes_total = 0u64;
+    let mut points_total = 0u64;
+    let mut names: Vec<String> = Vec::with_capacity(shards.len());
+    for (k, shard) in shards.iter().enumerate() {
+        let name = format!("{base_name}.s{k}");
+        let report = save(shard.as_ref(), path.with_file_name(&name))?;
+        bytes_total += report.bytes;
+        points_total += report.points;
+        names.push(name);
+    }
+
+    let mut manifest = Vec::with_capacity(64 + shards.len() * (base_name.len() + 8));
+    manifest.extend_from_slice(&MANIFEST_MAGIC);
+    manifest.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    manifest.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+    for name in &names {
+        manifest.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        manifest.extend_from_slice(name.as_bytes());
+    }
+    let crc = crc32(&manifest);
+    manifest.extend_from_slice(&crc.to_le_bytes());
+
+    // Same atomic tmp+rename discipline as the single-file save.
+    let tmp = {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(format!(".tmp.{}", std::process::id()));
+        std::path::PathBuf::from(name)
+    };
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&manifest)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = result {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::Io(e));
+    }
+    Ok(SaveReport {
+        bytes: bytes_total + manifest.len() as u64,
+        points: points_total,
+    })
+}
+
+/// Reads a sharded-snapshot manifest from `path` and loads every shard
+/// file beside it, in manifest (= id) order.
+pub fn load_sharded(path: impl AsRef<Path>) -> Result<Vec<PmLsh>, PersistError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    let names = parse_manifest(&bytes)?;
+    names
+        .into_iter()
+        .map(|name| load(path.with_file_name(name)))
+        .collect()
+}
+
+/// Validates a manifest's structure and checksum, returning the shard
+/// file names in order.
+fn parse_manifest(bytes: &[u8]) -> Result<Vec<String>, PersistError> {
+    if bytes.len() < 8 {
+        return Err(if bytes.starts_with(&MANIFEST_MAGIC[..bytes.len()]) {
+            PersistError::Truncated
+        } else {
+            PersistError::BadMagic
+        });
+    }
+    if bytes[..8] != MANIFEST_MAGIC {
+        // A single-file snapshot offered to the manifest loader is the
+        // most likely confusion; BadMagic covers both it and junk.
+        let _ = MAGIC;
+        return Err(PersistError::BadMagic);
+    }
+    if bytes.len() < 20 {
+        return Err(PersistError::Truncated);
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if crc32(body) != stored {
+        return Err(PersistError::FileCrc);
+    }
+    let version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+    if version != MANIFEST_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let shards = u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")) as usize;
+    if shards == 0 {
+        return Err(PersistError::EmptyIndex);
+    }
+    let mut names = Vec::with_capacity(shards);
+    let mut at = 16;
+    for _ in 0..shards {
+        if body.len() < at + 2 {
+            return Err(PersistError::Truncated);
+        }
+        let len = u16::from_le_bytes(body[at..at + 2].try_into().expect("2 bytes")) as usize;
+        at += 2;
+        if body.len() < at + len {
+            return Err(PersistError::Truncated);
+        }
+        let name = std::str::from_utf8(&body[at..at + len])
+            .map_err(|_| PersistError::Corrupt("shard file name is not UTF-8".into()))?;
+        if name.is_empty() || name.contains(['/', '\\']) || name == ".." {
+            return Err(PersistError::Corrupt(format!(
+                "shard file name '{name}' must be a plain sibling file name"
+            )));
+        }
+        names.push(name.to_string());
+        at += len;
+    }
+    if at != body.len() {
+        return Err(PersistError::Corrupt(format!(
+            "{} trailing bytes after the last manifest entry",
+            body.len() - at
+        )));
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_core::PmLshParams;
+    use pm_lsh_metric::Dataset;
+    use pm_lsh_stats::Rng;
+    use std::sync::Arc;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(d, n);
+        let mut buf = vec![0.0f32; d];
+        for _ in 0..n {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        ds
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "pmlsh-manifest-{tag}-{}-{:?}.pmlsh",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn cleanup(path: &Path, shards: usize) {
+        let _ = std::fs::remove_file(path);
+        for k in 0..shards {
+            let name = format!("{}.s{k}", path.file_name().unwrap().to_string_lossy());
+            let _ = std::fs::remove_file(path.with_file_name(name));
+        }
+    }
+
+    fn build_shards(n_per: usize, shards: usize, seed: u64) -> Vec<Arc<PmLsh>> {
+        (0..shards)
+            .map(|k| {
+                Arc::new(PmLsh::build(
+                    blob(n_per, 8, seed + k as u64),
+                    PmLshParams::default(),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_set_round_trips_in_order() {
+        let shards = build_shards(120, 3, 500);
+        let path = temp_path("roundtrip");
+        let report = save_sharded(&shards, &path).expect("save");
+        assert_eq!(report.points, 360);
+        assert!(is_manifest_file(&path));
+        assert!(!crate::is_pmlsh_file(&path));
+
+        let loaded = load_sharded(&path).expect("load");
+        assert_eq!(loaded.len(), 3);
+        for (k, (orig, back)) in shards.iter().zip(&loaded).enumerate() {
+            let q = orig.data().point(5);
+            let a = orig.query(q, 7);
+            let b = back.query(q, 7);
+            assert_eq!(a.neighbors, b.neighbors, "shard {k} diverged");
+            assert_eq!(a.stats, b.stats, "shard {k} did different work");
+        }
+        cleanup(&path, 3);
+    }
+
+    #[test]
+    fn each_shard_file_is_an_ordinary_snapshot() {
+        let shards = build_shards(80, 2, 600);
+        let path = temp_path("plain-shard");
+        save_sharded(&shards, &path).expect("save");
+        let s0 = path.with_file_name(format!(
+            "{}.s0",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        assert!(crate::is_pmlsh_file(&s0));
+        let alone = load(&s0).expect("single-shard load");
+        assert_eq!(alone.len(), shards[0].len());
+        cleanup(&path, 2);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let shards = build_shards(60, 2, 700);
+        let path = temp_path("corrupt");
+        save_sharded(&shards, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read manifest");
+
+        // Flip one body byte: whole-file CRC must catch it.
+        bytes[10] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            load_sharded(&path).unwrap_err(),
+            PersistError::FileCrc
+        ));
+        bytes[10] ^= 0xff;
+
+        // Truncation mid-entry.
+        std::fs::write(&path, &bytes[..bytes.len() - 9]).expect("write");
+        assert!(matches!(
+            load_sharded(&path).unwrap_err(),
+            PersistError::FileCrc | PersistError::Truncated
+        ));
+
+        // Wrong magic entirely.
+        std::fs::write(&path, b"NOTAMANI000").expect("write");
+        assert!(matches!(
+            load_sharded(&path).unwrap_err(),
+            PersistError::BadMagic
+        ));
+
+        // A single-file snapshot is not a manifest.
+        std::fs::write(&path, bytes).expect("restore");
+        let single = temp_path("corrupt-single");
+        save(&shards[0], &single).expect("single save");
+        assert!(!is_manifest_file(&single));
+        assert!(matches!(
+            load_sharded(&single).unwrap_err(),
+            PersistError::BadMagic
+        ));
+        let _ = std::fs::remove_file(&single);
+        cleanup(&path, 2);
+    }
+
+    #[test]
+    fn missing_shard_file_fails_the_set() {
+        let shards = build_shards(60, 2, 800);
+        let path = temp_path("missing");
+        save_sharded(&shards, &path).expect("save");
+        let s1 = path.with_file_name(format!(
+            "{}.s1",
+            path.file_name().unwrap().to_string_lossy()
+        ));
+        std::fs::remove_file(&s1).expect("remove shard file");
+        assert!(matches!(
+            load_sharded(&path).unwrap_err(),
+            PersistError::Io(_)
+        ));
+        cleanup(&path, 2);
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let shards = build_shards(60, 1, 900);
+        let path = temp_path("version");
+        save_sharded(&shards, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[8] = 99; // version field
+        let crc = crc32(&bytes[..bytes.len() - 4]);
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            load_sharded(&path).unwrap_err(),
+            PersistError::UnsupportedVersion(99)
+        ));
+        cleanup(&path, 1);
+    }
+}

@@ -51,8 +51,11 @@ impl PmTree {
     /// The result is identical for every `threads` value — see the module
     /// docs for why — and satisfies [`PmTree::verify_invariants`]. Falls
     /// back to the incremental [`PmTree::build`] when partitioning cannot
-    /// help (no pivots, more pivots than node capacity, or fewer points
-    /// than two nodes' worth).
+    /// help (no pivots, more pivots than node capacity, fewer points than
+    /// two nodes' worth, or fewer points than pivots — a shape sharded
+    /// builds hit routinely, where `select_pivots` pads the set with
+    /// duplicates and a partitioned root would carry degenerate
+    /// zero-radius routing entries).
     pub fn build_parallel(
         view: MatrixView<'_>,
         cfg: PmTreeConfig,
@@ -61,7 +64,11 @@ impl PmTree {
     ) -> Self {
         let pivots = select_pivots(view, cfg.num_pivots, cfg.pivot_sample, rng);
         let n = view.len();
-        if pivots.is_empty() || pivots.len() > cfg.capacity || n <= 2 * cfg.capacity {
+        if pivots.is_empty()
+            || pivots.len() > cfg.capacity
+            || n <= 2 * cfg.capacity
+            || n < pivots.len()
+        {
             // Degenerate shapes where a partitioned root is impossible or
             // pointless; the incremental build is equally deterministic.
             let mut tree = Self::new(view.dim(), cfg, pivots);
@@ -363,6 +370,30 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn fewer_points_than_pivots_falls_back_to_incremental() {
+        // Sharding deals a dataset round-robin, so a shard can easily hold
+        // fewer points than the configured pivot count. The bulk loader
+        // must take the incremental fallback there (select_pivots pads the
+        // pivot set with duplicates, which would otherwise become
+        // degenerate partitioned-root routing entries) and match
+        // PmTree::build exactly for every thread count.
+        for n in [1usize, 2, 3, 4] {
+            let ds = blob(n, 6, 46);
+            let cfg = PmTreeConfig {
+                num_pivots: 5,
+                ..Default::default()
+            };
+            assert!(n < cfg.num_pivots);
+            let inc = PmTree::build(ds.view(), cfg, &mut Rng::new(11));
+            for threads in [1usize, 4] {
+                let par = PmTree::build_parallel(ds.view(), cfg, &mut Rng::new(11), threads);
+                par.verify_invariants().expect("tiny-shard invariants");
+                assert_trees_identical(&inc, &par);
+            }
+        }
     }
 
     #[test]

@@ -157,12 +157,75 @@ SERVE_PID=$!
 wait_ready
 
 exec 3<>"/dev/tcp/127.0.0.1/$PORT"
-expect "INDEXINFO" "INDEXINFO name=audio *state=serving pct=100"
+expect "INDEXINFO" "INDEXINFO name=audio *state=serving pct=100 shards=1"
 PARITY_AFTER=$(req "$PARITY_LINE")
 if [ "$PARITY_BEFORE" = "$PARITY_AFTER" ]; then
   printf 'ok: %-18s -> restored snapshot answers identically\n' "PARITY"
 else
   echo "FAIL: snapshot parity broke:" >&2
+  echo "  before: $PARITY_BEFORE" >&2
+  echo "  after:  $PARITY_AFTER" >&2
+  exit 1
+fi
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+
+echo "== sharded serving (--shards 4): scatter-gather behind the same wire"
+"$BIN" serve --data "audio=$TMP/audio.fvecs" --port "$PORT" --threads 2 \
+  --shards 4 --auth-token "$TOKEN" &
+SERVE_PID=$!
+wait_ready
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+expect "INDEXINFO" "INDEXINFO name=audio *shards=4"
+expect "$(query_line)" "OK *:*"
+expect "AUTH $TOKEN" "OK authenticated"
+
+# Mutations route to the owning shard; the wire grammar is unchanged.
+DIM=$(req "INDEXINFO" | sed -n 's/.* dim=\([0-9]*\).*/\1/p')
+INSERT_LINE=$(awk -v d="$DIM" 'BEGIN{printf "INSERT"; for(i=0;i<d;i++) printf " 0.5"; print ""}')
+PROBE_LINE=$(awk -v d="$DIM" 'BEGIN{printf "QUERY 1"; for(i=0;i<d;i++) printf " 0.5"; print ""}')
+REPLY=$(req "$INSERT_LINE")
+case "$REPLY" in
+  "OK id="*) printf 'ok: %-18s -> %s\n' "INSERT" "$REPLY" ;;
+  *) echo "FAIL: sharded INSERT -> '$REPLY'" >&2; exit 1 ;;
+esac
+NEW_ID=${REPLY#OK id=}; NEW_ID=${NEW_ID%% *}
+expect "$PROBE_LINE" "OK $NEW_ID:0*"
+expect "DELETE $NEW_ID" "OK deleted $NEW_ID *"
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
+
+echo "== sharded snapshot: SAVE writes a manifest, re-serve restores all shards"
+"$BIN" save --addr "127.0.0.1:$PORT" --out "$TMP/sharded.pmlsh" \
+  --index audio --auth-token "$TOKEN"
+[ -s "$TMP/sharded.pmlsh" ] || { echo "FAIL: sharded manifest not written" >&2; exit 1; }
+for s in 0 1 2 3; do
+  [ -s "$TMP/sharded.pmlsh.s$s" ] || { echo "FAIL: shard file .s$s missing" >&2; exit 1; }
+done
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+PARITY_LINE=$(query_line)
+PARITY_BEFORE=$(req "$PARITY_LINE")
+expect "QUIT" "BYE"
+exec 3<&- 3>&-
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+"$BIN" serve --data "audio=$TMP/sharded.pmlsh" --port "$PORT" --threads 2 &
+SERVE_PID=$!
+wait_ready
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+expect "INDEXINFO" "INDEXINFO name=audio *state=serving pct=100 shards=4"
+PARITY_AFTER=$(req "$PARITY_LINE")
+if [ "$PARITY_BEFORE" = "$PARITY_AFTER" ]; then
+  printf 'ok: %-18s -> restored sharded manifest answers identically\n' "PARITY"
+else
+  echo "FAIL: sharded snapshot parity broke:" >&2
   echo "  before: $PARITY_BEFORE" >&2
   echo "  after:  $PARITY_AFTER" >&2
   exit 1

@@ -7,7 +7,8 @@
 //! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
 //! pmlsh batch-query --data audio=a.fvecs,deep=d.fvecs --index deep --queries q.fvecs --k 10
 //! pmlsh serve       --data audio=a.fvecs,deep=d.pmlsh --port 7878 [--threads 4]
-//!                   [--auth-token t] [--max-connections 1024] [--drain-timeout-ms 5000]
+//!                   [--shards 4] [--auth-token t] [--max-connections 1024]
+//!                   [--drain-timeout-ms 5000]
 //! pmlsh save        --data a.fvecs --out a.pmlsh                  (build + snapshot)
 //! pmlsh save        --addr 127.0.0.1:7878 --out /srv/a.pmlsh      (running server)
 //! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs [--index deep] [--auth-token t]
@@ -82,6 +83,7 @@ fn main() -> ExitCode {
                 "build-threads",
                 "batch-size",
                 "max-wait-us",
+                "shards",
                 "auth-token",
                 "max-connections",
                 "drain-timeout-ms",
@@ -136,7 +138,7 @@ USAGE:
                [--no-truth]
   pmlsh serve  --data <specs> --port <p> [--threads <n>] [--c <ratio>]
                [--build-threads <n>] [--batch-size <n>] [--max-wait-us <µs>]
-               [--auth-token <t>] [--max-connections <n>]
+               [--shards <n>] [--auth-token <t>] [--max-connections <n>]
                [--drain-timeout-ms <ms>]
   pmlsh save   --data <file> --out <file.pmlsh> [--c <ratio>]
                [--build-threads <n>]
@@ -170,7 +172,12 @@ file readable by the *server* and swap it in without dropping queries;
 publishes a fresh snapshot and bumps the INDEXINFO epoch).
 `--threads 0` (the default) uses all available cores per index;
 `--build-threads` parallelizes index construction (0 = all cores,
-omitted = the single-threaded paper-faithful build).";
+omitted = the single-threaded paper-faithful build). `--shards <n>`
+partitions each dataset round-robin into n independent PM-LSH shards
+queried scatter-gather (INDEXINFO reports shards=n); a sharded SAVE
+writes a manifest plus one `.s<k>` file per shard, and serving that
+manifest path restores the whole set. Single-file `.pmlsh` snapshots
+always serve monolithic regardless of --shards.";
 
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map: HashMap<String, String> = HashMap::new();
@@ -551,15 +558,22 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(std::time::Duration::from_millis)
         .unwrap_or_else(|| ServerConfig::default().drain_timeout);
 
+    let shards: usize = opts
+        .get("shards")
+        .map(|s| s.parse().map_err(|_| "--shards must be an integer"))
+        .transpose()?
+        .unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+
     // The first --data entry becomes the default index new connections
     // start on (attach order = spec order).
     let router = Router::new();
     for (name, path) in &specs {
         print!("[{name}] ");
-        let index = load_or_build_index(path, c, build_threads)?;
-        router
-            .attach(name, Engine::new(index, config))
-            .map_err(|e| e.to_string())?;
+        let engine = load_or_build_engine(path, c, build_threads, shards, config)?;
+        router.attach(name, engine).map_err(|e| e.to_string())?;
     }
 
     let auth_token = opts.get("auth-token").cloned();
@@ -672,6 +686,59 @@ fn load_or_build_index(path: &str, c: f64, build_threads: Option<usize>) -> Resu
         );
         Ok(index)
     }
+}
+
+/// Materializes `path` as a ready-to-serve engine, honoring `--shards`.
+///
+/// A sharded manifest (magic bytes) restores its whole shard set; a
+/// single-file `.pmlsh` snapshot serves monolithic (its shape is fixed at
+/// save time — `--shards` does not re-partition it); a dataset file is
+/// partitioned round-robin into `shards` independent indexes when
+/// `shards > 1` and built monolithic otherwise.
+fn load_or_build_engine(
+    path: &str,
+    c: f64,
+    build_threads: Option<usize>,
+    shards: usize,
+    config: EngineConfig,
+) -> Result<ShardedEngine, String> {
+    if pm_lsh::persist::is_manifest_file(path) {
+        let start = Instant::now();
+        let parts =
+            pm_lsh::persist::load_sharded(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let engine = ShardedEngine::from_indexes(parts, config);
+        println!(
+            "loaded sharded manifest {path}: {} points in R^{} across {} shard(s) in {:.3} s",
+            engine.len(),
+            engine.dim(),
+            engine.shard_count(),
+            start.elapsed().as_secs_f64()
+        );
+        return Ok(engine);
+    }
+    if shards == 1 || pm_lsh::persist::is_pmlsh_file(path) {
+        return Ok(Engine::new(load_or_build_index(path, c, build_threads)?, config).into());
+    }
+    let start = Instant::now();
+    let data = load(path)?;
+    if data.len() < shards {
+        return Err(format!(
+            "--shards {shards} exceeds the {} point(s) in {path}",
+            data.len()
+        ));
+    }
+    let opts = match build_threads {
+        Some(threads) => BuildOptions::with_threads(threads),
+        None => BuildOptions::default(),
+    };
+    let engine = ShardedEngine::build(&data, pmlsh_params(c), opts, shards, config);
+    println!(
+        "built PM-LSH over {} points in R^{} as {shards} shard(s) in {:.1} s ({path})",
+        engine.len(),
+        engine.dim(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(engine)
 }
 
 /// Builds the PM-LSH index, routing through the parallel bulk loader when

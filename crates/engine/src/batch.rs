@@ -9,10 +9,10 @@
 //! the queue is full, callers block instead of piling unbounded work onto
 //! the pool.
 
-use crate::pool::{QueryJob, WorkerPool};
+use crate::pool::{QueryJob, ReplySink, WorkerPool};
 use crate::stats::StatsCollector;
-use pm_lsh_core::{PmLsh, QueryResult};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use pm_lsh_core::PmLsh;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,7 +27,7 @@ pub(crate) struct Request {
     /// [`QueryJob::fanout_budget`]).
     pub fanout_budget: Option<usize>,
     pub enqueued: Instant,
-    pub reply: Sender<(usize, QueryResult)>,
+    pub reply: ReplySink,
 }
 
 /// The bounded queue plus its collector thread. Dropping it closes the

@@ -1,0 +1,357 @@
+//! The length-prefixed binary wire format negotiated by `HELLO binary`.
+//!
+//! The default newline/text protocol round-trips every query component
+//! through decimal — at d = 4096 the parse/format cost rivals the ANN
+//! search itself. This frame format carries the same requests and
+//! replies as raw little-endian bytes. Negotiation happens in text: a
+//! client sends `HELLO binary\n`, the server answers `OK binary\n`, and
+//! *both directions switch to frames from the next byte on*.
+//!
+//! Every frame is a `u32` little-endian **payload length** followed by
+//! that many payload bytes. The payload's first byte is an opcode
+//! (requests) or status (replies):
+//!
+//! Request payloads:
+//!
+//! | op | name  | layout after the op byte                               |
+//! |----|-------|--------------------------------------------------------|
+//! | 1  | QUERY | `k: u32 LE`, `d: u32 LE`, then `d × f32 LE` components |
+//! | 2  | PING  | empty                                                  |
+//!
+//! Reply payloads:
+//!
+//! | status | name | layout after the status byte                         |
+//! |--------|------|------------------------------------------------------|
+//! | 0      | OK   | `count: u32 LE`, then `count × (id u64 LE, dist f32 LE)` |
+//! | 1      | ERR  | UTF-8 message (no `ERR ` prefix, no newline)         |
+//! | 2      | PONG | empty                                                |
+//!
+//! Ids are `u64` on the wire (the in-memory `PointId` is `u32` today;
+//! the width is headroom, not a conversion risk). Distances are the
+//! engine's own `f32` bits, so text/binary parity is exact, not
+//! approximate.
+//!
+//! Decoding here is *pure*: slices in, values out, no I/O. The reactor
+//! owns framing (accumulate 4 + len bytes, enforce [`frame_cap`]); the
+//! CLI's `WireClient` reuses the same encoders so both ends agree by
+//! construction.
+
+use pm_lsh_metric::Neighbor;
+
+/// Request opcode: a k-NN query.
+pub const OP_QUERY: u8 = 1;
+/// Request opcode: liveness probe.
+pub const OP_PING: u8 = 2;
+/// Reply status: success, neighbor list follows.
+pub const STATUS_OK: u8 = 0;
+/// Reply status: error, UTF-8 message follows.
+pub const STATUS_ERR: u8 = 1;
+/// Reply status: answer to [`OP_PING`].
+pub const STATUS_PONG: u8 = 2;
+
+/// Largest accepted *payload* length for a connection whose current
+/// index has dimensionality `dim` — the binary analogue of the text
+/// protocol's line cap. A QUERY needs `9 + 4·dim` payload bytes; the
+/// headroom is for future ops, the 512 floor for connections with no
+/// index attached yet.
+pub fn frame_cap(dim: usize) -> usize {
+    (64 + 8 * dim).max(512)
+}
+
+/// A decoded binary request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// k-NN query: `k` neighbors for the given components.
+    Query {
+        /// Requested neighbor count (validated by the engine, not here).
+        k: u32,
+        /// Query vector components, exactly as sent.
+        query: Vec<f32>,
+    },
+    /// Liveness probe; answered with PONG.
+    Ping,
+}
+
+/// A decoded binary reply frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Neighbors, nearest first, as `(id, dist)` pairs.
+    Ok(Vec<(u64, f32)>),
+    /// Error message (without the text protocol's `ERR ` prefix).
+    Err(String),
+    /// Answer to a PING.
+    Pong,
+}
+
+/// Why a well-delimited frame failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Zero-length payload: there is no opcode to dispatch on.
+    Empty,
+    /// The first payload byte is not a known opcode/status.
+    UnknownOpcode(u8),
+    /// Right opcode, wrong shape (field truncated, length mismatch…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Empty => write!(f, "empty frame"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn u32_le(bytes: &[u8]) -> Option<(u32, &[u8])> {
+    let (head, rest) = bytes.split_first_chunk::<4>()?;
+    Some((u32::from_le_bytes(*head), rest))
+}
+
+/// Appends a framed QUERY request (length prefix included) to `out`.
+pub fn encode_query(k: u32, query: &[f32], out: &mut Vec<u8>) {
+    let len = 1 + 4 + 4 + 4 * query.len();
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(OP_QUERY);
+    out.extend_from_slice(&k.to_le_bytes());
+    out.extend_from_slice(&(query.len() as u32).to_le_bytes());
+    for component in query {
+        out.extend_from_slice(&component.to_le_bytes());
+    }
+}
+
+/// Appends a framed PING request to `out`.
+pub fn encode_ping(out: &mut Vec<u8>) {
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.push(OP_PING);
+}
+
+/// Appends a framed OK reply carrying `neighbors` to `out`.
+pub fn encode_ok(neighbors: &[Neighbor], out: &mut Vec<u8>) {
+    let len = 1 + 4 + 12 * neighbors.len();
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(neighbors.len() as u32).to_le_bytes());
+    for n in neighbors {
+        out.extend_from_slice(&u64::from(n.id).to_le_bytes());
+        out.extend_from_slice(&n.dist.to_le_bytes());
+    }
+}
+
+/// Appends a framed ERR reply to `out`. `message` carries no `ERR `
+/// prefix and no trailing newline — those are text-protocol framing.
+pub fn encode_err(message: &str, out: &mut Vec<u8>) {
+    let len = 1 + message.len();
+    out.reserve(4 + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.push(STATUS_ERR);
+    out.extend_from_slice(message.as_bytes());
+}
+
+/// Appends a framed PONG reply to `out`.
+pub fn encode_pong(out: &mut Vec<u8>) {
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.push(STATUS_PONG);
+}
+
+/// Decodes one request payload (the bytes *after* the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let (&op, body) = payload.split_first().ok_or(FrameError::Empty)?;
+    match op {
+        OP_QUERY => {
+            let (k, body) = u32_le(body).ok_or(FrameError::Malformed("QUERY truncated at k"))?;
+            let (d, body) = u32_le(body).ok_or(FrameError::Malformed("QUERY truncated at d"))?;
+            if body.len() as u64 != u64::from(d) * 4 {
+                return Err(FrameError::Malformed(
+                    "QUERY component bytes disagree with d",
+                ));
+            }
+            let query = body
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunks_exact(4)")))
+                .collect();
+            Ok(Request::Query { k, query })
+        }
+        OP_PING => {
+            if body.is_empty() {
+                Ok(Request::Ping)
+            } else {
+                Err(FrameError::Malformed("PING carries a body"))
+            }
+        }
+        other => Err(FrameError::UnknownOpcode(other)),
+    }
+}
+
+/// Decodes one reply payload (the bytes *after* the length prefix).
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, FrameError> {
+    let (&status, body) = payload.split_first().ok_or(FrameError::Empty)?;
+    match status {
+        STATUS_OK => {
+            let (count, body) =
+                u32_le(body).ok_or(FrameError::Malformed("OK truncated at count"))?;
+            if body.len() as u64 != u64::from(count) * 12 {
+                return Err(FrameError::Malformed(
+                    "OK neighbor bytes disagree with count",
+                ));
+            }
+            let neighbors = body
+                .chunks_exact(12)
+                .map(|pair| {
+                    let id = u64::from_le_bytes(pair[..8].try_into().expect("chunks_exact(12)"));
+                    let dist = f32::from_le_bytes(pair[8..].try_into().expect("chunks_exact(12)"));
+                    (id, dist)
+                })
+                .collect();
+            Ok(Reply::Ok(neighbors))
+        }
+        STATUS_ERR => match std::str::from_utf8(body) {
+            Ok(message) => Ok(Reply::Err(message.to_string())),
+            Err(_) => Err(FrameError::Malformed("ERR message is not UTF-8")),
+        },
+        STATUS_PONG => {
+            if body.is_empty() {
+                Ok(Reply::Pong)
+            } else {
+                Err(FrameError::Malformed("PONG carries a body"))
+            }
+        }
+        other => Err(FrameError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(framed: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(framed[..4].try_into().unwrap()) as usize;
+        assert_eq!(framed.len(), 4 + len, "length prefix covers the payload");
+        &framed[4..]
+    }
+
+    #[test]
+    fn query_roundtrip_preserves_bits() {
+        let q = vec![0.0f32, -1.5, f32::MIN_POSITIVE, 3.25e7, -0.0];
+        let mut framed = Vec::new();
+        encode_query(7, &q, &mut framed);
+        match decode_request(payload(&framed)).unwrap() {
+            Request::Query { k, query } => {
+                assert_eq!(k, 7);
+                assert_eq!(query.len(), q.len());
+                for (a, b) in query.iter().zip(&q) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut framed = Vec::new();
+        encode_ping(&mut framed);
+        assert_eq!(decode_request(payload(&framed)).unwrap(), Request::Ping);
+        framed.clear();
+        encode_pong(&mut framed);
+        assert_eq!(decode_reply(payload(&framed)).unwrap(), Reply::Pong);
+    }
+
+    #[test]
+    fn ok_reply_roundtrip() {
+        let neighbors = [
+            Neighbor { dist: 0.5, id: 3 },
+            Neighbor {
+                dist: 1.25,
+                id: u32::MAX,
+            },
+        ];
+        let mut framed = Vec::new();
+        encode_ok(&neighbors, &mut framed);
+        match decode_reply(payload(&framed)).unwrap() {
+            Reply::Ok(pairs) => {
+                assert_eq!(pairs.len(), 2);
+                assert_eq!(pairs[0], (3, 0.5));
+                assert_eq!(pairs[1].0, u64::from(u32::MAX));
+                assert_eq!(pairs[1].1.to_bits(), 1.25f32.to_bits());
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn err_reply_roundtrip() {
+        let mut framed = Vec::new();
+        encode_err("query contains a non-finite component", &mut framed);
+        assert_eq!(
+            decode_reply(payload(&framed)).unwrap(),
+            Reply::Err("query contains a non-finite component".to_string())
+        );
+    }
+
+    #[test]
+    fn empty_frame_and_unknown_opcodes_are_rejected() {
+        assert_eq!(decode_request(&[]), Err(FrameError::Empty));
+        assert_eq!(decode_reply(&[]), Err(FrameError::Empty));
+        assert_eq!(decode_request(&[99]), Err(FrameError::UnknownOpcode(99)));
+        assert_eq!(decode_reply(&[99]), Err(FrameError::UnknownOpcode(99)));
+    }
+
+    #[test]
+    fn malformed_shapes_are_rejected_not_panicked() {
+        // QUERY truncated mid-k and mid-d.
+        assert!(matches!(
+            decode_request(&[OP_QUERY, 1, 0]),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_request(&[OP_QUERY, 1, 0, 0, 0, 2]),
+            Err(FrameError::Malformed(_))
+        ));
+        // d promises two components, body carries one.
+        let mut bad = vec![OP_QUERY];
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&1.0f32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&bad),
+            Err(FrameError::Malformed(_))
+        ));
+        // PING/PONG with trailing junk.
+        assert!(matches!(
+            decode_request(&[OP_PING, 0]),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_reply(&[STATUS_PONG, 0]),
+            Err(FrameError::Malformed(_))
+        ));
+        // OK whose count disagrees with the byte count.
+        let mut bad = vec![STATUS_OK];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(decode_reply(&bad), Err(FrameError::Malformed(_))));
+        // ERR with invalid UTF-8.
+        assert!(matches!(
+            decode_reply(&[STATUS_ERR, 0xFF, 0xFE]),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_cap_scales_with_dimensionality() {
+        assert_eq!(frame_cap(0), 512);
+        assert_eq!(frame_cap(56), 512);
+        assert_eq!(frame_cap(192), 64 + 8 * 192);
+        assert_eq!(frame_cap(4096), 64 + 8 * 4096);
+        // The cap always admits a legal QUERY at that dimensionality.
+        for d in [0usize, 1, 56, 192, 4096] {
+            assert!(9 + 4 * d <= frame_cap(d));
+        }
+    }
+}

@@ -83,7 +83,9 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod frame;
 mod pool;
+mod reactor;
 pub mod router;
 pub mod server;
 pub mod sharded;
@@ -96,7 +98,7 @@ pub use sharded::ShardedEngine;
 pub use stats::EngineStats;
 
 use crate::batch::{BatchQueue, Request};
-use crate::pool::{QueryJob, WorkerPool};
+use crate::pool::{QueryJob, ReplySink, WorkerPool};
 use crate::snapshot::SnapshotCell;
 use crate::stats::StatsCollector;
 use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
@@ -439,7 +441,7 @@ impl Engine {
             k,
             fanout_budget: None,
             enqueued: Instant::now(),
-            reply,
+            reply: ReplySink::Channel(reply),
         });
         // The worker drops the reply sender without answering exactly when
         // the query panicked inside the pool's catch_unwind.
@@ -447,6 +449,37 @@ impl Engine {
             Ok((_slot, result)) => Ok(result),
             Err(_) => Err(QueryError::Internal),
         }
+    }
+
+    /// The completion-callback twin of [`Engine::try_query`], for callers
+    /// that must not park a thread per request — the serving reactor.
+    ///
+    /// Validation runs synchronously: an invalid query is returned as
+    /// `Err` *without* invoking `cb`. A valid query is enqueued through
+    /// the same micro-batching queue as [`Engine::try_query`] (results
+    /// stay bit-identical) and `cb` fires exactly once, on a worker
+    /// thread, with the result — `Err(QueryError::Internal)` when the
+    /// worker panicked. Note `enqueue` applies backpressure: when the
+    /// bounded queue is full this call blocks until space frees, exactly
+    /// like the blocking entry point.
+    pub fn submit_query<F>(&self, q: &[f32], k: usize, cb: F) -> Result<(), QueryError>
+    where
+        F: FnOnce(Result<QueryResult, QueryError>) + Send + 'static,
+    {
+        let snapshot = self.snapshot.load();
+        try_validate(&snapshot, q, k)?;
+        let k = k.min(snapshot.len());
+        self.queue.enqueue(Request {
+            snapshot,
+            query: q.to_vec(),
+            k,
+            fanout_budget: None,
+            enqueued: Instant::now(),
+            reply: ReplySink::Callback(Box::new(move |_slot, result| {
+                cb(result.ok_or(QueryError::Internal));
+            })),
+        });
+        Ok(())
     }
 
     /// Answers a batch of queries across the whole pool, preserving input
@@ -484,7 +517,7 @@ impl Engine {
                 k,
                 fanout_budget: None,
                 enqueued,
-                reply: reply.clone(),
+                reply: ReplySink::Channel(reply.clone()),
             })
             .collect();
         self.pool.submit_sharded(jobs);

@@ -19,6 +19,34 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Where a finished (or crashed) job delivers its result. The blocking
+/// callers (`Engine::try_query`, `query_batch`) use [`ReplySink::Channel`]
+/// and `recv()`; the serving reactor uses [`ReplySink::Callback`] so a
+/// worker completion can wake the event loop instead of a parked thread.
+pub(crate) enum ReplySink {
+    /// `send((slot, result))` on success; dropped without a send when the
+    /// job panicked, so the caller's `recv()` errors out.
+    Channel(Sender<(usize, QueryResult)>),
+    /// Always invoked exactly once — `None` means the job panicked.
+    Callback(Box<dyn FnOnce(usize, Option<QueryResult>) + Send>),
+}
+
+impl ReplySink {
+    /// Delivers the job's outcome. `None` marks a worker panic.
+    pub(crate) fn complete(self, slot: usize, result: Option<QueryResult>) {
+        match self {
+            // A dropped receiver means the caller gave up waiting; a
+            // panicked job drops the sender so recv() fails with Internal.
+            ReplySink::Channel(tx) => {
+                if let Some(result) = result {
+                    let _ = tx.send((slot, result));
+                }
+            }
+            ReplySink::Callback(cb) => cb(slot, result),
+        }
+    }
+}
+
 /// Test-only fault injection: a query whose FIRST component equals this
 /// finite, validation-passing sentinel panics inside the worker's
 /// catch_unwind, exercising the dropped-reply path
@@ -49,8 +77,8 @@ pub(crate) struct QueryJob {
     pub fanout_budget: Option<usize>,
     /// When the request entered the engine; latency is measured from here.
     pub enqueued: Instant,
-    /// Where the worker sends `(slot, result)`.
-    pub reply: Sender<(usize, QueryResult)>,
+    /// Where the worker delivers `(slot, result)`.
+    pub reply: ReplySink,
 }
 
 /// The fixed worker pool. Dropping it closes the job channel and joins
@@ -161,10 +189,9 @@ fn worker_loop(rx: &Mutex<Receiver<Vec<QueryJob>>>, stats: &StatsCollector) {
             match outcome {
                 Ok(result) => {
                     stats.record_query(job.enqueued.elapsed(), &result.stats);
-                    // A dropped receiver means the caller gave up waiting.
-                    let _ = job.reply.send((job.slot, result));
+                    job.reply.complete(job.slot, Some(result));
                 }
-                Err(_) => drop(job.reply),
+                Err(_) => job.reply.complete(job.slot, None),
             }
         }
     }

@@ -52,7 +52,7 @@
 //! one shard is bit-for-bit the monolithic engine.
 
 use crate::batch::Request;
-use crate::pool::QueryJob;
+use crate::pool::{QueryJob, ReplySink};
 use crate::{
     panic_for_query_error, try_validate, Engine, EngineConfig, IndexInfo, MutationError,
     MutationReport, QueryError, ReindexError, ReindexReport, ReindexTicket,
@@ -276,7 +276,7 @@ impl ShardedEngine {
                     k: k.min(snap.len()),
                     fanout_budget: Some(budget),
                     enqueued: Instant::now(),
-                    reply,
+                    reply: ReplySink::Channel(reply),
                 });
                 receive
             })
@@ -301,6 +301,100 @@ impl ShardedEngine {
             neighbors: top.into_sorted_vec(),
             stats,
         })
+    }
+
+    /// The completion-callback twin of [`ShardedEngine::try_query`], for
+    /// the serving reactor: no thread parks waiting for the gather.
+    ///
+    /// Validation runs synchronously (an invalid query returns `Err`
+    /// without invoking `cb`); a valid query is scattered to every
+    /// shard's micro-batcher exactly as in [`ShardedEngine::try_query`] —
+    /// same pooled budget, same per-leg `k` clamp, same local→global id
+    /// mapping, bit-identical merged answer — but the gather happens in
+    /// the legs' completion callbacks: each decrements a shared countdown
+    /// and the last one standing fires `cb` with the merged result. A
+    /// panicked leg yields `Err(QueryError::Internal)`, like the monolith.
+    pub fn submit_query<F>(&self, q: &[f32], k: usize, cb: F) -> Result<(), QueryError>
+    where
+        F: FnOnce(Result<QueryResult, QueryError>) + Send + 'static,
+    {
+        if self.shards.len() == 1 {
+            return self.shards[0].submit_query(q, k, cb);
+        }
+        let snaps: Vec<Arc<PmLsh>> = self.shards.iter().map(|s| s.index()).collect();
+        try_validate(&snaps[0], q, k)?;
+        let total_live: usize = snaps.iter().map(|s| s.len()).sum();
+        let k = k.min(total_live);
+        let budget = pooled_budget(&snaps, total_live, k);
+        let shards = self.shards.len();
+
+        type GatherCb = Box<dyn FnOnce(Result<QueryResult, QueryError>) + Send>;
+        /// The in-flight merge state all `S` legs share.
+        struct Gather {
+            top: TopK,
+            stats: QueryStats,
+            pending: usize,
+            failed: bool,
+            cb: Option<GatherCb>,
+        }
+        let gather = Arc::new(std::sync::Mutex::new(Gather {
+            top: TopK::new(k),
+            stats: QueryStats::default(),
+            pending: shards,
+            failed: false,
+            cb: Some(Box::new(cb)),
+        }));
+
+        for (s, (shard, snap)) in self.shards.iter().zip(&snaps).enumerate() {
+            let gather = Arc::clone(&gather);
+            let leg = Box::new(move |_slot: usize, result: Option<QueryResult>| {
+                let finished = {
+                    let mut g = gather.lock().expect("sharded gather poisoned");
+                    match result {
+                        Some(result) => {
+                            g.stats.merge(&result.stats);
+                            for n in &result.neighbors {
+                                g.top.push(n.dist, to_global(n.id, s, shards));
+                            }
+                        }
+                        None => g.failed = true,
+                    }
+                    g.pending -= 1;
+                    if g.pending == 0 {
+                        let top = std::mem::replace(&mut g.top, TopK::new(1));
+                        Some((
+                            g.cb.take().expect("gather fired twice"),
+                            top,
+                            g.stats,
+                            g.failed,
+                        ))
+                    } else {
+                        None
+                    }
+                };
+                // Fire outside the lock: the callback may be arbitrarily
+                // heavy (it wakes the reactor and formats the reply).
+                if let Some((cb, top, stats, failed)) = finished {
+                    if failed {
+                        cb(Err(QueryError::Internal));
+                    } else {
+                        cb(Ok(QueryResult {
+                            neighbors: top.into_sorted_vec(),
+                            stats,
+                        }));
+                    }
+                }
+            });
+            shard.queue.enqueue(Request {
+                snapshot: Arc::clone(snap),
+                query: q.to_vec(),
+                k: k.min(snap.len()),
+                fanout_budget: Some(budget),
+                enqueued: Instant::now(),
+                reply: ReplySink::Callback(leg),
+            });
+        }
+        Ok(())
     }
 
     /// The panicking [`ShardedEngine::try_query`], mirroring
@@ -352,7 +446,7 @@ impl ShardedEngine {
                     k: k.min(snap.len()),
                     fanout_budget: Some(budget),
                     enqueued,
-                    reply: reply.clone(),
+                    reply: ReplySink::Channel(reply.clone()),
                 })
                 .collect();
             shard.pool.submit_sharded(jobs);

@@ -714,6 +714,169 @@ fn shutdown_stops_accepting() {
     }
 }
 
+/// [`ServerHandle::set_auth_token`] swaps the accepted token without a
+/// restart: the old token is rejected afterwards, the new one accepted,
+/// connections that already authenticated stay authenticated, and
+/// `None` turns the gate off entirely.
+#[test]
+fn auth_token_hot_swap() {
+    let data = blob(200, 6, 90);
+    let engine = Engine::new(
+        PmLsh::build(data, PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let router = Router::with_engine("default", engine).unwrap();
+    let config = ServerConfig {
+        auth_token: Some("old-token".to_string()),
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), config).expect("bind port 0");
+    let addr = handle.addr();
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    };
+    fn roundtrip(conn: &mut (BufReader<TcpStream>, TcpStream), line: &str) -> String {
+        conn.1.write_all(line.as_bytes()).unwrap();
+        conn.1.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        conn.0.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    }
+
+    let mut veteran = connect();
+    assert_eq!(
+        roundtrip(&mut veteran, "AUTH old-token"),
+        "OK authenticated"
+    );
+
+    handle.set_auth_token(Some("new-token".to_string()));
+
+    // A fresh connection: the old token is dead, the new one works.
+    let mut fresh = connect();
+    assert_eq!(roundtrip(&mut fresh, "AUTH old-token"), "ERR bad token");
+    assert_eq!(roundtrip(&mut fresh, "AUTH new-token"), "OK authenticated");
+
+    // The veteran's authenticated state survived the swap: a mutating
+    // verb goes through without re-authing.
+    assert_eq!(
+        roundtrip(&mut veteran, "INSERT 1 2 3 4 5 6"),
+        "OK id=200 epoch=1 points=201"
+    );
+
+    // Swapping to None opens the server entirely.
+    handle.set_auth_token(None);
+    let mut open = connect();
+    assert_eq!(
+        roundtrip(&mut open, "AUTH whatever"),
+        "OK authentication not required"
+    );
+    assert_eq!(
+        roundtrip(&mut open, "DELETE 200"),
+        "OK deleted 200 epoch=2 points=200"
+    );
+
+    handle.shutdown();
+}
+
+/// Per-index connection quotas: at `max_connections_per_index` live
+/// connections on one index, further accepts (against the default index)
+/// are refused and `USE` into the full index errors without disturbing
+/// the connection's current selection.
+#[test]
+fn per_index_connection_quota() {
+    let config = EngineConfig {
+        threads: 1,
+        ..Default::default()
+    };
+    let router = Router::new();
+    router
+        .attach(
+            "alpha",
+            Engine::new(
+                PmLsh::build(blob(200, 6, 91), PmLshParams::default()),
+                config,
+            ),
+        )
+        .unwrap();
+    router
+        .attach(
+            "beta",
+            Engine::new(
+                PmLsh::build(blob(200, 8, 92), PmLshParams::default()),
+                config,
+            ),
+        )
+        .unwrap();
+    let server_config = ServerConfig {
+        max_connections_per_index: 2,
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), server_config).expect("bind port 0");
+    let addr = handle.addr();
+
+    let connect = || {
+        let stream = TcpStream::connect(addr).unwrap();
+        (BufReader::new(stream.try_clone().unwrap()), stream)
+    };
+    fn roundtrip(conn: &mut (BufReader<TcpStream>, TcpStream), line: &str) -> String {
+        conn.1.write_all(line.as_bytes()).unwrap();
+        conn.1.write_all(b"\n").unwrap();
+        let mut response = String::new();
+        conn.0.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    }
+
+    // Two connections fill the default index's quota (PING roundtrips
+    // prove both are admitted before the third races in).
+    let mut first = connect();
+    let mut second = connect();
+    assert_eq!(roundtrip(&mut first, "PING"), "PONG");
+    assert_eq!(roundtrip(&mut second, "PING"), "PONG");
+
+    // The third is refused at accept — the default index is full.
+    let over = TcpStream::connect(addr).expect("TCP connect still succeeds");
+    let mut reader = BufReader::new(over);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert_eq!(reply.trim_end(), "ERR index 'alpha' at connection capacity");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "over-quota connection must be closed");
+
+    // USE moves a connection's slot between quotas: alpha frees up...
+    assert_eq!(roundtrip(&mut first, "USE beta"), "OK using beta");
+    let mut third = connect();
+    assert_eq!(roundtrip(&mut third, "PING"), "PONG");
+
+    // ...and a full target index rejects the switch while leaving the
+    // connection on its current index, fully serviceable.
+    assert_eq!(roundtrip(&mut second, "USE beta"), "OK using beta");
+    assert_eq!(
+        roundtrip(&mut third, "USE beta"),
+        "ERR index 'beta' at connection capacity"
+    );
+    let info = roundtrip(&mut third, "INDEXINFO");
+    assert!(
+        info.starts_with("INDEXINFO name=alpha"),
+        "a refused USE must not move the connection: {info}"
+    );
+
+    // Closing a quota holder frees the slot once the reactor reaps it.
+    drop(second);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.connections() > 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(roundtrip(&mut third, "USE beta"), "OK using beta");
+
+    handle.shutdown();
+}
+
 /// Satellite of the sharded engine: a scatter-gather query already
 /// fanned out across `S = 4` shards when `shutdown_within` fires must
 /// complete every leg, merge, and deliver its full `OK` reply intact —

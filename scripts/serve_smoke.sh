@@ -19,7 +19,8 @@ cleanup() {
 trap cleanup EXIT
 
 echo "== generating smoke datasets"
-"$BIN" gen --dataset audio --scale smoke --out "$TMP/audio.fvecs"
+"$BIN" gen --dataset audio --scale smoke --out "$TMP/audio.fvecs" \
+  --queries "$TMP/audio_q.fvecs" --nq 8
 "$BIN" gen --dataset cifar --scale smoke --out "$TMP/cifar.fvecs"
 # A second audio-shaped file to REINDEX onto (same dimensionality).
 "$BIN" gen --dataset audio --scale smoke --out "$TMP/audio2.fvecs"
@@ -128,6 +129,22 @@ esac
 expect "DELETE $NEW_ID" "ERR unknown point id $NEW_ID"
 expect "QUIT" "BYE"
 exec 3<&- 3>&-
+
+echo "== binary framing parity (batch-query --addr, text vs binary)"
+"$BIN" batch-query --addr "127.0.0.1:$PORT" --queries "$TMP/audio_q.fvecs" \
+  --index audio --k 5 > "$TMP/text.out"
+"$BIN" batch-query --addr "127.0.0.1:$PORT" --queries "$TMP/audio_q.fvecs" \
+  --index audio --k 5 --binary > "$TMP/binary.out"
+grep '^query ' "$TMP/text.out" > "$TMP/text.q"
+grep '^query ' "$TMP/binary.out" > "$TMP/binary.q"
+[ -s "$TMP/text.q" ] || { echo "FAIL: batch-query produced no query lines" >&2; exit 1; }
+if diff -u "$TMP/text.q" "$TMP/binary.q"; then
+  printf 'ok: %-18s -> %s query replies bit-identical across framings\n' \
+    "BINARY" "$(wc -l < "$TMP/text.q")"
+else
+  echo "FAIL: text and binary framings disagree" >&2
+  exit 1
+fi
 
 echo "== pmlsh reindex client against the running server"
 "$BIN" reindex --addr "127.0.0.1:$PORT" --data "$TMP/audio.fvecs" \

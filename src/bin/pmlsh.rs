@@ -6,6 +6,7 @@
 //! pmlsh query       --data data.fvecs --queries queries.fvecs --k 10 [--c 1.5] [--algo pm-lsh]
 //! pmlsh bench       --data data.fvecs --queries queries.fvecs --k 10
 //! pmlsh batch-query --data audio=a.fvecs,deep=d.fvecs --index deep --queries q.fvecs --k 10
+//! pmlsh batch-query --addr 127.0.0.1:7878 --queries q.fvecs --k 10 [--binary]
 //! pmlsh serve       --data audio=a.fvecs,deep=d.pmlsh --port 7878 [--threads 4]
 //!                   [--shards 4] [--auth-token t] [--max-connections 1024]
 //!                   [--drain-timeout-ms 5000]
@@ -70,6 +71,9 @@ fn main() -> ExitCode {
                 "build-threads",
                 "batch-size",
                 "max-wait-us",
+                "addr",
+                "binary",
+                "auth-token",
             ],
         )
         .and_then(|()| cmd_batch_query(&opts)),
@@ -86,6 +90,7 @@ fn main() -> ExitCode {
                 "shards",
                 "auth-token",
                 "max-connections",
+                "max-index-connections",
                 "drain-timeout-ms",
             ],
         )
@@ -136,10 +141,12 @@ USAGE:
   pmlsh batch-query --data <specs> [--index <name>] --queries <file>
                [--k <n>] [--c <ratio>] [--threads <n>] [--build-threads <n>]
                [--no-truth]
+  pmlsh batch-query --addr <host:port> --queries <file> [--k <n>]
+               [--index <name>] [--auth-token <t>] [--binary]
   pmlsh serve  --data <specs> --port <p> [--threads <n>] [--c <ratio>]
                [--build-threads <n>] [--batch-size <n>] [--max-wait-us <µs>]
                [--shards <n>] [--auth-token <t>] [--max-connections <n>]
-               [--drain-timeout-ms <ms>]
+               [--max-index-connections <n>] [--drain-timeout-ms <ms>]
   pmlsh save   --data <file> --out <file.pmlsh> [--c <ratio>]
                [--build-threads <n>]
   pmlsh save   --addr <host:port> --out <server-side file.pmlsh>
@@ -161,7 +168,11 @@ headerless CSV; anything else is fvecs.
 answered with `OK <id>:<dist>,...`; also PING, STATS, INDEXINFO,
 LISTINDEXES, USE <name>, AUTH <token>, ATTACH <name> <path>,
 DETACH <name>, REINDEX <path>, INSERT <v1..vd>, DELETE <id>,
-SAVE <path> and QUIT (see docs/PROTOCOL.md). With --auth-token set, the
+SAVE <path> and QUIT (see docs/PROTOCOL.md). `HELLO binary` switches a
+connection to a length-prefixed binary framing for QUERY/PING;
+`batch-query --addr` runs a query file against a running server over
+either framing and prints one `query <i>: id:dist,...` line per query,
+so text and binary runs can be diffed. With --auth-token set, the
 mutating verbs (ATTACH/DETACH/REINDEX/INSERT/DELETE) and SAVE require a
 prior AUTH on the connection. `save` snapshots an index to a `.pmlsh`
 file: with --data it builds locally and writes --out; with --addr it
@@ -188,7 +199,7 @@ fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected --flag, got '{key}'"));
         }
         let name = key.trim_start_matches("--").to_string();
-        if name == "no-truth" {
+        if name == "no-truth" || name == "binary" {
             map.insert(name, "true".to_string());
             i += 1;
             continue;
@@ -471,6 +482,14 @@ fn parse_engine_config(opts: &HashMap<String, String>) -> Result<EngineConfig, S
 }
 
 fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(addr) = opts.get("addr") {
+        return wire_batch_query(addr, opts);
+    }
+    for flag in ["binary", "auth-token"] {
+        if opts.contains_key(flag) {
+            return Err(format!("--{flag} only applies with --addr (wire mode)"));
+        }
+    }
     let specs = parse_data_specs(opts.get("data").ok_or("batch-query needs --data")?)?;
     let (name, path) = match opts.get("index") {
         Some(wanted) => specs
@@ -530,6 +549,81 @@ fn cmd_batch_query(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `batch-query --addr`: runs the query file against a *running* server
+/// over the wire — newline text by default, length-prefixed binary with
+/// `--binary`. Every result prints as `query <i>: id:dist,...` so a text
+/// run and a binary run of the same file can be diffed line-for-line
+/// (`{}` on an f32 is shortest-roundtrip, so rendering the binary reply's
+/// bits locally reproduces the server's own text rendering exactly).
+fn wire_batch_query(addr: &str, opts: &HashMap<String, String>) -> Result<(), String> {
+    for flag in [
+        "data",
+        "c",
+        "threads",
+        "build-threads",
+        "batch-size",
+        "max-wait-us",
+        "no-truth",
+    ] {
+        if opts.contains_key(flag) {
+            return Err(format!(
+                "--{flag} does not apply with --addr (the server owns the index)"
+            ));
+        }
+    }
+    let queries = load(opts.get("queries").ok_or("batch-query needs --queries")?)?;
+    let k: usize = opts
+        .get("k")
+        .map(|s| s.parse().map_err(|_| "--k must be an integer"))
+        .transpose()?
+        .unwrap_or(10);
+    let binary = opts.contains_key("binary");
+
+    let mut client = WireClient::connect(addr)?;
+    client.setup_session(opts)?;
+    if binary {
+        client.hello_binary()?;
+    }
+
+    let start = Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        let rendered = if binary {
+            let pairs = client.query_binary(k as u32, q)?;
+            let mut s = String::new();
+            for (j, (id, dist)) in pairs.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{id}:{dist}"));
+            }
+            s
+        } else {
+            let mut line = String::from("QUERY ");
+            line.push_str(&k.to_string());
+            for v in q {
+                line.push(' ');
+                line.push_str(&v.to_string());
+            }
+            line.push('\n');
+            let reply = client.exchange(line)?;
+            match reply.strip_prefix("OK") {
+                Some(payload) => payload.trim_start().to_string(),
+                None => return Err(format!("server refused query {i}: {reply}")),
+            }
+        };
+        println!("query {i}: {rendered}");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "{} queries in {:.3} s  ({:.0} queries/s, {} framing)",
+        queries.len(),
+        elapsed,
+        queries.len() as f64 / elapsed,
+        if binary { "binary" } else { "text" }
+    );
+    Ok(())
+}
+
 fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     let specs = parse_data_specs(opts.get("data").ok_or("serve needs --data")?)?;
     let port: u16 = opts
@@ -580,8 +674,17 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     if auth_token.as_deref() == Some("") {
         return Err("--auth-token must not be empty (omit it to serve open)".into());
     }
+    let max_connections_per_index: usize = opts
+        .get("max-index-connections")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| "--max-index-connections must be an integer")
+        })
+        .transpose()?
+        .unwrap_or_else(|| ServerConfig::default().max_connections_per_index);
     let server_config = ServerConfig {
         max_connections,
+        max_connections_per_index,
         drain_timeout,
         auth_token,
         // Wire ATTACHes inherit the CLI's parameters and engine tuning.
@@ -804,6 +907,50 @@ impl WireClient {
             ));
         }
         Ok(reply.trim_end().to_string())
+    }
+
+    /// Switches this connection to the length-prefixed binary framing.
+    /// Must run after `setup_session` (AUTH/USE are text-only verbs).
+    fn hello_binary(&mut self) -> Result<(), String> {
+        let reply = self.exchange("HELLO binary\n".to_string())?;
+        if reply != "OK binary" {
+            return Err(format!("{}: HELLO binary refused: {reply}", self.addr));
+        }
+        Ok(())
+    }
+
+    /// One binary QUERY round-trip; returns the (id, distance) pairs.
+    fn query_binary(&mut self, k: u32, query: &[f32]) -> Result<Vec<(u64, f32)>, String> {
+        use std::io::{Read, Write};
+        let mut framed = Vec::new();
+        pm_lsh::engine::frame::encode_query(k, query, &mut framed);
+        self.writer
+            .write_all(&framed)
+            .map_err(|e| format!("sending to {}: {e}", self.addr))?;
+        let mut prefix = [0u8; 4];
+        self.reader
+            .read_exact(&mut prefix)
+            .map_err(|e| format!("reading from {}: {e}", self.addr))?;
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > 1 << 20 {
+            return Err(format!(
+                "{} sent an implausible {len}-byte reply frame",
+                self.addr
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| format!("reading from {}: {e}", self.addr))?;
+        match pm_lsh::engine::frame::decode_reply(&payload)
+            .map_err(|e| format!("{} sent a bad frame: {e}", self.addr))?
+        {
+            pm_lsh::engine::frame::Reply::Ok(pairs) => Ok(pairs),
+            pm_lsh::engine::frame::Reply::Err(msg) => Err(format!("server refused: {msg}")),
+            pm_lsh::engine::frame::Reply::Pong => {
+                Err(format!("{} answered QUERY with PONG", self.addr))
+            }
+        }
     }
 
     /// Establishes the per-connection session state: `AUTH` when

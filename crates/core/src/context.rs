@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! Reusable per-thread query state.
 //!
 //! Every `(c, k)`-ANN query needs a projected-query buffer (`m` floats), a
@@ -55,6 +57,7 @@ impl QueryContext {
     pub fn new() -> Self {
         Self {
             scratch: CursorScratch::new(),
+            // lint: allow(hot-path) -- one-time constructor; queries reuse the buffers
             qp: Vec::new(),
             // Placeholder k; every query resets the collector to its own k.
             top: TopK::new(1),

@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! The PM-LSH index: build, (r,c)-BC queries (Algorithm 1) and (c,k)-ANN
 //! queries (Algorithm 2).
 
@@ -277,6 +279,7 @@ impl PmLsh {
         } else {
             // Degenerate single-point dataset: any start radius works, the
             // radius enlargement of Algorithm 2 takes over immediately.
+            // lint: allow(hot-path) -- one-time build path, not a query
             Ecdf::new(vec![1.0])
         };
         Self {
@@ -436,6 +439,7 @@ impl PmLsh {
             return Err("cannot index an empty dataset".into());
         }
         if projector.input_dim() != data.dim() {
+            // lint: allow(hot-path) -- load-time validation error path
             return Err(format!(
                 "projector reads R^{}, data lives in R^{}",
                 projector.input_dim(),
@@ -443,6 +447,7 @@ impl PmLsh {
             ));
         }
         if projector.output_dim() != params.m as usize {
+            // lint: allow(hot-path) -- load-time validation error path
             return Err(format!(
                 "projector writes R^{}, params declare m={}",
                 projector.output_dim(),
@@ -450,6 +455,7 @@ impl PmLsh {
             ));
         }
         if tree.dim() != params.m as usize {
+            // lint: allow(hot-path) -- load-time validation error path
             return Err(format!(
                 "tree indexes R^{}, params declare m={}",
                 tree.dim(),
@@ -457,6 +463,7 @@ impl PmLsh {
             ));
         }
         if tree.len() > data.len() {
+            // lint: allow(hot-path) -- load-time validation error path
             return Err(format!(
                 "{} live tree points but only {} stored rows",
                 tree.len(),
@@ -468,6 +475,7 @@ impl PmLsh {
             .iter()
             .find(|&&id| id as usize >= data.len())
         {
+            // lint: allow(hot-path) -- load-time validation error path
             return Err(format!(
                 "external id {bad} outside the {}-row point store",
                 data.len()
@@ -526,6 +534,7 @@ impl PmLsh {
     /// results are bit-identical to [`PmLsh::query`], only the allocation
     /// behavior differs).
     pub fn query_with_context(&self, q: &[f32], k: usize, ctx: &mut QueryContext) -> QueryResult {
+        // lint: allow(hot-path) -- owned-result convenience; query_into is the zero-alloc entry
         let mut neighbors = Vec::new();
         let stats = self.query_into(q, k, self.params.c, ctx, &mut neighbors);
         QueryResult { neighbors, stats }
@@ -536,6 +545,7 @@ impl PmLsh {
     /// budget `βn + k` is re-derived for the given `c` unless the index was
     /// built with a pinned `β`.
     pub fn query_with_c(&self, q: &[f32], k: usize, c: f64) -> QueryResult {
+        // lint: allow(hot-path) -- owned-result convenience; query_into is the zero-alloc entry
         let mut neighbors = Vec::new();
         let stats = self.query_into(q, k, c, &mut QueryContext::new(), &mut neighbors);
         QueryResult { neighbors, stats }
@@ -610,6 +620,7 @@ impl PmLsh {
         budget: usize,
         ctx: &mut QueryContext,
     ) -> QueryResult {
+        // lint: allow(hot-path) -- owned-result convenience; query_fanout_into is zero-alloc
         let mut neighbors = Vec::new();
         let stats = self.query_fanout_into(q, k, budget, ctx, &mut neighbors);
         QueryResult { neighbors, stats }
@@ -808,6 +819,7 @@ impl PmLsh {
         );
         let nq = queries.len();
         if nq == 0 {
+            // lint: allow(hot-path) -- empty batch early-out, never per-query
             return Vec::new();
         }
         let threads = if threads == 0 {
@@ -837,6 +849,7 @@ impl PmLsh {
         });
         results
             .into_iter()
+            // lint: allow(hot-path) -- batch API join; the scope above filled every chunk
             .map(|r| r.expect("all query slots filled"))
             .collect()
     }

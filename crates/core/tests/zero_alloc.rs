@@ -17,22 +17,29 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to [`System`] — every contract (layout
+// validity, pointer provenance) is forwarded unchanged; the counter is an
+// atomic and allocation-free.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated to System.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated to System.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated to System.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated to System.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

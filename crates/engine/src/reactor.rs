@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! The readiness-notification core under the TCP serving layer: a
 //! std-only `epoll(7)` wrapper (raw syscalls through `std::os::fd`, no
 //! external crates) plus the self-pipe waker that lets worker-pool
@@ -120,6 +122,7 @@ pub(crate) struct Poller {
 #[cfg(any(target_os = "linux", target_os = "android"))]
 impl Poller {
     pub(crate) fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; the flag is a valid value.
         let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -153,6 +156,8 @@ impl Poller {
             events: Self::bits(interest),
             data: token,
         };
+        // SAFETY: `ev` is a live stack value for the duration of the call;
+        // the kernel validates the fds and op.
         if unsafe { sys::epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) } < 0 {
             return Err(io::Error::last_os_error());
         }
@@ -190,6 +195,8 @@ impl Poller {
             Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as std::ffi::c_int,
         };
         let mut buf = [sys::EpollEvent { events: 0, data: 0 }; 64];
+        // SAFETY: `buf` holds exactly the 64 entries we advertise; the
+        // kernel writes at most that many.
         let n = unsafe { sys::epoll_wait(self.epfd.as_raw_fd(), buf.as_mut_ptr(), 64, timeout_ms) };
         if n < 0 {
             let e = io::Error::last_os_error();
@@ -256,6 +263,7 @@ impl Poller {
 
     /// Registers `fd` under `token` with `interest`.
     pub(crate) fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        // lint: allow(hot-path) -- portable poll(2) fallback, not the Linux epoll production path
         self.regs
             .lock()
             .expect("poller registrations poisoned")
@@ -265,6 +273,7 @@ impl Poller {
 
     /// Replaces the interest of an already-registered `fd`.
     pub(crate) fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        // lint: allow(hot-path) -- portable poll(2) fallback, not the Linux epoll production path
         let mut regs = self.regs.lock().expect("poller registrations poisoned");
         match regs.iter_mut().find(|(f, _, _)| *f == fd) {
             Some(reg) => {
@@ -277,6 +286,7 @@ impl Poller {
 
     /// Deregisters `fd`; its token stops firing.
     pub(crate) fn delete(&self, fd: RawFd) -> io::Result<()> {
+        // lint: allow(hot-path) -- portable poll(2) fallback, not the Linux epoll production path
         self.regs
             .lock()
             .expect("poller registrations poisoned")
@@ -291,6 +301,7 @@ impl Poller {
         timeout: Option<Duration>,
     ) -> io::Result<()> {
         events.clear();
+        // lint: allow(hot-path) -- portable poll(2) fallback, not the Linux epoll production path
         let regs = self
             .regs
             .lock()
@@ -317,6 +328,7 @@ impl Poller {
             None => -1,
             Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as std::ffi::c_int,
         };
+        // SAFETY: `fds` is a live Vec whose length matches the count we pass.
         let n = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_uint, timeout_ms) };
         if n < 0 {
             let e = io::Error::last_os_error();
@@ -347,10 +359,12 @@ impl Poller {
 /// Puts `fd` into non-blocking mode (the workspace-local
 /// `set_nonblocking` for fds std does not expose one on, i.e. pipes).
 fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: F_GETFL takes no pointer argument; the kernel validates `fd`.
     let flags = unsafe { sys::fcntl(fd, sys::F_GETFL, 0) };
     if flags < 0 {
         return Err(io::Error::last_os_error());
     }
+    // SAFETY: F_SETFL takes a plain flag word, no pointers.
     if unsafe { sys::fcntl(fd, sys::F_SETFL, flags | sys::O_NONBLOCK) } < 0 {
         return Err(io::Error::last_os_error());
     }

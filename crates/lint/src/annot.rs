@@ -1,0 +1,216 @@
+//! The `lint:` annotation grammar.
+//!
+//! Two forms, both living in ordinary comments so they cost nothing at
+//! compile time:
+//!
+//! * **Module marker** — an inner doc line `//! lint: hot-path` opts the
+//!   whole file into the hot-path purity pass.
+//! * **Escape hatch** — `// lint: allow(<pass>) -- <reason>` suppresses
+//!   one pass for the *statement* it precedes (from the comment's line up
+//!   to and including the next `;`). The reason is mandatory: an allow
+//!   without one is itself a finding, so every suppression is documented
+//!   at the site it applies to.
+//!
+//! Any other comment whose text starts with `lint:` is reported as a
+//! malformed annotation rather than silently ignored — a typo like
+//! `lint: alow(hot-path)` must not quietly disable nothing.
+
+use crate::lexer::{CommentKind, LexFile, Tok};
+use crate::{Finding, Pass};
+
+/// One parsed escape hatch with its token-index scope.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// Which pass is suppressed.
+    pub pass: Pass,
+    /// The comment's line (for reporting).
+    pub line: u32,
+    /// The documented reason (after ` -- `).
+    pub reason: String,
+    /// Suppressed token indexes: `start..=end` into [`LexFile::tokens`].
+    pub tok_start: usize,
+    /// Inclusive end of the suppressed range.
+    pub tok_end: usize,
+}
+
+/// All `lint:` annotations found in one file.
+#[derive(Clone, Debug, Default)]
+pub struct Annotations {
+    /// File carries the `//! lint: hot-path` module marker.
+    pub hot_path: bool,
+    /// Scoped escape hatches.
+    pub allows: Vec<Allow>,
+}
+
+impl Annotations {
+    /// `true` if `pass` is suppressed for the token at `tok_idx`.
+    pub fn is_allowed(&self, pass: Pass, tok_idx: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.pass == pass && tok_idx >= a.tok_start && tok_idx <= a.tok_end)
+    }
+}
+
+fn parse_pass(name: &str) -> Option<Pass> {
+    match name {
+        "unsafe-audit" => Some(Pass::UnsafeAudit),
+        "hot-path" => Some(Pass::HotPath),
+        "protocol" => Some(Pass::Protocol),
+        "ffi-audit" => Some(Pass::FfiAudit),
+        _ => None,
+    }
+}
+
+/// Scope of a hatch at `line`: tokens from the first token at/after `line`
+/// up to and including the next `;` (or end of file). This makes the hatch
+/// work both on its own line above a statement and trailing at the end of
+/// one, and lets one hatch cover a method chain split across lines.
+fn hatch_scope(file: &LexFile, line: u32) -> (usize, usize) {
+    let start = file
+        .tokens
+        .iter()
+        .position(|t| t.line >= line)
+        .unwrap_or(file.tokens.len());
+    let end = file.tokens[start..]
+        .iter()
+        .position(|t| t.tok == Tok::Punct(';'))
+        .map(|off| start + off)
+        .unwrap_or_else(|| file.tokens.len().saturating_sub(1));
+    (start, end)
+}
+
+/// Extracts every `lint:` annotation from `file`, reporting malformed ones
+/// into `findings`.
+pub fn parse(file: &LexFile, path: &str, findings: &mut Vec<Finding>) -> Annotations {
+    let mut out = Annotations::default();
+    for comment in &file.comments {
+        let text = comment.text.trim();
+        let Some(body) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let body = body.trim();
+        if body == "hot-path" {
+            if comment.kind == CommentKind::InnerDoc {
+                out.hot_path = true;
+            } else {
+                findings.push(Finding::new(
+                    path,
+                    comment.line,
+                    Pass::Annotation,
+                    "`lint: hot-path` must be an inner doc comment (`//! lint: hot-path`) \
+                     so it marks the whole module",
+                ));
+            }
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix("allow(") {
+            let Some((pass_name, after)) = rest.split_once(')') else {
+                findings.push(Finding::new(
+                    path,
+                    comment.line,
+                    Pass::Annotation,
+                    "malformed `lint: allow(...)`: missing closing parenthesis",
+                ));
+                continue;
+            };
+            let Some(pass) = parse_pass(pass_name.trim()) else {
+                findings.push(Finding::new(
+                    path,
+                    comment.line,
+                    Pass::Annotation,
+                    format!(
+                        "unknown lint pass '{}' (expected unsafe-audit, hot-path, \
+                         protocol or ffi-audit)",
+                        pass_name.trim()
+                    ),
+                ));
+                continue;
+            };
+            let reason = after.trim_start().strip_prefix("--").map(str::trim);
+            match reason {
+                Some(r) if !r.is_empty() => {
+                    let (tok_start, tok_end) = hatch_scope(file, comment.line);
+                    out.allows.push(Allow {
+                        pass,
+                        line: comment.line,
+                        reason: r.to_string(),
+                        tok_start,
+                        tok_end,
+                    });
+                }
+                _ => findings.push(Finding::new(
+                    path,
+                    comment.line,
+                    Pass::Annotation,
+                    "`lint: allow(...)` requires a reason: \
+                     `// lint: allow(<pass>) -- <reason>`",
+                )),
+            }
+            continue;
+        }
+        findings.push(Finding::new(
+            path,
+            comment.line,
+            Pass::Annotation,
+            format!("unrecognized `lint:` annotation '{body}'"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn hot_path_marker_requires_inner_doc() {
+        let mut findings = Vec::new();
+        let file = lex("//! lint: hot-path\nfn f() {}\n").unwrap();
+        assert!(parse(&file, "x.rs", &mut findings).hot_path);
+        assert!(findings.is_empty());
+
+        let file = lex("// lint: hot-path\nfn f() {}\n").unwrap();
+        assert!(!parse(&file, "x.rs", &mut findings).hot_path);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn allow_scope_covers_the_next_statement() {
+        let mut findings = Vec::new();
+        let src = "fn f() {\n    // lint: allow(hot-path) -- cold constructor\n    let v = Vec::new();\n    let w = Vec::new();\n}\n";
+        let file = lex(src).unwrap();
+        let ann = parse(&file, "x.rs", &mut findings);
+        assert!(findings.is_empty());
+        assert_eq!(ann.allows.len(), 1);
+        // `Vec` of the first statement is covered, the second is not.
+        let first_vec = file
+            .tokens
+            .iter()
+            .position(|t| t.tok == Tok::Ident("Vec".into()))
+            .unwrap();
+        let second_vec = file
+            .tokens
+            .iter()
+            .rposition(|t| t.tok == Tok::Ident("Vec".into()))
+            .unwrap();
+        assert!(ann.is_allowed(Pass::HotPath, first_vec));
+        assert!(!ann.is_allowed(Pass::HotPath, second_vec));
+        assert!(!ann.is_allowed(Pass::UnsafeAudit, first_vec));
+    }
+
+    #[test]
+    fn malformed_allows_are_findings() {
+        for bad in [
+            "// lint: allow(hot-path)\nfn f() {}\n",     // missing reason
+            "// lint: allow(hot-path) -- \nfn f() {}\n", // empty reason
+            "// lint: allow(no-such-pass) -- x\nfn f() {}", // unknown pass
+            "// lint: alow(hot-path) -- typo\nfn f() {}\n", // typo'd verb
+        ] {
+            let mut findings = Vec::new();
+            let file = lex(bad).unwrap();
+            parse(&file, "x.rs", &mut findings);
+            assert_eq!(findings.len(), 1, "expected one finding for {bad:?}");
+        }
+    }
+}

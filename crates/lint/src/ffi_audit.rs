@@ -1,0 +1,207 @@
+//! Pass 4 — FFI-result audit.
+//!
+//! The reactor declares its own `extern "C"` syscall prototypes (the
+//! workspace has no libc crate), and every one of them reports failure
+//! through its return value + `errno`. A discarded return silently
+//! swallows `EBADF`/`EINTR`/`ENOMEM` — exactly the class of bug a
+//! reviewer stops seeing after the tenth wrapper.
+//!
+//! The rule: a call to any function declared inside an `extern "C"` block
+//! *in the same file* must not be in discard position. Discard position
+//! means the call (possibly wrapped in `unsafe { ... }`) forms a bare
+//! expression statement, or is bound to `let _ =`. Anything that routes
+//! the value somewhere — `let fd = ...`, `if ... < 0`, a `match`, passing
+//! it to a function — counts as checked; the lint enforces that the value
+//! *flows*, the tests enforce what the caller does with it.
+
+use crate::annot::Annotations;
+use crate::lexer::{LexFile, Tok};
+use crate::{Finding, Pass};
+
+/// Names declared in `extern "C" { ... }` blocks in this file.
+fn extern_fn_names(file: &LexFile) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_extern_c = matches!(&toks[i].tok, Tok::Ident(w) if w == "extern")
+            && matches!(&toks.get(i + 1).map(|t| &t.tok), Some(Tok::Str(abi)) if abi == "C")
+            && toks.get(i + 2).map(|t| &t.tok) == Some(&Tok::Punct('{'));
+        if !is_extern_c {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(w) if w == "fn" => {
+                    if let Some(Tok::Ident(name)) = toks.get(j + 1).map(|t| &t.tok) {
+                        names.push(name.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    names
+}
+
+/// Walks left from the called identifier across its path qualifier
+/// (`sys::poll` → the token before `sys`) and an `unsafe {` wrapper,
+/// returning the index of the first *context* token, if any.
+fn context_before_call(file: &LexFile, mut idx: usize) -> Option<usize> {
+    let toks = &file.tokens;
+    // Path qualifiers: `seg :: name` repeatedly.
+    while idx >= 3
+        && toks[idx - 1].tok == Tok::Punct(':')
+        && toks[idx - 2].tok == Tok::Punct(':')
+        && matches!(&toks[idx - 3].tok, Tok::Ident(_))
+    {
+        idx -= 3;
+    }
+    // An `unsafe {` directly wrapping the call is transparent: the block's
+    // value is the call's value.
+    while idx >= 2
+        && toks[idx - 1].tok == Tok::Punct('{')
+        && matches!(&toks[idx - 2].tok, Tok::Ident(w) if w == "unsafe")
+    {
+        idx -= 2;
+    }
+    idx.checked_sub(1)
+}
+
+/// Runs the pass: flags calls to this file's `extern "C"` functions whose
+/// result is discarded.
+pub fn check(file: &LexFile, path: &str, ann: &Annotations, findings: &mut Vec<Finding>) {
+    let names = extern_fn_names(file);
+    if names.is_empty() {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let Tok::Ident(word) = &toks[i].tok else {
+            continue;
+        };
+        if !names.iter().any(|n| n == word)
+            || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+        {
+            continue;
+        }
+        // Skip the declaration itself (`fn poll(` inside the extern block).
+        if i > 0 && matches!(&toks[i - 1].tok, Tok::Ident(w) if w == "fn") {
+            continue;
+        }
+        let discarded = match context_before_call(file, i) {
+            // Start of file: a call cannot be the first token of a valid
+            // program, but treat it as a statement to be safe.
+            None => true,
+            Some(ctx) => match &toks[ctx].tok {
+                // Bare expression statement.
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => true,
+                // `let _ = call(...)` — an explicit discard.
+                Tok::Punct('=') => {
+                    ctx >= 2
+                        && toks[ctx - 1].tok == Tok::Ident("_".to_string())
+                        && matches!(&toks[ctx - 2].tok, Tok::Ident(w) if w == "let")
+                }
+                _ => false,
+            },
+        };
+        if discarded && !ann.is_allowed(Pass::FfiAudit, i) {
+            findings.push(Finding::new(
+                path,
+                toks[i].line,
+                Pass::FfiAudit,
+                format!(
+                    "return value of extern \"C\" fn `{word}` is discarded — check it and \
+                     route errno (`io::Error::last_os_error()`), or document why not with \
+                     `// lint: allow(ffi-audit) -- <reason>`"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot;
+    use crate::lexer::lex;
+
+    const DECLS: &str =
+        "extern \"C\" { pub fn close(fd: i32) -> i32; pub fn poll(p: *mut u8) -> i32; }\n";
+
+    fn run(body: &str) -> Vec<Finding> {
+        let src = format!("{DECLS}{body}");
+        let file = lex(&src).unwrap();
+        let mut findings = Vec::new();
+        let ann = annot::parse(&file, "t.rs", &mut findings);
+        check(&file, "t.rs", &ann, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn bare_statement_call_is_flagged() {
+        let f = run("fn f(fd: i32) { unsafe { close(fd); } }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn let_underscore_is_flagged() {
+        let f = run("fn f(fd: i32) { let _ = unsafe { close(fd) }; }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn checked_calls_pass() {
+        let f = run(concat!(
+            "fn f(fd: i32) -> std::io::Result<()> {\n",
+            "    let rc = unsafe { close(fd) };\n",
+            "    if rc < 0 { return Err(std::io::Error::last_os_error()); }\n",
+            "    if unsafe { sys::poll(core::ptr::null_mut()) } < 0 { panic!(); }\n",
+            "    Ok(())\n",
+            "}\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn qualified_discard_is_still_flagged() {
+        let f = run("fn f() { unsafe { sys::poll(core::ptr::null_mut()); } }\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn allow_hatch_documents_an_intentional_discard() {
+        let f = run(concat!(
+            "fn f(fd: i32) {\n",
+            "    // lint: allow(ffi-audit) -- best-effort close on the drop path\n",
+            "    unsafe { close(fd); }\n",
+            "}\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn non_ffi_calls_are_ignored() {
+        let f = run("fn f() { helper(); other::thing(); }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn declaration_is_not_a_call() {
+        // The extern block itself declares `fn close(...)`: not a call.
+        let f = run("");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

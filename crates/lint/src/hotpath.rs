@@ -1,0 +1,273 @@
+//! Pass 2 — hot-path purity.
+//!
+//! Modules that opt in with `//! lint: hot-path` promise the PR-3
+//! contract: no allocation, no panic machinery, no blocking and no I/O on
+//! the steady-state query path. The pass turns that promise into a
+//! source-level gate by banning, outside `#[cfg(test)]` items:
+//!
+//! | banned                  | why                                        |
+//! |-------------------------|--------------------------------------------|
+//! | `unwrap(` / `expect(`   | hidden panic paths                         |
+//! | `panic!` / `todo!` / `unimplemented!` | explicit panic paths         |
+//! | `format!` / `vec!` / `Vec::new` / `to_vec` | heap allocation       |
+//! | `.lock()`               | blocking on the reactor / query thread     |
+//! | `println!` / `eprintln!` / `dbg!` | I/O (and allocation) in kernels  |
+//!
+//! `assert!`/`debug_assert!` stay legal: the SIMD kernels deliberately
+//! keep hard length contracts, and an assert is a *documented* invariant,
+//! not an accidental panic path. Cold one-time setup inside a hot module
+//! (constructors, error formatting on the failure path) uses the scoped
+//! escape hatch: `// lint: allow(hot-path) -- <reason>`.
+
+use crate::annot::Annotations;
+use crate::lexer::{LexFile, Tok};
+use crate::{Finding, Pass};
+
+/// Banned method-style identifiers (identifier directly followed by `(`).
+const BANNED_CALLS: [&str; 3] = ["unwrap", "expect", "to_vec"];
+
+/// Banned macros (identifier directly followed by `!`).
+const BANNED_MACROS: [&str; 7] = [
+    "panic",
+    "format",
+    "println",
+    "eprintln",
+    "vec",
+    "todo",
+    "unimplemented",
+];
+
+fn ident_at(file: &LexFile, idx: usize) -> Option<&str> {
+    match file.tokens.get(idx).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(file: &LexFile, idx: usize, c: char) -> bool {
+    file.tokens.get(idx).is_some_and(|t| t.tok == Tok::Punct(c))
+}
+
+/// Token-index ranges covered by `#[cfg(test)]`-ish attributes (any `cfg`
+/// attribute mentioning `test`), each extended over the item that follows
+/// (to its closing `}` or, for brace-less items, its `;`).
+fn cfg_test_ranges(file: &LexFile) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].tok != Tok::Punct('#')
+            || toks.get(i + 1).map(|t| &t.tok) != Some(&Tok::Punct('['))
+        {
+            i += 1;
+            continue;
+        }
+        // Parse the attribute to its matching `]`.
+        let attr_start = i;
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() {
+            match &toks[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Ident(word) => {
+                    if word == "cfg" || word == "cfg_attr" {
+                        saw_cfg = true;
+                    }
+                    if word == "test" {
+                        saw_test = true;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes before the item itself.
+        let mut k = j + 1;
+        while k + 1 < toks.len()
+            && toks[k].tok == Tok::Punct('#')
+            && toks[k + 1].tok == Tok::Punct('[')
+        {
+            let mut d = 0i32;
+            while k < toks.len() {
+                match toks[k].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        // The item runs to its matching close brace, or to `;` for
+        // brace-less items (`#[cfg(test)] use super::*;`).
+        let mut d = 0i32;
+        let mut end = k;
+        while end < toks.len() {
+            match toks[end].tok {
+                Tok::Punct('{') => d += 1,
+                Tok::Punct('}') => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct(';') if d == 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        ranges.push((attr_start, end.min(toks.len().saturating_sub(1))));
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Runs the pass over one `//! lint: hot-path` module.
+pub fn check(file: &LexFile, path: &str, ann: &Annotations, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    let test_ranges = cfg_test_ranges(file);
+    let in_test = |idx: usize| test_ranges.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let mut report = |idx: usize, line: u32, what: &str| {
+        if in_test(idx) || ann.is_allowed(Pass::HotPath, idx) {
+            return;
+        }
+        findings.push(Finding::new(
+            path,
+            line,
+            Pass::HotPath,
+            format!(
+                "{what} is banned in hot-path modules (use `// lint: allow(hot-path) -- \
+                 <reason>` for genuinely cold code)"
+            ),
+        ));
+    };
+    for (i, token) in toks.iter().enumerate() {
+        let line = token.line;
+        match &token.tok {
+            Tok::Punct('.')
+                if ident_at(file, i + 1) == Some("lock") && punct_at(file, i + 2, '(') =>
+            {
+                report(i, line, "`.lock()` (blocking)");
+            }
+            Tok::Ident(word) => {
+                if BANNED_CALLS.contains(&word.as_str()) && punct_at(file, i + 1, '(') {
+                    report(i, line, &format!("`{word}()` (panic/allocation path)"));
+                } else if BANNED_MACROS.contains(&word.as_str()) && punct_at(file, i + 1, '!') {
+                    report(i, line, &format!("`{word}!`"));
+                } else if word == "Vec"
+                    && punct_at(file, i + 1, ':')
+                    && punct_at(file, i + 2, ':')
+                    && ident_at(file, i + 3) == Some("new")
+                {
+                    report(i, line, "`Vec::new` (allocation)");
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = lex(src).unwrap();
+        let mut findings = Vec::new();
+        let ann = annot::parse(&file, "t.rs", &mut findings);
+        check(&file, "t.rs", &ann, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn banned_constructs_are_flagged() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "fn f(o: Option<u32>) -> u32 {\n",
+            "    let v = Vec::new();\n",
+            "    let w = o.to_vec();\n",
+            "    let g = m.lock();\n",
+            "    let s = format!(\"{}\", 1);\n",
+            "    o.unwrap()\n",
+            "}\n",
+        ));
+        assert_eq!(f.len(), 5, "{f:?}");
+    }
+
+    #[test]
+    fn prose_and_tests_are_exempt() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "/// Call `.unwrap()` at your peril; `Vec::new` allocates.\n",
+            "fn ok() {}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    fn t() { Some(1).unwrap(); panic!(\"x\"); }\n",
+            "}\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_is_exempt() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "#[cfg(test)]\n",
+            "fn helper() { Some(1).unwrap(); }\n",
+            "fn hot() { Some(1).unwrap(); }\n",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn allow_hatch_is_scoped_to_one_statement() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "fn f() {\n",
+            "    // lint: allow(hot-path) -- one-time cold constructor\n",
+            "    let a = Vec::new();\n",
+            "    let b = Vec::new();\n",
+            "}\n",
+        ));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn into_vec_and_unwrap_or_do_not_match() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "fn f(h: H) { h.into_vec(); o.unwrap_or(3); }\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn asserts_stay_legal() {
+        let f = run(concat!(
+            "//! lint: hot-path\n",
+            "fn f(a: &[f32], b: &[f32]) { assert_eq!(a.len(), b.len()); debug_assert!(true); }\n",
+        ));
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

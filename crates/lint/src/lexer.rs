@@ -1,0 +1,546 @@
+//! A comment/string/char-aware Rust tokenizer — just enough lexing for the
+//! lint passes, no parsing.
+//!
+//! The passes need three things a `grep` cannot give them:
+//!
+//! * banned identifiers must not fire inside comments, doc comments or
+//!   string literals (`"call .unwrap() here"` is prose, not code);
+//! * `to_vec` must not match inside `into_vec` (tokens, not substrings);
+//! * comments must come back out *separately*, with line numbers, so the
+//!   `// SAFETY:` adjacency rule and the `// lint:` annotation grammar can
+//!   be checked against the code they sit next to.
+//!
+//! The lexer is intentionally forgiving about things the passes never look
+//! at (it does not validate numeric suffixes, nested generics, or operator
+//! jointness) but it is exact about the comment/string/char boundaries that
+//! decide what is code.
+
+/// One lexed code token (comments are reported separately).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal, radix-decoded, suffix stripped.
+    Int(u128),
+    /// Float literal (value unused by any pass).
+    Float,
+    /// String, byte-string or raw-string literal; content as written
+    /// (escapes not processed — the passes only match ASCII literals
+    /// like `PMLSHSNP` that contain none).
+    Str(String),
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// What kind of comment a [`Comment`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `// ...`
+    Line,
+    /// `/// ...` (outer doc)
+    OuterDoc,
+    /// `//! ...` (inner doc)
+    InnerDoc,
+    /// `/* ... */` (block, any flavor)
+    Block,
+}
+
+/// A comment with its starting line and its text (delimiters stripped).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comment {
+    pub kind: CommentKind,
+    pub line: u32,
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct LexFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl LexFile {
+    /// All comments starting exactly on `line`.
+    pub fn comments_on(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+
+    /// `true` if any code token starts on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Tokens are emitted in order; a binary search would work, but the
+        // files are small and the passes call this rarely.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+/// Why lexing failed (always a fatal, file-level condition).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn error(&self, message: &str) -> LexError {
+        LexError {
+            line: self.line,
+            message: message.to_string(),
+        }
+    }
+
+    fn line_comment(&mut self, out: &mut LexFile) {
+        let start_line = self.line;
+        // Past the `//`; classify by the next char.
+        self.pos += 2;
+        let kind = match self.peek() {
+            Some(b'/') if self.peek_at(1) != Some(b'/') => {
+                self.pos += 1;
+                CommentKind::OuterDoc
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                CommentKind::InnerDoc
+            }
+            _ => CommentKind::Line,
+        };
+        let text_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        out.comments.push(Comment {
+            kind,
+            line: start_line,
+            text: String::from_utf8_lossy(&self.src[text_start..self.pos]).into_owned(),
+        });
+    }
+
+    fn block_comment(&mut self, out: &mut LexFile) -> Result<(), LexError> {
+        let start_line = self.line;
+        self.pos += 2; // past `/*`
+        let text_start = self.pos;
+        let mut depth = 1usize;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated block comment")),
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text =
+                            String::from_utf8_lossy(&self.src[text_start..self.pos]).into_owned();
+                        self.pos += 2;
+                        out.comments.push(Comment {
+                            kind: CommentKind::Block,
+                            line: start_line,
+                            text,
+                        });
+                        return Ok(());
+                    }
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a `"..."` body (opening quote already consumed).
+    fn string_body(&mut self) -> Result<String, LexError> {
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(b'"') => {
+                    return Ok(String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned());
+                }
+                Some(b'\\') => {
+                    // Skip whatever is escaped (covers \" and \\; multi-char
+                    // escapes like \u{..} contain no bare quote).
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string `r##"..."##` with `hashes` hashes (the `r`,
+    /// hashes and opening quote already consumed).
+    fn raw_string_body(&mut self, hashes: usize) -> Result<String, LexError> {
+        let start = self.pos;
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated raw string literal")),
+                Some(b'"') => {
+                    let tail = &self.src[self.pos..];
+                    if tail.len() >= hashes && tail[..hashes].iter().all(|&b| b == b'#') {
+                        let text =
+                            String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned();
+                        self.pos += hashes;
+                        return Ok(text);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Consumes a char/byte literal body (opening `'` already consumed).
+    fn char_body(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated character literal")),
+                Some(b'\'') => return Ok(()),
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn number(&mut self, out: &mut LexFile) {
+        let line = self.line;
+        let start = self.pos;
+        let mut radix = 10u32;
+        if self.peek() == Some(b'0') {
+            match self.peek_at(1) {
+                Some(b'x') | Some(b'X') => {
+                    radix = 16;
+                    self.pos += 2;
+                }
+                Some(b'o') | Some(b'O') => {
+                    radix = 8;
+                    self.pos += 2;
+                }
+                Some(b'b') | Some(b'B') => {
+                    radix = 2;
+                    self.pos += 2;
+                }
+                _ => {}
+            }
+        }
+        let digits_start = self.pos;
+        let is_digit = |b: u8| -> bool {
+            match radix {
+                16 => b.is_ascii_hexdigit(),
+                _ => b.is_ascii_digit(),
+            }
+        };
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            if is_digit(b) || b == b'_' {
+                self.pos += 1;
+            } else if radix == 10
+                && b == b'.'
+                && self.peek_at(1).is_some_and(|n| n.is_ascii_digit())
+            {
+                float = true;
+                self.pos += 1;
+            } else if radix == 10
+                && (b == b'e' || b == b'E')
+                && self
+                    .peek_at(1)
+                    .is_some_and(|n| n.is_ascii_digit() || n == b'+' || n == b'-')
+            {
+                float = true;
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+        let digits_end = self.pos;
+        // Suffix (u8, usize, f32, …): consume trailing ident chars.
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                // A decimal suffix starting with f marks a float (1f32).
+                if radix == 10 && (b == b'f') {
+                    float = true;
+                }
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if float {
+            out.tokens.push(Token {
+                tok: Tok::Float,
+                line,
+            });
+            return;
+        }
+        let digits: String = self.src[digits_start..digits_end]
+            .iter()
+            .filter(|&&b| b != b'_')
+            .map(|&b| b as char)
+            .collect();
+        let value = u128::from_str_radix(&digits, radix).unwrap_or(u128::MAX);
+        let _ = start;
+        out.tokens.push(Token {
+            tok: Tok::Int(value),
+            line,
+        });
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// Lexes one Rust source file into code tokens plus comments.
+pub fn lex(src: &str) -> Result<LexFile, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = LexFile::default();
+    while let Some(b) = lx.peek() {
+        let line = lx.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek_at(1) == Some(b'/') => lx.line_comment(&mut out),
+            b'/' if lx.peek_at(1) == Some(b'*') => lx.block_comment(&mut out)?,
+            b'"' => {
+                lx.pos += 1;
+                let text = lx.string_body()?;
+                out.tokens.push(Token {
+                    tok: Tok::Str(text),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a` not followed by a closing quote) vs char.
+                let is_lifetime = lx
+                    .peek_at(1)
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+                    && lx.peek_at(2) != Some(b'\'');
+                lx.pos += 1;
+                if is_lifetime {
+                    lx.ident();
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                } else {
+                    lx.char_body()?;
+                    out.tokens.push(Token {
+                        tok: Tok::Char,
+                        line,
+                    });
+                }
+            }
+            b'0'..=b'9' => lx.number(&mut out),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let word = lx.ident();
+                // String-literal prefixes: r"", r#""#, b"", br#""#, b''.
+                match (word.as_str(), lx.peek()) {
+                    ("r" | "br" | "rb", Some(b'"' | b'#')) => {
+                        let mut hashes = 0usize;
+                        while lx.peek() == Some(b'#') {
+                            hashes += 1;
+                            lx.pos += 1;
+                        }
+                        if lx.peek() == Some(b'"') {
+                            lx.pos += 1;
+                            let text = lx.raw_string_body(hashes)?;
+                            out.tokens.push(Token {
+                                tok: Tok::Str(text),
+                                line,
+                            });
+                        } else {
+                            // `r#ident` (raw identifier): hashes consumed,
+                            // lex the identifier itself.
+                            let raw = lx.ident();
+                            out.tokens.push(Token {
+                                tok: Tok::Ident(raw),
+                                line,
+                            });
+                        }
+                    }
+                    ("b", Some(b'"')) => {
+                        lx.pos += 1;
+                        let text = lx.string_body()?;
+                        out.tokens.push(Token {
+                            tok: Tok::Str(text),
+                            line,
+                        });
+                    }
+                    ("b", Some(b'\'')) => {
+                        lx.pos += 1;
+                        lx.char_body()?;
+                        out.tokens.push(Token {
+                            tok: Tok::Char,
+                            line,
+                        });
+                    }
+                    _ => out.tokens.push(Token {
+                        tok: Tok::Ident(word),
+                        line,
+                    }),
+                }
+            }
+            other => {
+                lx.bump();
+                out.tokens.push(Token {
+                    tok: Tok::Punct(other as char),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(file: &LexFile) -> Vec<&str> {
+        file.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let file = lex(concat!(
+            "// call .unwrap() here\n",
+            "let s = \"panic! inside a string\"; /* unwrap( */\n",
+            "s.into_vec();\n",
+        ))
+        .unwrap();
+        let ids = idents(&file);
+        assert!(ids.contains(&"into_vec"));
+        assert!(!ids.contains(&"unwrap"));
+        assert!(!ids.contains(&"panic"));
+        assert_eq!(file.comments.len(), 2);
+        assert_eq!(file.comments[0].line, 1);
+        assert!(file.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn doc_comment_kinds() {
+        let file = lex("//! inner\n/// outer\n// plain\nfn x() {}\n").unwrap();
+        let kinds: Vec<CommentKind> = file.comments.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CommentKind::InnerDoc,
+                CommentKind::OuterDoc,
+                CommentKind::Line
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_decode() {
+        let file = lex("const A: u8 = 0x2A; const B: u32 = 1_000; let f = 1.5e3;").unwrap();
+        let ints: Vec<u128> = file
+            .tokens
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Int(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ints, vec![0x2A, 1000]);
+        assert!(file.tokens.iter().any(|t| t.tok == Tok::Float));
+    }
+
+    #[test]
+    fn byte_and_raw_strings() {
+        let file = lex(r###"const M: [u8; 8] = *b"PMLSHSNP"; let r = r#"raw "txt""#;"###).unwrap();
+        let strs: Vec<&str> = file
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["PMLSHSNP", "raw \"txt\""]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let file = lex("fn f<'a>(x: &'a str) -> char { 'x' }").unwrap();
+        let lifetimes = file
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = file.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let file = lex("a\n\nb // c\nd\n").unwrap();
+        let lines: Vec<u32> = file.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 3, 4]);
+        assert_eq!(file.comments[0].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("let s = \"oops").is_err());
+        assert!(lex("/* never closed").is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! `pm-lsh-lint` — CLI wrapper around the workspace lint passes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pm-lsh-lint -- check               # report findings, exit 1 on any
+//! cargo run -p pm-lsh-lint -- check --fix-ledger  # also regenerate docs/UNSAFE.md
+//! cargo run -p pm-lsh-lint -- check --root PATH   # lint a different workspace
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pm_lsh_lint::{discover_root, run_check, LEDGER_PATH};
+
+const USAGE: &str = "usage: pm-lsh-lint check [--fix-ledger] [--root PATH]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() != Some("check") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut fix_ledger = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fix-ledger" => fix_ledger = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| discover_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("pm-lsh-lint: no workspace root found (no Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_check(&root, fix_ledger) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pm-lsh-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if report.ledger_written {
+        println!("pm-lsh-lint: rewrote {LEDGER_PATH}");
+    }
+    println!(
+        "pm-lsh-lint: {} files scanned, {} unsafe sites in ledger, {} finding(s)",
+        report.files_scanned,
+        report.unsafe_sites,
+        report.findings.len()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

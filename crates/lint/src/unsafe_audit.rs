@@ -1,0 +1,330 @@
+//! Pass 1 — unsafe hygiene.
+//!
+//! Every `unsafe` block, fn, impl or trait must carry an adjacent
+//! justification:
+//!
+//! * an `unsafe` **block/impl/trait** needs a `// SAFETY:` line comment on
+//!   the same line or immediately above it (attribute lines and further
+//!   comment lines in between are allowed — the dispatch-match idiom puts
+//!   a `#[cfg]` between the comment and the arm);
+//! * an `unsafe fn` may instead document its contract with a `# Safety`
+//!   section in its doc comment (the rustdoc convention callers actually
+//!   read).
+//!
+//! The pass also *collects* every site, justified or not, so the ledger in
+//! `docs/UNSAFE.md` can be regenerated and checked for drift: an unsafe
+//! block cannot move, appear or vanish without the checked-in ledger
+//! changing in the same commit.
+
+use crate::annot::Annotations;
+use crate::lexer::{Comment, CommentKind, LexFile, Tok};
+use crate::{Finding, Pass};
+
+/// What kind of unsafe site a token turned out to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `unsafe { ... }`
+    Block,
+    /// `unsafe fn ...`
+    Fn,
+    /// `unsafe impl ...`
+    Impl,
+    /// `unsafe trait ...`
+    Trait,
+}
+
+impl SiteKind {
+    /// The ledger's short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SiteKind::Block => "block",
+            SiteKind::Fn => "fn",
+            SiteKind::Impl => "impl",
+            SiteKind::Trait => "trait",
+        }
+    }
+}
+
+/// One `unsafe` occurrence, with its justification when one was found.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub kind: SiteKind,
+    /// The one-line justification for the ledger; `None` when the site is
+    /// unjustified (which is also a finding).
+    pub justification: Option<String>,
+}
+
+/// `true` if the line's tokens look like an attribute (`#[...]`) — these
+/// may legitimately sit between a SAFETY comment and its code.
+fn is_attribute_line(file: &LexFile, line: u32) -> bool {
+    file.tokens
+        .iter()
+        .find(|t| t.line == line)
+        .is_some_and(|t| t.tok == Tok::Punct('#'))
+}
+
+/// Takes the text after `SAFETY:` in `comment`; falls back to following
+/// comment lines when the marker line itself is empty after the colon.
+fn safety_text(file: &LexFile, comment: &Comment) -> String {
+    let after = comment
+        .text
+        .split_once("SAFETY:")
+        .map(|(_, rest)| rest.trim())
+        .unwrap_or("");
+    if !after.is_empty() {
+        return after.to_string();
+    }
+    // `// SAFETY:` alone on its line: the prose starts on the next comment
+    // line(s).
+    let mut line = comment.line + 1;
+    while !file.line_has_code(line) {
+        if let Some(c) = file.comments_on(line).next() {
+            let text = c.text.trim();
+            if !text.is_empty() {
+                return text.to_string();
+            }
+        } else {
+            break;
+        }
+        line += 1;
+    }
+    "(empty justification)".to_string()
+}
+
+/// First non-empty doc line after a `# Safety` heading found at `heading`.
+fn doc_safety_text(file: &LexFile, heading: u32) -> String {
+    let mut line = heading + 1;
+    while !file.line_has_code(line) || is_attribute_line(file, line) {
+        if let Some(c) = file
+            .comments_on(line)
+            .find(|c| c.kind == CommentKind::OuterDoc)
+        {
+            let text = c.text.trim();
+            if !text.is_empty() {
+                return text.to_string();
+            }
+        }
+        if line - heading > 64 {
+            break;
+        }
+        line += 1;
+    }
+    "documented `# Safety` contract".to_string()
+}
+
+/// Scans upward from `site_line` for a justification. Comment and
+/// attribute lines are crossed; the first *code* line ends the search.
+fn find_justification(file: &LexFile, site_line: u32, kind: SiteKind) -> Option<String> {
+    // Same-line comment first (e.g. a trailing `// SAFETY: ...`).
+    for c in file.comments_on(site_line) {
+        if c.kind != CommentKind::OuterDoc && c.text.contains("SAFETY:") {
+            return Some(safety_text(file, c));
+        }
+    }
+    let mut line = site_line;
+    while line > 1 {
+        line -= 1;
+        for c in file.comments_on(line) {
+            match c.kind {
+                CommentKind::OuterDoc => {
+                    if kind == SiteKind::Fn && c.text.trim().starts_with("# Safety") {
+                        return Some(doc_safety_text(file, line));
+                    }
+                }
+                _ => {
+                    if c.text.contains("SAFETY:") {
+                        return Some(safety_text(file, c));
+                    }
+                }
+            }
+        }
+        if file.line_has_code(line) && !is_attribute_line(file, line) {
+            return None;
+        }
+        // Blank and comment-only lines are crossed: doc blocks contain
+        // blank doc lines, and a SAFETY comment one blank line up still
+        // clearly refers to this site.
+    }
+    None
+}
+
+/// Runs the pass: collects every unsafe site in `file` and reports the
+/// unjustified ones (unless covered by an `allow(unsafe-audit)` hatch,
+/// whose reason then becomes the ledger justification).
+pub fn check(
+    file: &LexFile,
+    path: &str,
+    ann: &Annotations,
+    findings: &mut Vec<Finding>,
+) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    for (i, token) in file.tokens.iter().enumerate() {
+        if !matches!(&token.tok, Tok::Ident(word) if word == "unsafe") {
+            continue;
+        }
+        let kind = match file.tokens.get(i + 1).map(|t| &t.tok) {
+            Some(Tok::Ident(next)) => match next.as_str() {
+                "fn" | "extern" => SiteKind::Fn,
+                "impl" => SiteKind::Impl,
+                "trait" => SiteKind::Trait,
+                _ => SiteKind::Block,
+            },
+            _ => SiteKind::Block,
+        };
+        let mut justification = find_justification(file, token.line, kind);
+        if justification.is_none() {
+            if let Some(allow) = ann
+                .allows
+                .iter()
+                .find(|a| a.pass == Pass::UnsafeAudit && i >= a.tok_start && i <= a.tok_end)
+            {
+                justification = Some(format!("allowed: {}", allow.reason));
+            } else {
+                findings.push(Finding::new(
+                    path,
+                    token.line,
+                    Pass::UnsafeAudit,
+                    match kind {
+                        SiteKind::Fn => {
+                            "unsafe fn without an adjacent `// SAFETY:` comment or a \
+                             `# Safety` doc section"
+                        }
+                        SiteKind::Impl => "unsafe impl without an adjacent `// SAFETY:` comment",
+                        SiteKind::Trait => "unsafe trait without an adjacent `// SAFETY:` comment",
+                        SiteKind::Block => "unsafe block without an adjacent `// SAFETY:` comment",
+                    },
+                ));
+            }
+        }
+        sites.push(UnsafeSite {
+            line: token.line,
+            kind,
+            justification,
+        });
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<UnsafeSite>, Vec<Finding>) {
+        let file = lex(src).unwrap();
+        let mut findings = Vec::new();
+        let ann = annot::parse(&file, "t.rs", &mut findings);
+        let sites = check(&file, "t.rs", &ann, &mut findings);
+        (sites, findings)
+    }
+
+    #[test]
+    fn justified_block_is_collected_not_flagged() {
+        let (sites, findings) = run(
+            "fn f() {\n    // SAFETY: the pointer was checked above.\n    unsafe { go() };\n}\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, SiteKind::Block);
+        assert_eq!(
+            sites[0].justification.as_deref(),
+            Some("the pointer was checked above.")
+        );
+    }
+
+    #[test]
+    fn unjustified_block_is_flagged() {
+        let (sites, findings) = run("fn f() {\n    unsafe { go() };\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert!(sites[0].justification.is_none());
+    }
+
+    #[test]
+    fn attribute_between_comment_and_site_is_crossed() {
+        let (_, findings) = run(
+            "// SAFETY: SSE2 is the baseline.\n#[cfg(target_arch = \"x86_64\")]\nfn f() { unsafe { go() } }\n",
+        );
+        // The comment is two lines up but only an attribute intervenes —
+        // wait: the fn line itself has code before `unsafe`, on the same
+        // line. Same-line code does not end the search (only lines above
+        // are scanned), so the SAFETY comment is found across the
+        // attribute.
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn code_line_ends_the_upward_search() {
+        let (_, findings) = run(
+            "// SAFETY: covers only the first arm.\nfn a() { unsafe { go() } }\nfn b() { unsafe { go() } }\n",
+        );
+        assert_eq!(
+            findings.len(),
+            1,
+            "second site must not borrow the first's comment"
+        );
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_doc_safety_section() {
+        let (sites, findings) = run(
+            "/// Does a thing.\n///\n/// # Safety\n/// Caller must uphold X.\n#[inline]\nunsafe fn f() {}\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(sites[0].kind, SiteKind::Fn);
+        assert_eq!(
+            sites[0].justification.as_deref(),
+            Some("Caller must uphold X.")
+        );
+    }
+
+    #[test]
+    fn doc_safety_does_not_justify_a_block() {
+        let (_, findings) =
+            run("/// # Safety\n/// Something.\nfn f() {\n    unsafe { go() };\n}\n");
+        assert_eq!(findings.len(), 1, "doc sections justify fns, not blocks");
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        let (s, f) = run("unsafe impl Send for T {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(s[0].kind, SiteKind::Impl);
+        let (s, f) = run("// SAFETY: T owns no thread-local state.\nunsafe impl Send for T {}\n");
+        assert!(f.is_empty());
+        assert_eq!(s[0].kind, SiteKind::Impl);
+    }
+
+    #[test]
+    fn allow_hatch_substitutes_for_a_comment() {
+        let (sites, findings) = run(
+            "fn f() {\n    // lint: allow(unsafe-audit) -- generated code, audited upstream\n    unsafe { go() };\n}\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(
+            sites[0].justification.as_deref(),
+            Some("allowed: generated code, audited upstream")
+        );
+    }
+
+    #[test]
+    fn safety_in_prose_or_string_does_not_count() {
+        // The word SAFETY inside a string literal is not a comment.
+        let (_, findings) =
+            run("fn f() {\n    let s = \"SAFETY: nope\";\n    unsafe { go() };\n}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn marker_only_comment_pulls_text_from_next_line() {
+        let (sites, findings) = run(
+            "fn f() {\n    // SAFETY:\n    // the fd is owned by us.\n    unsafe { go() };\n}\n",
+        );
+        assert!(findings.is_empty());
+        assert_eq!(
+            sites[0].justification.as_deref(),
+            Some("the fd is owned by us.")
+        );
+    }
+}

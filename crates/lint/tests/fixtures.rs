@@ -1,0 +1,95 @@
+//! Fixture-driven self-tests: every `bad_*.rs` snippet under
+//! `tests/fixtures/` must produce findings from the pass its name
+//! announces, and every `good_*.rs` snippet must be clean. The fixtures
+//! directory is excluded from workspace scans (`workspace_rs_files` skips
+//! dirs named `fixtures`), so the known-bad files never fail the real
+//! check.
+
+use std::path::{Path, PathBuf};
+
+use pm_lsh_lint::{annot, ffi_audit, hotpath, lexer, unsafe_audit, Finding, Pass};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The per-file pipeline `run_check` applies, minus the workspace-level
+/// protocol and ledger stages (those have their own unit tests).
+fn lint_file(src: &str, name: &str) -> Vec<Finding> {
+    let file = lexer::lex(src).unwrap_or_else(|e| panic!("{name}: lex error: {e:?}"));
+    let mut findings = Vec::new();
+    let ann = annot::parse(&file, name, &mut findings);
+    unsafe_audit::check(&file, name, &ann, &mut findings);
+    if ann.hot_path {
+        hotpath::check(&file, name, &ann, &mut findings);
+    }
+    ffi_audit::check(&file, name, &ann, &mut findings);
+    findings
+}
+
+/// `bad_<pass>_*.rs` → the pass every finding must come from.
+fn expected_pass(name: &str) -> Pass {
+    for (prefix, pass) in [
+        ("bad_unsafe", Pass::UnsafeAudit),
+        ("bad_hotpath", Pass::HotPath),
+        ("bad_ffi", Pass::FfiAudit),
+        ("bad_annotation", Pass::Annotation),
+    ] {
+        if name.starts_with(prefix) {
+            return pass;
+        }
+    }
+    panic!("fixture {name} does not declare its pass in its filename");
+}
+
+#[test]
+fn every_fixture_behaves_as_named() {
+    let mut saw_bad = 0;
+    let mut saw_good = 0;
+    for entry in std::fs::read_dir(fixtures_dir()).expect("fixtures dir exists") {
+        let path = entry.expect("readable entry").path();
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        if !name.ends_with(".rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable fixture");
+        let findings = lint_file(&src, &name);
+        if name.starts_with("bad_") {
+            saw_bad += 1;
+            assert!(!findings.is_empty(), "{name}: expected findings, got none");
+            let pass = expected_pass(&name);
+            for f in &findings {
+                assert_eq!(f.pass, pass, "{name}: unexpected finding {f}");
+            }
+        } else if name.starts_with("good_") {
+            saw_good += 1;
+            assert!(
+                findings.is_empty(),
+                "{name}: expected clean, got {findings:?}"
+            );
+        } else {
+            panic!("fixture {name} must start with bad_ or good_");
+        }
+    }
+    assert!(saw_bad >= 5, "only {saw_bad} bad fixtures found");
+    assert!(saw_good >= 3, "only {saw_good} good fixtures found");
+}
+
+#[test]
+fn bad_fixtures_report_accurate_lines() {
+    let src = std::fs::read_to_string(fixtures_dir().join("bad_unsafe_block_no_comment.rs"))
+        .expect("fixture exists");
+    let findings = lint_file(&src, "bad_unsafe_block_no_comment.rs");
+    assert_eq!(findings.len(), 1);
+    // The unsafe block sits on line 3 of the snippet.
+    assert_eq!(findings[0].line, 3, "{findings:?}");
+}
+
+#[test]
+fn hotpath_fixture_counts_each_construct() {
+    let src = std::fs::read_to_string(fixtures_dir().join("bad_hotpath_allocation.rs"))
+        .expect("fixture exists");
+    let findings = lint_file(&src, "bad_hotpath_allocation.rs");
+    // Vec::new, to_vec, .lock(), format!.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}

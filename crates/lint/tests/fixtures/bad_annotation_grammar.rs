@@ -1,0 +1,10 @@
+// Malformed lint annotations: three annotation findings (missing reason,
+// unknown pass, unrecognized form).
+pub fn f() -> Option<u32> {
+    // lint: allow(hot-path)
+    let a = Some(1);
+    // lint: allow(no-such-pass) -- misspelled pass name
+    let b = Some(2);
+    // lint: hotpath
+    a.or(b)
+}

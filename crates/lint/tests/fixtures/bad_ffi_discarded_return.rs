@@ -1,0 +1,16 @@
+// Discarded syscall results: two ffi-audit findings (bare statement and
+// `let _ =`).
+mod sys {
+    extern "C" {
+        pub fn close(fd: i32) -> i32;
+    }
+}
+
+pub fn sloppy(fd: i32) {
+    // SAFETY: fd is owned by the caller.
+    unsafe {
+        sys::close(fd);
+    }
+    // SAFETY: fd is owned by the caller.
+    let _ = unsafe { sys::close(fd) };
+}

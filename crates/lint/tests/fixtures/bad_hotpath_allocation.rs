@@ -1,0 +1,14 @@
+//! lint: hot-path
+//!
+//! Allocation and I/O in a hot-path module: findings for `Vec::new`,
+//! `format!`, `to_vec` and `.lock()`.
+
+use std::sync::Mutex;
+
+pub fn noisy(m: &Mutex<Vec<f32>>, v: &[f32]) -> String {
+    let mut scratch: Vec<f32> = Vec::new();
+    scratch.extend_from_slice(&v.to_vec());
+    let guard = m.lock();
+    drop(guard);
+    format!("{} values", scratch.len())
+}

@@ -1,0 +1,8 @@
+//! lint: hot-path
+//!
+//! Hidden panic paths in a hot-path module: two hot-path findings.
+
+pub fn pick(v: &[f32], i: Option<usize>) -> f32 {
+    let idx = i.unwrap();
+    v.get(idx).copied().expect("index in range")
+}

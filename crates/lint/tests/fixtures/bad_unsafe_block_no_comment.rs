@@ -1,0 +1,4 @@
+// An unsafe block with no adjacent SAFETY comment: unsafe-audit finding.
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+// SAFETY: this comment is separated from the unsafe block by a code line,
+// so it justifies nothing below `checked()`.
+fn checked() {}
+fn not_justified(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+/// Dereferences `p`. (Doc comment present, but no `# Safety` section.)
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: caller promised `p` is valid.
+    unsafe { *p }
+}

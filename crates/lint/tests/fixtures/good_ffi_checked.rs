@@ -1,0 +1,20 @@
+// Every syscall result flows somewhere: no ffi-audit findings.
+mod sys {
+    extern "C" {
+        pub fn close(fd: i32) -> i32;
+        pub fn dup(fd: i32) -> i32;
+    }
+}
+
+pub fn careful(fd: i32) -> std::io::Result<i32> {
+    // SAFETY: fd is owned by the caller.
+    let copy = unsafe { sys::dup(fd) };
+    if copy < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    // SAFETY: fd is owned by the caller.
+    if unsafe { sys::close(fd) } < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    Ok(copy)
+}

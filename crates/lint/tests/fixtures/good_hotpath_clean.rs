@@ -1,0 +1,43 @@
+//! lint: hot-path
+//!
+//! A clean hot-path module: asserts are legal, tests are exempt, cold
+//! code uses the documented escape hatch, and prose mentioning
+//! `.unwrap()` or `Vec::new` does not fire.
+
+/// Scratch buffers; call `.unwrap()` nowhere.
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Scratch {
+    pub fn new() -> Self {
+        // lint: allow(hot-path) -- one-time constructor, reused afterwards
+        let buf = Vec::new();
+        Self { buf }
+    }
+
+    pub fn sum(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len());
+        debug_assert!(self.buf.is_empty() || !self.buf.is_empty());
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_panic_and_allocate() {
+        let v: Vec<f32> = Vec::new();
+        assert!(v.first().copied().unwrap_or(0.0) == 0.0);
+        let s = format!("{}", Scratch::new().sum(&[1.0], &[2.0]));
+        assert_eq!(s, "2");
+    }
+}

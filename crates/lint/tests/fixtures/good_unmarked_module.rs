@@ -1,0 +1,7 @@
+// Not marked hot-path: unwrap/allocation are fine here, and the word
+// SAFETY in a string is not a comment.
+pub fn relaxed(o: Option<u32>) -> String {
+    let v = vec![o.unwrap(); 3];
+    let s = "SAFETY: just a string";
+    format!("{v:?} {s}")
+}

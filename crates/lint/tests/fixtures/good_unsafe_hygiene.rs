@@ -1,0 +1,22 @@
+// Every unsafe site justified: no findings.
+
+/// Reads the first byte.
+///
+/// # Safety
+/// `p` must be non-null and point to initialized memory.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: the fn's contract guarantees `p` is valid.
+    unsafe { *p }
+}
+
+struct Token(u8);
+
+// SAFETY: Token is a plain byte; no thread affinity anywhere.
+unsafe impl Send for Token {}
+
+// SAFETY: a comment may sit above an attribute line.
+#[allow(dead_code)]
+fn with_attr(p: *const u8) -> u8 {
+    // SAFETY: same-line adjacency.
+    unsafe { *p }
+}

@@ -1,0 +1,37 @@
+//! The real workspace must lint clean, with `docs/UNSAFE.md` in sync.
+//!
+//! This is the test CI's `lint` job re-runs as a binary; having it in the
+//! default test suite means a plain `cargo test` also fails on unsafe
+//! hygiene drift, hot-path violations, protocol drift or a stale ledger.
+
+use std::path::Path;
+
+use pm_lsh_lint::run_check;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/../.. is the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = run_check(workspace_root(), false).expect("lint run succeeds");
+    assert!(
+        report.clean(),
+        "workspace lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 100, "scan saw the whole workspace");
+    assert!(
+        report.unsafe_sites > 30,
+        "ledger collected the unsafe sites"
+    );
+}

@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! Runtime-dispatched SIMD kernels behind [`crate::dist`].
 //!
 //! The public entry points ([`crate::sq_dist`], [`crate::sq_dist_within`],
@@ -211,6 +213,9 @@ mod x86 {
     /// Horizontal sum of a 4-lane register in the scalar kernel's order:
     /// `(l0 + l1) + (l2 + l3)` — the order is what makes SSE2 results
     /// bit-identical to the scalar kernel.
+    ///
+    /// # Safety
+    /// Requires SSE2, which is the x86-64 baseline.
     #[inline(always)]
     unsafe fn hsum128(v: __m128) -> f32 {
         let swapped = _mm_shuffle_ps(v, v, 0b10_11_00_01); // [l1, l0, l3, l2]
@@ -223,6 +228,10 @@ mod x86 {
     /// first, then the 4-lane order above. Any fixed order works here (the
     /// AVX2 kernel makes no bit-identicality promise); it only has to be
     /// the same for the full and the `within` variant, which share it.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX is available (the AVX2 kernels only run
+    /// after runtime detection).
     #[inline(always)]
     unsafe fn hsum256(v: __m256) -> f32 {
         let lo = _mm256_castps256_ps128(v);
@@ -433,6 +442,9 @@ mod arm {
 
     /// Horizontal sum in the scalar kernel's `(l0 + l1) + (l2 + l3)` order
     /// (so NEON stays bit-identical to scalar; `vaddvq_f32` would not be).
+    ///
+    /// # Safety
+    /// Requires NEON, which is the aarch64 baseline.
     #[inline(always)]
     unsafe fn hsum(v: float32x4_t) -> f32 {
         (vgetq_lane_f32::<0>(v) + vgetq_lane_f32::<1>(v))
@@ -505,9 +517,10 @@ mod arm {
 pub(crate) fn sq_dist_dispatch(a: &[f32], b: &[f32]) -> f32 {
     match active_level() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 is the x86-64 baseline; AVX2+FMA was runtime-detected.
+        // SAFETY: SSE2 is the x86-64 baseline.
         SimdLevel::Sse2 => unsafe { x86::sq_dist_sse2_impl::<false>(a, b, f32::INFINITY) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_level()` only returns Avx2Fma after runtime detection.
         SimdLevel::Avx2Fma => unsafe { x86::sq_dist_avx2_impl::<false>(a, b, f32::INFINITY) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is the aarch64 baseline.
@@ -526,9 +539,10 @@ pub(crate) fn sq_dist_within_dispatch(a: &[f32], b: &[f32], bound: f32) -> f32 {
     }
     match active_level() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 is the x86-64 baseline; AVX2+FMA was runtime-detected.
+        // SAFETY: SSE2 is the x86-64 baseline.
         SimdLevel::Sse2 => unsafe { x86::sq_dist_sse2_impl::<true>(a, b, bound) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_level()` only returns Avx2Fma after runtime detection.
         SimdLevel::Avx2Fma => unsafe { x86::sq_dist_avx2_impl::<true>(a, b, bound) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is the aarch64 baseline.
@@ -541,9 +555,10 @@ pub(crate) fn sq_dist_within_dispatch(a: &[f32], b: &[f32], bound: f32) -> f32 {
 pub(crate) fn dot_dispatch(a: &[f32], b: &[f32]) -> f32 {
     match active_level() {
         #[cfg(target_arch = "x86_64")]
-        // SAFETY: SSE2 is the x86-64 baseline; AVX2+FMA was runtime-detected.
+        // SAFETY: SSE2 is the x86-64 baseline.
         SimdLevel::Sse2 => unsafe { x86::dot_sse2_impl(a, b) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_level()` only returns Avx2Fma after runtime detection.
         SimdLevel::Avx2Fma => unsafe { x86::dot_avx2_impl(a, b) },
         #[cfg(target_arch = "aarch64")]
         // SAFETY: NEON is the aarch64 baseline.

@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! Bounded top-k selection by distance.
 
 use crate::PointId;

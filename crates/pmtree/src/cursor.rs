@@ -1,3 +1,5 @@
+//! lint: hot-path
+//!
 //! Best-first incremental traversal of the PM-tree.
 //!
 //! [`RangeCursor`] pops tree regions in order of a *lower bound* on their
@@ -467,6 +469,7 @@ impl PmTree {
     /// sorted by ascending distance.
     pub fn range(&self, query: &[f32], radius: f32) -> Vec<(PointId, f32)> {
         let mut cursor = RangeCursor::new(self, query);
+        // lint: allow(hot-path) -- owned-result convenience; Algorithm 2 uses the cursor directly
         let mut out = Vec::new();
         while let Some(hit) = cursor.next_within(radius) {
             out.push(hit);

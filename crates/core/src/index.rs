@@ -78,6 +78,40 @@ pub struct QueryResult {
     pub stats: QueryStats,
 }
 
+/// One mutation in a [`PmLsh::apply`] batch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MutOp {
+    /// Append one point (exactly `dim()` finite components) under a fresh
+    /// external id.
+    Insert(Vec<f32>),
+    /// Remove the live point carrying this external id.
+    Delete(pm_lsh_metric::PointId),
+}
+
+/// Why one op of a [`PmLsh::apply`] batch was rejected. Rejections are
+/// per-op: the rest of the batch still applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutReject {
+    /// An insert's component count does not match the index
+    /// dimensionality.
+    WrongDim {
+        /// The index dimensionality `d`.
+        expected: usize,
+        /// The offered component count.
+        got: usize,
+    },
+    /// An insert carries a NaN or infinite component.
+    NonFinite,
+    /// A delete names an id no live point carries (never assigned, or
+    /// already deleted — possibly earlier in the same batch).
+    UnknownId(pm_lsh_metric::PointId),
+    /// A delete would remove the last live point. A built index is
+    /// non-empty by construction, and every serving layer keeps it that
+    /// way; `apply` enforces the same floor so a batch can never drain
+    /// the index (the single-op [`PmLsh::delete`] has no such guard).
+    WouldEmpty,
+}
+
 /// Conservative squared-distance admission bound for a current best/k-th
 /// neighbor distance `kth` (an `f32` Euclidean distance, or
 /// `f32::INFINITY` while the collector is not full).
@@ -371,6 +405,70 @@ impl PmLsh {
             self.rmin_memo = RminMemo::new();
         }
         deleted
+    }
+
+    /// Applies a batch of interleaved inserts and deletes in one pass,
+    /// returning one result per op in input order: `Ok(id)` carries the
+    /// inserted (fresh) or deleted external id, `Err` the typed
+    /// [`MutReject`]. A rejected op never poisons the batch — the ops
+    /// around it still apply, each validated against the index state its
+    /// predecessors left behind, so the surviving ops land **exactly** as
+    /// if applied one at a time through [`PmLsh::insert`] /
+    /// [`PmLsh::delete`].
+    ///
+    /// What a batch amortizes at this layer: the memoized `r_min`
+    /// selections are reset **once** after the whole batch (they depend
+    /// only on the live count `n`, so intermediate resets are wasted
+    /// work), and the live-count-derived candidate budget `βn + k`
+    /// re-derives lazily from the final `n`. The engine layer adds the
+    /// big win on top — one copy-on-write clone and one epoch bump per
+    /// batch (`pm_lsh_engine::Engine::apply`).
+    ///
+    /// Unlike the asserting single-op [`PmLsh::insert`], malformed
+    /// vectors (wrong dimensionality, non-finite components) are typed
+    /// rejections here. The one batch-only rule: a delete that would
+    /// empty the index is rejected with [`MutReject::WouldEmpty`].
+    pub fn apply(&mut self, ops: &[MutOp]) -> Vec<Result<pm_lsh_metric::PointId, MutReject>> {
+        let dim = self.data.dim();
+        let mut results = Vec::with_capacity(ops.len());
+        let mut changed = false;
+        for op in ops {
+            let res = match op {
+                MutOp::Insert(point) => {
+                    if point.len() != dim {
+                        Err(MutReject::WrongDim {
+                            expected: dim,
+                            got: point.len(),
+                        })
+                    } else if !point.iter().all(|v| v.is_finite()) {
+                        Err(MutReject::NonFinite)
+                    } else {
+                        let id = self.data.len() as pm_lsh_metric::PointId;
+                        let projected = self.projector.project(point);
+                        Arc::make_mut(&mut self.data).push(point);
+                        self.tree.insert(&projected, id);
+                        changed = true;
+                        Ok(id)
+                    }
+                }
+                MutOp::Delete(id) => {
+                    if !self.tree.contains_external(*id) {
+                        Err(MutReject::UnknownId(*id))
+                    } else if self.tree.len() == 1 {
+                        Err(MutReject::WouldEmpty)
+                    } else {
+                        self.tree.delete(*id);
+                        changed = true;
+                        Ok(*id)
+                    }
+                }
+            };
+            results.push(res);
+        }
+        if changed {
+            self.rmin_memo = RminMemo::new();
+        }
+        results
     }
 
     /// The effective parameters.
@@ -971,6 +1069,95 @@ mod tests {
         let res = index.query(&[1.0, 2.0, 3.0], 1);
         assert_eq!(res.neighbors.len(), 1);
         assert_eq!(res.neighbors[0].dist, 0.0);
+    }
+
+    #[test]
+    fn apply_matches_single_op_mutations_bit_for_bit() {
+        let data = blob(400, 10, 91);
+        let queries = blob(8, 10, 92);
+        let params = PmLshParams::default();
+        let mut batched = PmLsh::build(data.clone(), params);
+        let mut single = PmLsh::build(data, params);
+
+        let extra = blob(6, 10, 93);
+        let ops = vec![
+            MutOp::Insert(extra.point(0).to_vec()),
+            MutOp::Delete(3),
+            MutOp::Insert(extra.point(1).to_vec()),
+            MutOp::Insert(extra.point(2).to_vec()),
+            MutOp::Delete(400), // the id the first insert was assigned
+            MutOp::Delete(7),
+        ];
+        let results = batched.apply(&ops);
+        assert_eq!(
+            results,
+            vec![Ok(400), Ok(3), Ok(401), Ok(402), Ok(400), Ok(7)]
+        );
+
+        for op in &ops {
+            match op {
+                MutOp::Insert(p) => {
+                    single.insert(p);
+                }
+                MutOp::Delete(id) => assert!(single.delete(*id)),
+            }
+        }
+        assert_eq!(batched.len(), single.len());
+        assert_eq!(batched.live_ids(), single.live_ids());
+        batched.tree().verify_invariants().expect("batched tree");
+        for q in queries.iter() {
+            let a = batched.query(q, 5);
+            let b = single.query(q, 5);
+            assert_eq!(a.neighbors, b.neighbors, "batched path diverged");
+            assert_eq!(a.stats, b.stats, "batched traversal diverged");
+        }
+    }
+
+    #[test]
+    fn apply_rejects_bad_ops_without_poisoning_the_batch() {
+        let data = blob(50, 6, 94);
+        let mut index = PmLsh::build(data, PmLshParams::default());
+        let ops = vec![
+            MutOp::Insert(vec![1.0; 5]),      // wrong dimensionality
+            MutOp::Insert(vec![f32::NAN; 6]), // non-finite
+            MutOp::Insert(vec![0.5; 6]),      // fine: id 50
+            MutOp::Delete(50),                // fine: just inserted
+            MutOp::Delete(50),                // already gone
+            MutOp::Delete(9999),              // never assigned
+        ];
+        let results = index.apply(&ops);
+        assert_eq!(
+            results,
+            vec![
+                Err(MutReject::WrongDim {
+                    expected: 6,
+                    got: 5
+                }),
+                Err(MutReject::NonFinite),
+                Ok(50),
+                Ok(50),
+                Err(MutReject::UnknownId(50)),
+                Err(MutReject::UnknownId(9999)),
+            ]
+        );
+        assert_eq!(index.len(), 50, "net live count unchanged");
+        index
+            .tree()
+            .verify_invariants()
+            .expect("tree after rejects");
+    }
+
+    #[test]
+    fn apply_refuses_to_drain_the_index() {
+        let data = blob(2, 4, 95);
+        let mut index = PmLsh::build(data, PmLshParams::default());
+        let results = index.apply(&[MutOp::Delete(0), MutOp::Delete(1)]);
+        assert_eq!(results, vec![Ok(0), Err(MutReject::WouldEmpty)]);
+        assert_eq!(index.len(), 1);
+        // An insert in the same batch re-opens headroom for the delete.
+        let results = index.apply(&[MutOp::Insert(vec![1.0; 4]), MutOp::Delete(1)]);
+        assert_eq!(results, vec![Ok(2), Ok(1)]);
+        assert_eq!(index.len(), 1);
     }
 
     #[test]

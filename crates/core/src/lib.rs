@@ -48,5 +48,5 @@ pub mod shard;
 pub use build::BuildOptions;
 pub use context::QueryContext;
 pub use estimator_study::{estimator_study, Estimator, EstimatorCurve, EstimatorPoint};
-pub use index::{PmLsh, QueryResult, QueryStats};
+pub use index::{MutOp, MutReject, PmLsh, QueryResult, QueryStats};
 pub use params::{DerivedParams, PmLshParams};

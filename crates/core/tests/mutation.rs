@@ -3,7 +3,7 @@
 //! consistent through arbitrary insert/delete interleavings, and queries
 //! must only ever surface live points.
 
-use pm_lsh_core::{PmLsh, PmLshParams};
+use pm_lsh_core::{MutOp, MutReject, PmLsh, PmLshParams};
 use pm_lsh_metric::{euclidean, Dataset, Neighbor};
 use pm_lsh_stats::Rng;
 use std::collections::{HashMap, HashSet};
@@ -88,6 +88,82 @@ fn interleaved_mutations_keep_index_and_model_in_lock_step() {
     got.sort_unstable();
     live.sort_unstable();
     assert_eq!(got, live);
+}
+
+/// The amortized batch path in lock-step: random batches of 1..=12 ops
+/// (inserts, deletes, and occasional repeated deletes that must fail
+/// `UnknownId` mid-batch) go through `apply` on one index while a twin
+/// replays them one `insert`/`delete` at a time. After every batch the
+/// two indexes must agree on structure, live ids, and bit-identical
+/// query answers — batching changes cost, never state.
+#[test]
+fn apply_batches_stay_in_lock_step_with_single_op_mutations() {
+    let d = 10;
+    let data = blob(300, d, 341);
+    let mut rng = Rng::new(342);
+    let mut batched = PmLsh::build(data.clone(), PmLshParams::default());
+    let mut twin = PmLsh::build(data, PmLshParams::default());
+    let mut live: Vec<u32> = (0..300).collect();
+    let mut buf = vec![0.0f32; d];
+
+    for round in 0..25 {
+        let width = 1 + rng.below(12);
+        let mut ops: Vec<MutOp> = Vec::with_capacity(width);
+        for _ in 0..width {
+            // Deletes draw from the live set as of the batch's *start*,
+            // so a batch can delete the same id twice — the second
+            // attempt must fail UnknownId on both paths.
+            if rng.bernoulli(0.55) || live.len() < 40 {
+                rng.fill_normal(&mut buf);
+                ops.push(MutOp::Insert(buf.clone()));
+            } else {
+                ops.push(MutOp::Delete(live[rng.below(live.len())]));
+            }
+        }
+
+        let results = batched.apply(&ops);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                MutOp::Insert(p) => {
+                    let id = twin.insert(p);
+                    assert_eq!(
+                        results[i],
+                        Ok(id),
+                        "round {round} op {i}: batched insert id diverged"
+                    );
+                    live.push(id);
+                }
+                MutOp::Delete(id) => match &results[i] {
+                    Ok(got) => {
+                        assert_eq!(got, id);
+                        assert!(twin.delete(*id), "round {round} op {i}: twin refused");
+                        live.retain(|x| x != id);
+                    }
+                    Err(MutReject::UnknownId(g)) => {
+                        assert_eq!(g, id);
+                        assert!(
+                            !twin.delete(*id),
+                            "round {round} op {i}: twin deleted what the batch refused"
+                        );
+                    }
+                    other => panic!("round {round} op {i}: unexpected outcome {other:?}"),
+                },
+            }
+        }
+
+        batched.tree().check_invariants();
+        assert_eq!(batched.len(), twin.len(), "round {round}: live counts");
+        assert_eq!(
+            batched.live_ids(),
+            twin.live_ids(),
+            "round {round}: live-id sequences diverged"
+        );
+        rng.fill_normal(&mut buf);
+        let a = batched.query(&buf, 10);
+        let b = twin.query(&buf, 10);
+        assert_eq!(a.neighbors, b.neighbors, "round {round}: answers diverged");
+        assert_eq!(a.stats, b.stats, "round {round}: counters diverged");
+    }
 }
 
 #[test]

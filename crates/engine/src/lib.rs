@@ -28,6 +28,11 @@
 //!   and never block on a mutation ([`MutationReport`],
 //!   [`MutationError`]). On the wire these are the AUTH-gated
 //!   `INSERT`/`DELETE` verbs.
+//! * [`Engine::apply`] is the amortized batch form: one clone, one
+//!   in-place patch of W interleaved inserts/deletes, one swap — one
+//!   epoch bump for the whole batch instead of one per point, turning
+//!   write cost from O(W·n) into O(n) + O(W) ([`BatchReport`]; the
+//!   AUTH-gated `BATCH` verb on the wire).
 //! * The micro-batcher (a bounded channel and a collector thread) groups
 //!   up to `batch_size` concurrent requests, waiting at most `max_wait`
 //!   after the first, before handing them to the pool — one channel send
@@ -92,6 +97,7 @@ pub mod sharded;
 mod snapshot;
 mod stats;
 
+pub use pm_lsh_core::MutOp;
 pub use router::{Router, RouterError};
 pub use server::{serve, serve_router, DrainReport, ServerConfig, ServerHandle};
 pub use sharded::ShardedEngine;
@@ -101,7 +107,7 @@ use crate::batch::{BatchQueue, Request};
 use crate::pool::{QueryJob, ReplySink, WorkerPool};
 use crate::snapshot::SnapshotCell;
 use crate::stats::StatsCollector;
-use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams, QueryResult, QueryStats};
+use pm_lsh_core::{BuildOptions, MutReject, PmLsh, PmLshParams, QueryResult, QueryStats};
 use pm_lsh_metric::Dataset;
 use std::sync::mpsc::channel;
 use std::sync::Arc;
@@ -257,6 +263,62 @@ impl Engine {
         let points = next.len();
         let epoch = self.snapshot.swap(Arc::new(next));
         Ok(MutationReport { id, epoch, points })
+    }
+
+    /// Applies a whole batch of interleaved inserts and deletes as *one*
+    /// copy-on-write publication: the writer lock is taken once, the
+    /// current snapshot is cloned once, all `W` ops are patched into the
+    /// clone ([`PmLsh::apply`]), and the result is swapped in once — one
+    /// epoch bump for the whole batch. Against `W` calls to
+    /// [`Engine::insert`]/[`Engine::delete`] this turns write cost from
+    /// O(W·n) into O(n) + O(W), and readers observe a single atomic
+    /// transition instead of `W` intermediate snapshots.
+    ///
+    /// Failures are per-op, not per-batch: a rejected op (wrong
+    /// dimensionality, non-finite component, unknown id, would-empty) is
+    /// reported in its slot of [`BatchReport::results`] while the rest of
+    /// the batch still applies. Ops apply in order, so a delete may target
+    /// an id inserted earlier in the same batch, and
+    /// [`MutationError::WouldEmptyIndex`] is judged against the evolving
+    /// state. If *no* op applies, nothing is published and the epoch does
+    /// not move.
+    ///
+    /// The batch-level error is [`MutationError::ReindexInProgress`]: a
+    /// background rebuild's swap would silently discard the whole batch,
+    /// so batches wait it out, exactly like single-op mutations.
+    pub fn apply(&self, ops: &[MutOp]) -> Result<BatchReport, MutationError> {
+        let _writer = self.snapshot.begin_write();
+        if self.snapshot.is_rebuilding() {
+            return Err(MutationError::ReindexInProgress);
+        }
+        let (current, epoch) = self.snapshot.load_with_epoch();
+        if ops.is_empty() {
+            return Ok(BatchReport {
+                epoch,
+                points: current.len(),
+                applied: 0,
+                results: Vec::new(),
+            });
+        }
+        let mut next = (*current).clone();
+        let results: Vec<Result<pm_lsh_metric::PointId, MutationError>> = next
+            .apply(ops)
+            .into_iter()
+            .map(|r| r.map_err(mutation_error_for_reject))
+            .collect();
+        let applied = results.iter().filter(|r| r.is_ok()).count();
+        let points = next.len();
+        let epoch = if applied > 0 {
+            self.snapshot.swap(Arc::new(next))
+        } else {
+            epoch
+        };
+        Ok(BatchReport {
+            epoch,
+            points,
+            applied,
+            results,
+        })
     }
 
     /// A summary of the served snapshot (the TCP `INDEXINFO` payload).
@@ -735,6 +797,42 @@ impl std::fmt::Display for MutationError {
 
 impl std::error::Error for MutationError {}
 
+/// Maps a core-layer per-op rejection ([`MutReject`]) onto the engine's
+/// mutation vocabulary — the same `ERR` strings single-op `INSERT`/`DELETE`
+/// produce on the wire.
+fn mutation_error_for_reject(r: MutReject) -> MutationError {
+    match r {
+        MutReject::WrongDim { expected, got } => MutationError::DimensionMismatch { expected, got },
+        MutReject::NonFinite => MutationError::NonFiniteComponent,
+        MutReject::UnknownId(id) => MutationError::UnknownId(id),
+        MutReject::WouldEmpty => MutationError::WouldEmptyIndex,
+    }
+}
+
+/// Summary of a published batch mutation ([`Engine::apply`] /
+/// [`ShardedEngine::apply`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// The epoch after the batch: the single publication's epoch for a
+    /// monolithic engine (unchanged if no op applied), the summed
+    /// per-shard epoch for a sharded one.
+    pub epoch: u64,
+    /// Live points after the batch.
+    pub points: usize,
+    /// How many ops applied (`results.iter().filter(|r| r.is_ok())`).
+    pub applied: usize,
+    /// Per-op outcomes in input order: the external id inserted/deleted,
+    /// or why that one op was refused.
+    pub results: Vec<Result<pm_lsh_metric::PointId, MutationError>>,
+}
+
+impl BatchReport {
+    /// How many ops were refused.
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.applied
+    }
+}
+
 /// Summary of a published single-point mutation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MutationReport {
@@ -851,6 +949,8 @@ const _: () = {
     assert_send_sync::<QueryError>();
     assert_send_sync::<MutationError>();
     assert_send_sync::<MutationReport>();
+    assert_send_sync::<MutOp>();
+    assert_send_sync::<BatchReport>();
 };
 
 #[cfg(test)]

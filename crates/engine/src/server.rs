@@ -22,6 +22,8 @@
 //! REINDEX <path>           ->  OK index=<name> epoch=<e> points=<n> secs=<s>    (auth-gated)
 //! INSERT <v1> ... <vd>     ->  OK id=<id> epoch=<e> points=<n>                  (auth-gated)
 //! DELETE <id>              ->  OK deleted <id> epoch=<e> points=<n>             (auth-gated)
+//! BATCH <count>            ->  OK applied=<a> failed=<f> epoch=<e> points=<n>   (auth-gated;
+//!                              <count> op lines follow, then the reply + <f> FAIL lines)
 //! SAVE <path>              ->  OK saved <name> points=<n> bytes=<b> secs=<s>    (auth-gated)
 //! QUIT                     ->  BYE (and the server closes the connection)
 //! anything else            ->  ERR <message>
@@ -56,6 +58,19 @@
 //! `INDEXINFO` epoch); a `QUERY` after an `OK` reply observes the
 //! mutation.
 //!
+//! `BATCH <count>` amortizes that cost: the `count` lines that follow
+//! (each a bare `INSERT <v1> ... <vd>` or `DELETE <id>`, at most
+//! `BATCH_MAX_OPS` of them) are collected without being interpreted as
+//! top-level commands, syntactically validated *all-or-nothing* (any
+//! malformed line answers one `ERR batch line <i>: ...` and nothing
+//! applies), then applied through [`Engine::apply`] as one copy-on-write
+//! publication — the epoch bumps once per batch, not once per op. The
+//! reply is one `OK applied=<a> failed=<f> epoch=<e> points=<n>` line
+//! followed by exactly `f` lines `FAIL <op-index> <message>` for ops the
+//! engine refused semantically (wrong dimensionality, non-finite after
+//! parse, unknown id, would-empty); the rest of the batch still applies.
+//! `BATCH` is text-only and auth-gated like the other mutating verbs.
+//!
 //! Malformed input never takes the server down: every parse failure is an
 //! `ERR` response, every I/O failure closes only that connection, a `k`
 //! beyond the indexed point count is clamped, and request lines are
@@ -81,7 +96,8 @@
 //!   the engine's worker pool with a completion callback; the callback
 //!   formats the reply on the worker thread and wakes the reactor to
 //!   write it out. Slow verbs (`ATTACH`/`REINDEX`/`INSERT`/`DELETE`/
-//!   `SAVE`/`DETACH`) run on one-off `pmlsh-op` threads the same way.
+//!   `BATCH`/`SAVE`/`DETACH`) run on one-off `pmlsh-op` threads the
+//!   same way.
 //!   Either way a connection has at most one request in flight; replies
 //!   keep request order by construction.
 //! * **Connection caps** — at [`ServerConfig::max_connections`] live
@@ -132,6 +148,18 @@ const AUTH_THROTTLE: Duration = Duration::from_millis(100);
 /// Write-buffer high-water mark: past this many un-flushed reply bytes a
 /// connection's read interest is suspended until the peer drains.
 const WRITE_HIGH_WATER: usize = 64 * 1024;
+
+/// Most op lines one `BATCH <count>` request may carry. Bounds how much
+/// a single connection can buffer server-side before the batch applies.
+const BATCH_MAX_OPS: usize = 4096;
+
+/// First token pair of a successful `BATCH` reply:
+/// `OK applied=<a> failed=<f> epoch=<e> points=<n>`.
+const BATCH_OK_PREFIX: &str = "OK applied=";
+
+/// Prefix of each per-op failure line following a `BATCH` reply:
+/// `FAIL <op-index> <message>` — exactly `failed` of them.
+const BATCH_FAIL_PREFIX: &str = "FAIL ";
 
 /// Poller token of the listening socket.
 const LISTENER: u64 = 0;
@@ -459,6 +487,11 @@ struct Conn {
     /// A request is off on a worker/op thread; input is paused until its
     /// completion arrives (which also keeps replies in request order).
     inflight: bool,
+    /// Mid-`BATCH` accumulation: `Some((expected, ops))` from a valid
+    /// `BATCH <count>` header until `expected` op lines have arrived —
+    /// lines collected here are never interpreted as top-level commands.
+    /// The whole request gets one reply, delivered after the last line.
+    batch: Option<(usize, Vec<String>)>,
     /// The peer finished writing (read returned 0).
     eof: bool,
     /// No further requests will be accepted; close once `buf_out` flushes.
@@ -725,6 +758,7 @@ impl Reactor {
                 state,
                 binary: false,
                 inflight: false,
+                batch: None,
                 eof: false,
                 closing: false,
                 interest: Interest::READ,
@@ -902,6 +936,11 @@ impl Reactor {
     }
 
     fn handle_line(&mut self, conn: &mut Conn, line: &str) {
+        if conn.batch.is_some() {
+            // Mid-BATCH: this line is an op, never a command — even a
+            // line that spells "QUIT" is just a (malformed) op.
+            return self.accumulate_batch(conn, line);
+        }
         let line = line.trim();
         if line.is_empty() {
             return;
@@ -962,6 +1001,22 @@ impl Reactor {
             }
             Some("USE") => self.answer_use(conn, fields),
             Some("AUTH") => self.answer_auth(conn, fields),
+            Some("BATCH") => {
+                let count: usize = match fields.next().map(str::parse) {
+                    Some(Ok(c)) if c >= 1 => c,
+                    _ => return conn.reply_line("ERR BATCH needs a positive op count"),
+                };
+                if fields.next().is_some() {
+                    return conn.reply_line("ERR BATCH takes exactly one op count");
+                }
+                if count > BATCH_MAX_OPS {
+                    return conn
+                        .reply_line(&format!("ERR BATCH accepts at most {BATCH_MAX_OPS} ops"));
+                }
+                // No header ack: the single reply comes once all `count`
+                // op lines have arrived (and been validated + applied).
+                conn.batch = Some((count, Vec::with_capacity(count.min(256))));
+            }
             Some("ATTACH") | Some("DETACH") | Some("REINDEX") | Some("INSERT") | Some("DELETE")
             | Some("SAVE") => self.offload(conn, line.to_string()),
             Some("QUIT") => {
@@ -1094,6 +1149,40 @@ impl Reactor {
         match spawned {
             Ok(_) => conn.inflight = true,
             // Out of threads: fail the request, not the connection.
+            Err(_) => conn.reply_line("ERR internal error"),
+        }
+    }
+
+    /// Collects one op line of an in-progress `BATCH`; once the header's
+    /// count is reached, the whole batch is offloaded as one unit.
+    fn accumulate_batch(&mut self, conn: &mut Conn, line: &str) {
+        let Some((expected, mut ops)) = conn.batch.take() else {
+            return;
+        };
+        ops.push(line.trim().to_string());
+        if ops.len() < expected {
+            conn.batch = Some((expected, ops));
+        } else {
+            self.offload_batch(conn, ops);
+        }
+    }
+
+    /// Runs a completed `BATCH` on a one-off `pmlsh-op` thread, exactly
+    /// like [`Reactor::offload`] — the reply may span multiple lines
+    /// (the `OK` summary plus one `FAIL` line per refused op).
+    fn offload_batch(&mut self, conn: &mut Conn, ops: Vec<String>) {
+        let shared = Arc::clone(&self.shared);
+        let state = conn.state.clone();
+        let token = conn.token;
+        let spawned = std::thread::Builder::new()
+            .name("pmlsh-op".to_string())
+            .spawn(move || {
+                let mut reply = answer_batch(&ops, &shared, &state).into_bytes();
+                reply.push(b'\n');
+                shared.complete(token, reply);
+            });
+        match spawned {
+            Ok(_) => conn.inflight = true,
             Err(_) => conn.reply_line("ERR internal error"),
         }
     }
@@ -1546,6 +1635,87 @@ fn answer_delete<'a>(
             report.id, report.epoch, report.points
         ),
         Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Executes a completed `BATCH` against the connection's current index:
+/// auth-gates, syntactically validates every op line *all-or-nothing*
+/// (one malformed line fails the whole batch with `ERR batch line <i>:`
+/// and nothing applies), then applies the parsed ops through
+/// [`Engine::apply`] / [`ShardedEngine::apply`] — one copy-on-write
+/// clone and one epoch bump per batch (per touched shard when sharded).
+/// Semantic refusals (wrong dimensionality, unknown id, would-empty)
+/// fail only their own op: they come back as `FAIL <op-index> <message>`
+/// lines after the `OK` summary while the rest of the batch applies.
+fn answer_batch(ops: &[String], shared: &Shared, conn: &ConnState) -> String {
+    if let Some(err) = auth_err(conn) {
+        return err;
+    }
+    let (_name, engine) = match current_engine(shared, conn) {
+        Ok(pair) => pair,
+        Err(err) => return err,
+    };
+    let mut parsed = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        match parse_batch_op(op, conn.dim) {
+            Ok(op) => parsed.push(op),
+            Err(msg) => return format!("ERR batch line {i}: {msg}"),
+        }
+    }
+    match engine.apply(&parsed) {
+        Ok(report) => {
+            let mut out = format!(
+                "{}{} failed={} epoch={} points={}",
+                BATCH_OK_PREFIX,
+                report.applied,
+                report.failed(),
+                report.epoch,
+                report.points
+            );
+            for (i, result) in report.results.iter().enumerate() {
+                if let Err(e) = result {
+                    out.push('\n');
+                    out.push_str(&format!("{BATCH_FAIL_PREFIX}{i} {e}"));
+                }
+            }
+            out
+        }
+        Err(e) => format!("ERR {e}"),
+    }
+}
+
+/// Parses one `BATCH` op line — a bare `INSERT <v1> ... <vd>` or
+/// `DELETE <id>`, with the same field rules as the top-level verbs
+/// (finite float components, a `u32` id). `dim` only sizes the parse
+/// buffer; a wrong-dimensionality insert is the engine's per-op call.
+fn parse_batch_op(line: &str, dim: usize) -> Result<crate::MutOp, String> {
+    let mut fields = line.split_ascii_whitespace();
+    match fields.next() {
+        Some("INSERT") => {
+            let mut point = Vec::with_capacity(dim.max(16));
+            for field in fields {
+                match field.parse::<f32>() {
+                    Ok(v) if v.is_finite() => point.push(v),
+                    _ => return Err(format!("bad vector component '{field}'")),
+                }
+            }
+            if point.is_empty() {
+                return Err("INSERT needs <v1> ... <vd>".to_string());
+            }
+            Ok(crate::MutOp::Insert(point))
+        }
+        Some("DELETE") => {
+            let id = match fields.next().map(str::parse::<u32>) {
+                Some(Ok(id)) => id,
+                _ => return Err("DELETE needs a point id".to_string()),
+            };
+            if fields.next().is_some() {
+                return Err("DELETE takes exactly one point id".to_string());
+            }
+            Ok(crate::MutOp::Delete(id))
+        }
+        Some(other) => Err(format!("unknown batch op '{other}' (INSERT or DELETE)")),
+        None => Err("empty op line".to_string()),
     }
 }
 

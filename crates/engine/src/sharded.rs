@@ -54,7 +54,7 @@
 use crate::batch::Request;
 use crate::pool::{QueryJob, ReplySink};
 use crate::{
-    panic_for_query_error, try_validate, Engine, EngineConfig, IndexInfo, MutationError,
+    panic_for_query_error, try_validate, Engine, EngineConfig, IndexInfo, MutOp, MutationError,
     MutationReport, QueryError, ReindexError, ReindexReport, ReindexTicket,
 };
 use pm_lsh_core::shard::{owner, partition, to_global, to_local};
@@ -222,20 +222,36 @@ impl ShardedEngine {
         merged
     }
 
-    /// Merged serving statistics. Logical query counts and latency come
-    /// from shard 0 — every scatter-gather query visits every shard, so
-    /// shard 0 sees each logical query exactly once — while the summed
-    /// per-query execution counters and micro-batch counts aggregate over
-    /// all shards (that is where the work actually happened).
+    /// Merged serving statistics. Logical query counts (`queries`, `qps`,
+    /// `mean_ms`) come from shard 0 — every scatter-gather query visits
+    /// every shard, so shard 0 sees each logical query exactly once. The
+    /// quantiles `p50_ms`/`p99_ms` are the *worst* across shards: a
+    /// scatter-gather answer is gated by its slowest leg, so the
+    /// per-shard maximum is the conservative logical tail. Work counters
+    /// aggregate over all shards (that is where the work actually
+    /// happened): the per-query execution counters and `batches` sum,
+    /// and `mean_batch` is the batches-weighted mean of the per-shard
+    /// means, so `mean_batch × batches` remains the total number of
+    /// coalesced requests — the invariant each shard's own pair obeys.
     pub fn stats(&self) -> crate::EngineStats {
         let mut merged = self.shards[0].stats();
+        // Recover each shard's total coalesced-request count from its
+        // (mean, count) pair so the merged pair multiplies back to the
+        // true total instead of inheriting shard 0's mean verbatim.
+        let mut batched_requests = merged.mean_batch * merged.batches as f64;
         for shard in &self.shards[1..] {
             let s = shard.stats();
             merged.query_stats.merge(&s.query_stats);
             merged.batches += s.batches;
+            batched_requests += s.mean_batch * s.batches as f64;
             merged.p50_ms = merged.p50_ms.max(s.p50_ms);
             merged.p99_ms = merged.p99_ms.max(s.p99_ms);
         }
+        merged.mean_batch = if merged.batches == 0 {
+            0.0
+        } else {
+            batched_requests / merged.batches as f64
+        };
         merged
     }
 
@@ -544,6 +560,122 @@ impl ShardedEngine {
         Ok(self.globalize(target, report, id))
     }
 
+    /// Applies a batch of interleaved inserts and deletes across the
+    /// shard set — the sharded [`Engine::apply`]. Ops are bucketed by
+    /// owning shard (a delete to `global mod S`, an insert to the shard
+    /// with the fewest stored rows at its point in the sequence, ties to
+    /// the lowest shard index — the same placement rule as
+    /// [`ShardedEngine::insert`], so the assigned global-id sequence
+    /// stays identical to a monolithic engine's), and the `S` sub-batches
+    /// apply *concurrently*, each paying one O(n/S) clone and at most one
+    /// epoch bump. Where the monolith's batch bumps the logical epoch by
+    /// exactly 1, the sharded batch bumps it by the number of shards that
+    /// applied at least one op (between 1 and S) — still one publication
+    /// per touched shard instead of one per op.
+    ///
+    /// Failures are per-op, in input order, exactly as in
+    /// [`Engine::apply`]: invalid inserts are rejected up front (and do
+    /// not consume a global id, matching the monolith), unknown-id and
+    /// would-empty deletes are rejected by their owning shard against its
+    /// evolving state. A shard-level refusal (a mid-rebuild shard
+    /// returning [`MutationError::ReindexInProgress`]) marks *that
+    /// shard's* ops failed while the other sub-batches stand — there is
+    /// no cross-shard rollback; each shard's sub-batch is individually
+    /// atomic. [`MutationError::WouldEmptyIndex`] guards each *shard's*
+    /// last live point, mirroring single-op sharded deletes.
+    pub fn apply(&self, ops: &[MutOp]) -> Result<crate::BatchReport, MutationError> {
+        let shards = self.shards.len();
+        if shards == 1 {
+            return self.shards[0].apply(ops);
+        }
+        let dim = self.dim();
+        // Route every op: static insert validation + placement simulation
+        // over per-shard stored-row counts (tombstones included — local
+        // ids are storage-order, so placement must track stored rows, not
+        // live ones). A rejected insert consumes no slot anywhere.
+        let mut results: Vec<Option<Result<PointId, MutationError>>> = vec![None; ops.len()];
+        let mut stored: Vec<usize> = self.shards.iter().map(|s| s.index().data().len()).collect();
+        let mut sub: Vec<Vec<MutOp>> = vec![Vec::new(); shards];
+        let mut routing: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                MutOp::Insert(p) => {
+                    if p.len() != dim {
+                        results[i] = Some(Err(MutationError::DimensionMismatch {
+                            expected: dim,
+                            got: p.len(),
+                        }));
+                        continue;
+                    }
+                    if crate::validate_points(p).is_err() {
+                        results[i] = Some(Err(MutationError::NonFiniteComponent));
+                        continue;
+                    }
+                    let target = (0..shards)
+                        .min_by_key(|&s| (stored[s], s))
+                        .expect("a sharded engine holds >= 1 shard");
+                    stored[target] += 1;
+                    sub[target].push(MutOp::Insert(p.clone()));
+                    routing[target].push(i);
+                }
+                MutOp::Delete(id) => {
+                    let target = owner(*id, shards);
+                    sub[target].push(MutOp::Delete(to_local(*id, shards)));
+                    routing[target].push(i);
+                }
+            }
+        }
+        // Apply the sub-batches concurrently: each shard takes its own
+        // writer lock, clones its own O(n/S) index once, and swaps once.
+        let reports: Vec<Result<crate::BatchReport, MutationError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&sub)
+                .map(|(shard, ops)| scope.spawn(move || shard.apply(ops)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard batch apply panicked"))
+                .collect()
+        });
+        // Stitch per-shard outcomes back into input order, mapping local
+        // ids (and local-id error payloads) back to global.
+        for (s, report) in reports.into_iter().enumerate() {
+            match report {
+                Ok(rep) => {
+                    for (j, r) in rep.results.into_iter().enumerate() {
+                        let i = routing[s][j];
+                        results[i] = Some(match r {
+                            Ok(local) => Ok(to_global(local, s, shards)),
+                            Err(MutationError::UnknownId(_)) => match &ops[i] {
+                                MutOp::Delete(id) => Err(MutationError::UnknownId(*id)),
+                                MutOp::Insert(_) => unreachable!("inserts cannot miss an id"),
+                            },
+                            Err(other) => Err(other),
+                        });
+                    }
+                }
+                Err(e) => {
+                    for &i in &routing[s] {
+                        results[i] = Some(Err(e));
+                    }
+                }
+            }
+        }
+        let results: Vec<Result<PointId, MutationError>> = results
+            .into_iter()
+            .map(|r| r.expect("every op was routed or rejected up front"))
+            .collect();
+        let applied = results.iter().filter(|r| r.is_ok()).count();
+        Ok(crate::BatchReport {
+            epoch: self.epoch(),
+            points: self.len(),
+            applied,
+            results,
+        })
+    }
+
     /// Rewrites a shard-local mutation report in global terms: the mapped
     /// id, the shard-summed epoch and the shard-summed live count.
     fn globalize(&self, target: usize, report: MutationReport, id: PointId) -> MutationReport {
@@ -677,5 +809,99 @@ impl std::fmt::Debug for ShardedEngine {
             .field("points", &self.len())
             .field("epoch", &self.epoch())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_lsh_stats::Rng;
+    use std::time::Duration;
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let mut rng = Rng::new(seed);
+        let mut ds = Dataset::with_capacity(4, 20);
+        let mut buf = [0.0f32; 4];
+        for _ in 0..20 {
+            rng.fill_normal(&mut buf);
+            ds.push(&buf);
+        }
+        Engine::new(
+            PmLsh::build(ds, PmLshParams::default()),
+            EngineConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Regression for the incoherent stats merge: summing `batches`
+    /// across shards while keeping shard 0's `mean_batch` verbatim broke
+    /// `mean_batch × batches == Σ batched_requests`. The merge must keep
+    /// that invariant and report the worst per-shard tail.
+    #[test]
+    fn stats_merge_is_coherent_across_shards() {
+        let engines = vec![tiny_engine(1), tiny_engine(2), tiny_engine(3)];
+        let qs = pm_lsh_core::QueryStats {
+            candidates_verified: 1,
+            projected_dist_computations: 1,
+            rounds: 1,
+        };
+        // Distinct per-shard batching profiles: (batches, requests) =
+        // (1, 2), (2, 12), (1, 1) — total 4 batches, 15 requests. Taking
+        // shard 0's mean (2.0) would claim 8 requests; the weighted mean
+        // 15/4 = 3.75 multiplies back correctly.
+        engines[0].stats.record_batch(2);
+        engines[1].stats.record_batch(5);
+        engines[1].stats.record_batch(7);
+        engines[2].stats.record_batch(1);
+        // Distinct latency profiles: shard 2 is the slow leg, so the
+        // merged tail must report its quantiles, not shard 0's.
+        engines[0]
+            .stats
+            .record_query(Duration::from_micros(100), &qs);
+        engines[1]
+            .stats
+            .record_query(Duration::from_micros(200), &qs);
+        engines[2]
+            .stats
+            .record_query(Duration::from_millis(50), &qs);
+        let per_shard: Vec<crate::EngineStats> = engines.iter().map(Engine::stats).collect();
+
+        let sharded = ShardedEngine::from_engines(engines);
+        let merged = sharded.stats();
+
+        assert_eq!(merged.batches, 4);
+        let total_requests = merged.mean_batch * merged.batches as f64;
+        assert!(
+            (total_requests - 15.0).abs() < 1e-9,
+            "mean_batch × batches = {total_requests}, want 15"
+        );
+        assert!(
+            (merged.mean_batch - 3.75).abs() < 1e-9,
+            "{}",
+            merged.mean_batch
+        );
+        let worst_p50 = per_shard.iter().map(|s| s.p50_ms).fold(0.0, f64::max);
+        let worst_p99 = per_shard.iter().map(|s| s.p99_ms).fold(0.0, f64::max);
+        assert_eq!(merged.p50_ms, worst_p50);
+        assert_eq!(merged.p99_ms, worst_p99);
+        assert!(
+            merged.p99_ms > 10.0,
+            "slow shard's tail lost: {}",
+            merged.p99_ms
+        );
+        // Execution counters aggregate over all shards.
+        assert_eq!(merged.query_stats.candidates_verified, 3);
+        // Logical query counts still come from shard 0.
+        assert_eq!(merged.queries, per_shard[0].queries);
+    }
+
+    #[test]
+    fn stats_merge_with_no_batches_reports_zero_mean() {
+        let sharded = ShardedEngine::from_engines(vec![tiny_engine(4), tiny_engine(5)]);
+        let merged = sharded.stats();
+        assert_eq!(merged.batches, 0);
+        assert_eq!(merged.mean_batch, 0.0);
     }
 }

@@ -115,16 +115,25 @@ impl StatsCollector {
     }
 
     pub(crate) fn snapshot(&self) -> EngineStats {
-        let queries = self.queries.load(Ordering::Relaxed);
-        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
-        let total_ns = self.total_latency_ns.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched = self.batched_requests.load(Ordering::Relaxed);
+        // Read the histogram buckets *before* the query counter. A writer
+        // in `record_query` bumps `queries` first and its latency bucket
+        // second, so sampling in the opposite order guarantees the counter
+        // we report is never ahead of the histogram mass the quantiles are
+        // computed from. (`quantile_ms` additionally derives its rank from
+        // the summed bucket counts, not from `queries`, so a torn read can
+        // shift a quantile by at most one in-flight sample — it can never
+        // fall off the end of the histogram into the ~5e15 ms sentinel
+        // bucket.)
         let counts: Vec<u64> = self
             .latency_buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        let queries = self.queries.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let total_ns = self.total_latency_ns.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
         EngineStats {
             queries,
             qps: queries as f64 / elapsed,
@@ -133,8 +142,8 @@ impl StatsCollector {
             } else {
                 total_ns as f64 / queries as f64 / 1e6
             },
-            p50_ms: quantile_ms(&counts, queries, 0.50),
-            p99_ms: quantile_ms(&counts, queries, 0.99),
+            p50_ms: quantile_ms(&counts, 0.50),
+            p99_ms: quantile_ms(&counts, 0.99),
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -164,7 +173,13 @@ fn bucket_value_ns(i: usize) -> f64 {
     GROWTH.powi(i as i32) * GROWTH.sqrt()
 }
 
-fn quantile_ms(counts: &[u64], total: u64, q: f64) -> f64 {
+/// Reads quantile `q` out of a latency histogram. The rank is derived
+/// from the histogram's own summed counts (never from an external total,
+/// which can race ahead of the buckets), so the walk always terminates
+/// inside the recorded mass; the defensive fall-through returns the last
+/// *non-empty* bucket rather than the empty top sentinel.
+fn quantile_ms(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
     if total == 0 {
         return 0.0;
     }
@@ -176,7 +191,10 @@ fn quantile_ms(counts: &[u64], total: u64, q: f64) -> f64 {
             return bucket_value_ns(i) / 1e6;
         }
     }
-    bucket_value_ns(counts.len() - 1) / 1e6
+    counts
+        .iter()
+        .rposition(|&c| c > 0)
+        .map_or(0.0, |i| bucket_value_ns(i) / 1e6)
 }
 
 #[cfg(test)]
@@ -244,5 +262,77 @@ mod tests {
         assert_eq!(s.mean_ms, 0.0);
         assert_eq!(s.p50_ms, 0.0);
         assert_eq!(s.p99_ms, 0.0);
+    }
+
+    /// Regression for the sentinel-bucket race: `record_query` bumps the
+    /// query counter before the histogram bucket, so a snapshot taken
+    /// between the two writes used to compute a rank beyond the summed
+    /// bucket counts and fall through to `bucket_value_ns(BUCKETS - 1)`
+    /// (~5e15 ms). Hammer the collector from several writers while a
+    /// reader snapshots in a tight loop; every observed quantile must
+    /// stay near the recorded latencies (~1 ms), far below the sentinel.
+    #[test]
+    fn concurrent_snapshots_never_report_the_sentinel_bucket() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let collector = Arc::new(StatsCollector::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 20_000;
+        // Any sane recorded latency is ~1 ms; the sentinel bucket is
+        // ~5e15 ms. A generous 1e6 ms ceiling separates the two by nine
+        // orders of magnitude without being timing-sensitive.
+        const CEILING_MS: f64 = 1e6;
+
+        std::thread::scope(|scope| {
+            let reader = {
+                let collector = Arc::clone(&collector);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut snapshots = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = collector.snapshot();
+                        assert!(
+                            s.p50_ms < CEILING_MS && s.p99_ms < CEILING_MS,
+                            "sentinel bucket leaked into quantiles: p50={} p99={}",
+                            s.p50_ms,
+                            s.p99_ms
+                        );
+                        assert!(s.p50_ms <= s.p99_ms, "p50 {} > p99 {}", s.p50_ms, s.p99_ms);
+                        snapshots += 1;
+                    }
+                    snapshots
+                })
+            };
+            let writers: Vec<_> = (0..WRITERS)
+                .map(|w| {
+                    let collector = Arc::clone(&collector);
+                    scope.spawn(move || {
+                        let qs = QueryStats {
+                            candidates_verified: 1,
+                            projected_dist_computations: 1,
+                            rounds: 1,
+                        };
+                        for i in 0..PER_WRITER {
+                            let ns = 1_000_000 + (w as u64 * PER_WRITER + i) % 1_000;
+                            collector.record_query(Duration::from_nanos(ns), &qs);
+                        }
+                    })
+                })
+                .collect();
+            for writer in writers {
+                writer.join().expect("writer thread");
+            }
+            stop.store(true, Ordering::Relaxed);
+            let snapshots = reader.join().expect("reader thread");
+            assert!(snapshots > 0, "reader never snapshotted");
+        });
+
+        let s = collector.snapshot();
+        assert_eq!(s.queries, WRITERS as u64 * PER_WRITER);
+        // All latencies were ~1 ms; the quantiles must land in-bucket.
+        assert!(s.p50_ms > 0.5 && s.p50_ms < 2.0, "p50 {}", s.p50_ms);
+        assert!(s.p99_ms > 0.5 && s.p99_ms < 2.0, "p99 {}", s.p99_ms);
     }
 }

@@ -1,0 +1,417 @@
+//! The amortized batch write path: `Engine::apply` pays one
+//! copy-on-write clone and one epoch bump for a whole batch, answers
+//! bit-identically to the same ops applied one at a time, and the wire
+//! `BATCH` verb carries all of it end to end — all-or-nothing syntax,
+//! per-op semantic FAIL lines, and auth gating included.
+
+use pm_lsh_core::{BuildOptions, MutOp, PmLsh, PmLshParams};
+use pm_lsh_engine::{
+    serve, serve_router, Engine, EngineConfig, MutationError, Router, ServerConfig, ShardedEngine,
+};
+use pm_lsh_metric::Dataset;
+use pm_lsh_stats::Rng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn blob(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::new(seed);
+    let mut ds = Dataset::with_capacity(d, n);
+    let mut buf = vec![0.0f32; d];
+    for _ in 0..n {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    ds
+}
+
+fn engine_over(data: Dataset) -> Engine {
+    Engine::new(
+        PmLsh::build(data, PmLshParams::default()),
+        EngineConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+}
+
+/// A batch of W mutations does exactly ONE publication: the epoch moves
+/// from e to e+1, never e+W.
+#[test]
+fn one_batch_means_one_epoch_bump() {
+    let extra = blob(40, 6, 11);
+    let engine = engine_over(blob(300, 6, 10));
+    assert_eq!(engine.epoch(), 0);
+
+    let mut ops: Vec<MutOp> = (0..16)
+        .map(|i| MutOp::Insert(extra.point(i).to_vec()))
+        .collect();
+    ops.extend([3u32, 7, 11, 13].map(MutOp::Delete));
+    let w = ops.len();
+
+    let report = engine.apply(&ops).expect("batch applies");
+    assert_eq!(
+        engine.epoch(),
+        1,
+        "{w} ops must publish once, not {w} times"
+    );
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.applied, w);
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.points, 300 + 16 - 4);
+
+    // A second batch bumps to exactly 2.
+    let report = engine
+        .apply(&[MutOp::Insert(extra.point(20).to_vec())])
+        .unwrap();
+    assert_eq!(report.epoch, 2);
+    assert_eq!(engine.epoch(), 2);
+
+    // An empty batch and an all-rejected batch publish nothing.
+    let report = engine.apply(&[]).unwrap();
+    assert_eq!(report.epoch, 2, "empty batch must not move the epoch");
+    assert_eq!(report.applied, 0);
+    let report = engine
+        .apply(&[MutOp::Delete(999_999), MutOp::Insert(vec![1.0, 2.0])])
+        .unwrap();
+    assert_eq!(report.applied, 0);
+    assert_eq!(report.failed(), 2);
+    assert_eq!(
+        engine.epoch(),
+        2,
+        "a batch with zero applied ops must not publish"
+    );
+}
+
+/// The batched engine answers every query bit-identically to a twin that
+/// applied the same ops one `insert`/`delete` at a time — the amortized
+/// path changes cost, never answers.
+#[test]
+fn batched_engine_matches_single_op_twin_bit_for_bit() {
+    let data = blob(400, 8, 20);
+    let extra = blob(30, 8, 21);
+    let batched = engine_over(data.clone());
+    let twin = engine_over(data);
+
+    let ops: Vec<MutOp> = vec![
+        MutOp::Insert(extra.point(0).to_vec()),
+        MutOp::Delete(5),
+        MutOp::Insert(extra.point(1).to_vec()),
+        MutOp::Insert(extra.point(2).to_vec()),
+        MutOp::Delete(400), // the id op 0 just inserted
+        MutOp::Delete(17),
+    ];
+    let report = batched.apply(&ops).expect("batch applies");
+    assert_eq!(report.applied, 6);
+    for op in &ops {
+        match op {
+            MutOp::Insert(p) => {
+                twin.insert(p).expect("twin insert");
+            }
+            MutOp::Delete(id) => {
+                twin.delete(*id).expect("twin delete");
+            }
+        }
+    }
+    // Cost asymmetry is the whole point: 1 publication vs 6.
+    assert_eq!(batched.epoch(), 1);
+    assert_eq!(twin.epoch(), 6);
+
+    let a = batched.info();
+    let b = twin.info();
+    assert_eq!(a.points, b.points);
+    for qi in 0..12 {
+        let q = extra.point(qi % extra.len());
+        let x = batched.query(q, 10);
+        let y = twin.query(q, 10);
+        assert_eq!(x.neighbors, y.neighbors, "query {qi}: neighbors diverged");
+        assert_eq!(x.stats, y.stats, "query {qi}: execution counters diverged");
+    }
+}
+
+/// Semantic refusals fail only their own op; the survivors apply and the
+/// batch still publishes exactly once.
+#[test]
+fn semantic_failures_poison_only_their_own_op() {
+    let engine = engine_over(blob(200, 6, 30));
+    let ops = vec![
+        MutOp::Insert(vec![1.0; 5]),      // wrong dimensionality
+        MutOp::Insert(vec![f32::NAN; 6]), // non-finite component
+        MutOp::Insert(vec![0.5; 6]),      // fine -> id 200
+        MutOp::Delete(200),               // fine: deletes the new point
+        MutOp::Delete(4242),              // unknown id
+    ];
+    let report = engine.apply(&ops).expect("batch applies");
+    assert_eq!(
+        report.results,
+        vec![
+            Err(MutationError::DimensionMismatch {
+                expected: 6,
+                got: 5
+            }),
+            Err(MutationError::NonFiniteComponent),
+            Ok(200),
+            Ok(200),
+            Err(MutationError::UnknownId(4242)),
+        ]
+    );
+    assert_eq!(report.applied, 2);
+    assert_eq!(report.failed(), 3);
+    assert_eq!(report.points, 200);
+    assert_eq!(engine.epoch(), 1, "two ops applied: exactly one bump");
+}
+
+/// The sharded batch path assigns the same external ids as the monolith
+/// (the interleaved bijection preserves the id sequence) and matches a
+/// sharded twin that applied the same ops one at a time, query for query.
+#[test]
+fn sharded_batch_matches_monolith_ids_and_single_op_twin_answers() {
+    let data = blob(360, 8, 40);
+    let extra = blob(24, 8, 41);
+    let ops: Vec<MutOp> = (0..12)
+        .map(|i| {
+            if i % 3 == 2 {
+                MutOp::Delete((i * 17) as u32 % 360)
+            } else {
+                MutOp::Insert(extra.point(i).to_vec())
+            }
+        })
+        .collect();
+
+    let mono = engine_over(data.clone());
+    let mono_report = mono.apply(&ops).expect("monolith batch");
+
+    for shards in [2usize, 4] {
+        let config = EngineConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let batched = ShardedEngine::build(
+            &data,
+            PmLshParams::default(),
+            BuildOptions::default(),
+            shards,
+            config,
+        );
+        let twin = ShardedEngine::build(
+            &data,
+            PmLshParams::default(),
+            BuildOptions::default(),
+            shards,
+            config,
+        );
+        let epoch_before = batched.epoch();
+        let report = batched.apply(&ops).expect("sharded batch");
+        assert_eq!(
+            report.results, mono_report.results,
+            "S={shards}: per-op outcomes diverged from the monolith"
+        );
+        assert_eq!(report.points, mono_report.points);
+        let touched = shards.min(ops.len());
+        assert!(
+            report.epoch > epoch_before && report.epoch <= epoch_before + touched as u64,
+            "S={shards}: epoch moved by {}, expected 1..={touched}",
+            report.epoch - epoch_before
+        );
+        for op in &ops {
+            match op {
+                MutOp::Insert(p) => {
+                    twin.insert(p).expect("twin insert");
+                }
+                MutOp::Delete(id) => {
+                    twin.delete(*id).expect("twin delete");
+                }
+            }
+        }
+        assert_eq!(batched.len(), twin.len());
+        for qi in 0..10 {
+            let q = extra.point(qi % extra.len());
+            let x = batched.query(q, 10);
+            let y = twin.query(q, 10);
+            assert_eq!(
+                x.neighbors, y.neighbors,
+                "S={shards}, query {qi}: batched shards diverged from single-op twin"
+            );
+        }
+    }
+}
+
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    recv_line(reader)
+}
+
+fn recv_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+/// The wire `BATCH` verb end to end: ops arrive split across writes, the
+/// reply comes once after the last op line, the epoch bumps exactly once,
+/// semantic failures come back as FAIL lines, one malformed line rejects
+/// the whole batch unapplied, and mid-batch lines are never commands.
+#[test]
+fn wire_batch_roundtrip() {
+    let engine = engine_over(blob(300, 6, 50));
+    let handle = serve(engine, ("127.0.0.1", 0)).expect("bind port 0");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    assert!(roundtrip(&mut reader, &mut writer, "INDEXINFO").contains("epoch=0"));
+
+    // Header, then each op line in its own write with a pause between:
+    // the server must buffer until the count is met and reply exactly
+    // once, after the last line.
+    writer.write_all(b"BATCH 3\n").unwrap();
+    for op in [
+        "INSERT 1 2 3 4 5 6\n",
+        "INSERT 9 9 9 9 9 9\n",
+        "DELETE 300\n", // the id the first op just created
+    ] {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        writer.write_all(op.as_bytes()).unwrap();
+    }
+    assert_eq!(
+        recv_line(&mut reader),
+        "OK applied=3 failed=0 epoch=1 points=301"
+    );
+    let info = roundtrip(&mut reader, &mut writer, "INDEXINFO");
+    assert!(
+        info.contains("epoch=1") && info.contains("points=301"),
+        "one batch must mean one epoch bump: {info}"
+    );
+    // The surviving insert is served immediately.
+    assert_eq!(
+        roundtrip(&mut reader, &mut writer, "QUERY 1 9 9 9 9 9 9"),
+        "OK 301:0"
+    );
+
+    // Semantic failure: its FAIL line follows the summary; the good op
+    // still applies and the batch still publishes once.
+    assert_eq!(
+        roundtrip(
+            &mut reader,
+            &mut writer,
+            "BATCH 2\nDELETE 300\nINSERT 1 1 1 1 1 1"
+        ),
+        "OK applied=1 failed=1 epoch=2 points=302"
+    );
+    assert_eq!(recv_line(&mut reader), "FAIL 0 unknown point id 300");
+
+    // Syntactic failure: all-or-nothing. The valid DELETE on line 1 must
+    // NOT apply, the epoch must not move, the connection stays usable.
+    assert_eq!(
+        roundtrip(
+            &mut reader,
+            &mut writer,
+            "BATCH 2\nINSERT 1 2 nan 4 5 6\nDELETE 301"
+        ),
+        "ERR batch line 0: bad vector component 'nan'"
+    );
+    let info = roundtrip(&mut reader, &mut writer, "INDEXINFO");
+    assert!(
+        info.contains("epoch=2") && info.contains("points=302"),
+        "a rejected batch must apply nothing: {info}"
+    );
+
+    // Mid-batch, every line is an op — even a verb like QUIT.
+    assert_eq!(
+        roundtrip(&mut reader, &mut writer, "BATCH 1\nQUIT"),
+        "ERR batch line 0: unknown batch op 'QUIT' (INSERT or DELETE)"
+    );
+    assert_eq!(roundtrip(&mut reader, &mut writer, "PING"), "PONG");
+
+    // Header validation happens before any op line is consumed.
+    for (header, want) in [
+        ("BATCH", "ERR BATCH needs a positive op count"),
+        ("BATCH 0", "ERR BATCH needs a positive op count"),
+        ("BATCH x", "ERR BATCH needs a positive op count"),
+        ("BATCH 2 3", "ERR BATCH takes exactly one op count"),
+        ("BATCH 4097", "ERR BATCH accepts at most 4096 ops"),
+    ] {
+        assert_eq!(&roundtrip(&mut reader, &mut writer, header), want);
+    }
+
+    assert_eq!(roundtrip(&mut reader, &mut writer, "QUIT"), "BYE");
+    handle.shutdown();
+}
+
+/// `BATCH` is auth-gated like the other mutating verbs: the op lines are
+/// consumed either way, but nothing applies before `AUTH`.
+#[test]
+fn wire_batch_requires_auth() {
+    let engine = engine_over(blob(200, 6, 60));
+    let router = Router::with_engine("default", engine).unwrap();
+    let config = ServerConfig {
+        auth_token: Some("sekrit".to_string()),
+        ..Default::default()
+    };
+    let handle = serve_router(router, ("127.0.0.1", 0), config).expect("bind port 0");
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    assert_eq!(
+        roundtrip(&mut reader, &mut writer, "BATCH 1\nINSERT 1 2 3 4 5 6"),
+        "ERR authentication required (AUTH <token>)"
+    );
+    let info = roundtrip(&mut reader, &mut writer, "INDEXINFO");
+    assert!(
+        info.contains("epoch=0") && info.contains("points=200"),
+        "an unauthenticated batch must apply nothing: {info}"
+    );
+
+    assert_eq!(
+        roundtrip(&mut reader, &mut writer, "AUTH sekrit"),
+        "OK authenticated"
+    );
+    assert_eq!(
+        roundtrip(&mut reader, &mut writer, "BATCH 1\nINSERT 1 2 3 4 5 6"),
+        "OK applied=1 failed=0 epoch=1 points=201"
+    );
+
+    handle.shutdown();
+}
+
+/// The batch path composes with the rest of the engine: snapshots taken
+/// by concurrent readers stay self-consistent while batches land.
+#[test]
+fn concurrent_queries_see_consistent_snapshots_across_batches() {
+    let data = blob(400, 8, 70);
+    let extra = blob(64, 8, 71);
+    let engine = Arc::new(engine_over(data));
+    let q = extra.point(0).to_vec();
+
+    std::thread::scope(|scope| {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader_stop = Arc::clone(&stop);
+        let reader_engine = Arc::clone(&engine);
+        let reader_q = q.clone();
+        let reader = scope.spawn(move || {
+            let mut served = 0u64;
+            while !reader_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let r = reader_engine.query(&reader_q, 5);
+                assert_eq!(r.neighbors.len(), 5);
+                served += 1;
+            }
+            served
+        });
+
+        for round in 0..8 {
+            let ops: Vec<MutOp> = (0..8)
+                .map(|i| MutOp::Insert(extra.point(round * 8 + i).to_vec()))
+                .collect();
+            let report = engine.apply(&ops).expect("batch applies");
+            assert_eq!(report.applied, 8);
+            assert_eq!(report.epoch, round as u64 + 1);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let served = reader.join().expect("reader thread");
+        assert!(served > 0, "the reader never got a query through");
+    });
+    assert_eq!(engine.epoch(), 8);
+    assert_eq!(engine.info().points, 400 + 64);
+}

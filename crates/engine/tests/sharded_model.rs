@@ -9,6 +9,13 @@
 //! on every shard, and demand bit-identical exhaustive-k answers. A
 //! reindex leg rebuilds both engines over the materialized live set and
 //! proves the id sequence starts over identically, then keeps churning.
+//! A batched leg drives the amortized `apply` path through the same
+//! lock-step discipline: random mixed batches (with in-batch dependent
+//! deletes, ghost ids and wrong-dimensionality inserts) go to a
+//! monolithic and a sharded engine as single `apply` calls while a
+//! single-op oracle replays them one `insert`/`delete` at a time —
+//! per-op outcomes must agree three ways, and the batch path must
+//! publish once per batch instead of once per op.
 
 use pm_lsh_core::shard::{owner, to_global, to_local};
 use pm_lsh_core::{BuildOptions, PmLsh, PmLshParams};
@@ -249,6 +256,135 @@ fn interleaved_mutations_stay_in_lockstep_with_a_monolithic_twin() {
             &model,
             &mut rng,
             &format!("S={shards} final"),
+        );
+    }
+}
+
+/// The amortized batch path under the same lock-step discipline as the
+/// single-op walk: random batches of 1..=12 mixed ops — including
+/// in-batch dependent deletes (a second delete of the same id must fail
+/// as `UnknownId` *inside* the batch), ghost ids and wrong-dimensionality
+/// inserts — are applied as one `apply` call to a monolithic engine and
+/// a sharded engine, then replayed one `insert`/`delete` at a time on a
+/// single-op oracle. Per-op outcomes (assigned ids and errors) must
+/// agree three ways after every batch; checkpoints audit live-id sets,
+/// tree invariants and exhaustive-k answers; and the batch path must
+/// publish once per non-empty batch where the oracle publishes once per
+/// applied op.
+#[test]
+fn batched_mutations_stay_in_lockstep_with_single_op_oracles() {
+    let dim = 10;
+    let n0 = 80;
+    for shards in [1usize, 2, 4] {
+        let data = blob(n0, dim, 0xBA7C + shards as u64);
+        let params = PmLshParams::default();
+        let mono = Engine::new(PmLsh::build(data.clone(), params), config());
+        let sharded =
+            ShardedEngine::build(&data, params, BuildOptions::default(), shards, config());
+        let oracle = Engine::new(PmLsh::build(data.clone(), params), config());
+        let mut model: BTreeMap<PointId, Vec<f32>> = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as PointId, p.to_vec()))
+            .collect();
+        let mut rng = Rng::new(0xFACE + shards as u64);
+        let mut buf = vec![0.0f32; dim];
+        let mut published = 0u64;
+        let mut applied_total = 0u64;
+
+        for round in 0..12 {
+            let width = 1 + rng.below(12);
+            let live: Vec<PointId> = model.keys().copied().collect();
+            let mut ops: Vec<pm_lsh_engine::MutOp> = Vec::with_capacity(width);
+            for j in 0..width {
+                let roll = rng.below(10);
+                // Deletes stay rare enough that no shard can drain: a
+                // batch removes at most `width` points from a live set
+                // kept well above `6 * shards + width`.
+                if roll < 5 || live.len() <= 6 * shards + width {
+                    rng.fill_normal(&mut buf);
+                    ops.push(pm_lsh_engine::MutOp::Insert(buf.clone()));
+                } else if roll < 8 {
+                    // May pick the same victim twice in one batch — the
+                    // second delete must fail UnknownId mid-batch, on
+                    // every path.
+                    let victim = live[rng.below(live.len())];
+                    ops.push(pm_lsh_engine::MutOp::Delete(victim));
+                } else if roll == 8 {
+                    let ghost = 1_000_000 + (round * 16 + j) as PointId;
+                    ops.push(pm_lsh_engine::MutOp::Delete(ghost));
+                } else {
+                    ops.push(pm_lsh_engine::MutOp::Insert(vec![0.25; dim + 1]));
+                }
+            }
+
+            let mono_report = mono.apply(&ops).expect("monolithic batch");
+            let sharded_report = sharded.apply(&ops).expect("sharded batch");
+            assert_eq!(
+                mono_report.results, sharded_report.results,
+                "S={shards} round {round}: batched per-op outcomes diverged"
+            );
+            assert_eq!(
+                mono_report.points, sharded_report.points,
+                "S={shards} round {round}: batched point counts diverged"
+            );
+
+            // Replay one op at a time on the oracle; every outcome —
+            // assigned id or exact error — must match the batch's.
+            for (i, op) in ops.iter().enumerate() {
+                let outcome = match op {
+                    pm_lsh_engine::MutOp::Insert(p) => oracle.insert(p).map(|r| r.id),
+                    pm_lsh_engine::MutOp::Delete(id) => oracle.delete(*id).map(|r| r.id),
+                };
+                assert_eq!(
+                    outcome, mono_report.results[i],
+                    "S={shards} round {round} op {i}: single-op oracle disagreed"
+                );
+                match (&mono_report.results[i], op) {
+                    (Ok(id), pm_lsh_engine::MutOp::Insert(p)) => {
+                        model.insert(*id, p.clone());
+                    }
+                    (Ok(id), pm_lsh_engine::MutOp::Delete(_)) => {
+                        model.remove(id);
+                    }
+                    (Err(_), _) => {}
+                }
+            }
+            if mono_report.applied > 0 {
+                published += 1;
+            }
+            assert_eq!(
+                mono.epoch(),
+                published,
+                "S={shards} round {round}: a batch must publish exactly once"
+            );
+            applied_total += mono_report.applied as u64;
+            assert_eq!(
+                oracle.epoch(),
+                applied_total,
+                "S={shards} round {round}: the oracle publishes once per applied op"
+            );
+
+            if round % 3 == 2 {
+                checkpoint(
+                    &mono,
+                    &sharded,
+                    &model,
+                    &mut rng,
+                    &format!("S={shards} round {round}"),
+                );
+            }
+        }
+        checkpoint(
+            &mono,
+            &sharded,
+            &model,
+            &mut rng,
+            &format!("S={shards} batched final"),
+        );
+        assert!(
+            oracle.epoch() > mono.epoch(),
+            "S={shards}: the single-op oracle must pay more publications than the batch path"
         );
     }
 }

@@ -15,7 +15,10 @@
 //!   (`line_cap = ...`) vs every `max(F, B + M·d)` formula cited in
 //!   either doc;
 //! * the `.pmlsh` magic, format version and section ids vs
-//!   ARCHITECTURE.md's layout table, and the shard-manifest magic.
+//!   ARCHITECTURE.md's layout table, and the shard-manifest magic;
+//! * the `BATCH` verb's cap (`BATCH_MAX_OPS`) and reply shapes
+//!   (`BATCH_OK_PREFIX`, `BATCH_FAIL_PREFIX`) vs the PROTOCOL.md prose
+//!   that external clients parse replies by.
 //!
 //! Values are compared, not prose: editing either side without the other
 //! fails the `lint` CI job.
@@ -40,6 +43,12 @@ pub struct ProtoConsts {
     pub sections: Vec<(&'static str, u128)>,
     /// Sharded-manifest magic bytes, as text.
     pub manifest_magic: String,
+    /// Most op lines one `BATCH` request may carry (`BATCH_MAX_OPS`).
+    pub batch_max_ops: u128,
+    /// Verbatim prefix of a successful `BATCH` reply (`BATCH_OK_PREFIX`).
+    pub batch_ok_prefix: String,
+    /// Verbatim prefix of a per-op failure line (`BATCH_FAIL_PREFIX`).
+    pub batch_fail_prefix: String,
 }
 
 /// The doc table names each opcode/status row is keyed by, and the source
@@ -300,6 +309,33 @@ pub fn extract(
             "const `MANIFEST_MAGIC` not found",
         ));
     }
+    let batch_max_ops = const_int(&server, "BATCH_MAX_OPS");
+    if batch_max_ops.is_none() {
+        findings.push(Finding::new(
+            "crates/engine/src/server.rs",
+            0,
+            Pass::Protocol,
+            "const `BATCH_MAX_OPS` not found (moved or renamed?)",
+        ));
+    }
+    let batch_ok_prefix = const_str(&server, "BATCH_OK_PREFIX");
+    if batch_ok_prefix.is_none() {
+        findings.push(Finding::new(
+            "crates/engine/src/server.rs",
+            0,
+            Pass::Protocol,
+            "const `BATCH_OK_PREFIX` not found (moved or renamed?)",
+        ));
+    }
+    let batch_fail_prefix = const_str(&server, "BATCH_FAIL_PREFIX");
+    if batch_fail_prefix.is_none() {
+        findings.push(Finding::new(
+            "crates/engine/src/server.rs",
+            0,
+            Pass::Protocol,
+            "const `BATCH_FAIL_PREFIX` not found (moved or renamed?)",
+        ));
+    }
     if findings.len() != before {
         return None;
     }
@@ -311,6 +347,9 @@ pub fn extract(
         format_version: format_version?,
         sections,
         manifest_magic: manifest_magic?,
+        batch_max_ops: batch_max_ops?,
+        batch_ok_prefix: batch_ok_prefix?,
+        batch_fail_prefix: batch_fail_prefix?,
     })
 }
 
@@ -501,6 +540,35 @@ pub fn check_docs(
         ));
     }
 
+    // The BATCH verb's cap and reply shapes: external clients parse the
+    // `OK applied=` summary and count `FAIL ` lines by these strings, so
+    // PROTOCOL.md must cite all three verbatim.
+    let cap_phrase = format!("at most {} ops", consts.batch_max_ops);
+    if !protocol_md.contains(&cap_phrase) {
+        findings.push(Finding::new(
+            PROTO,
+            0,
+            Pass::Protocol,
+            format!(
+                "the BATCH op cap is no longer cited as `{cap_phrase}` \
+                 (BATCH_MAX_OPS in crates/engine/src/server.rs)"
+            ),
+        ));
+    }
+    for (what, prefix) in [
+        ("success-reply prefix", &consts.batch_ok_prefix),
+        ("failure-line prefix", &consts.batch_fail_prefix),
+    ] {
+        if !protocol_md.contains(prefix.as_str()) {
+            findings.push(Finding::new(
+                PROTO,
+                0,
+                Pass::Protocol,
+                format!("the BATCH {what} `{prefix}` is not cited in docs/PROTOCOL.md"),
+            ));
+        }
+    }
+
     // Section-id table in ARCHITECTURE.md.
     let rows = doc_table_rows(architecture_md, &SECTION_NAMES);
     for (doc_name, const_name) in SECTION_NAMES {
@@ -548,8 +616,12 @@ mod tests {
         "pub const STATUS_PONG: u8 = 2;\n",
         "pub fn frame_cap(dim: usize) -> usize { (64 + 8 * dim).max(512) }\n",
     );
-    const SERVER: &str =
-        "fn recompute(&mut self) { self.line_cap = (64 + 32 * self.dim).max(512); }\n";
+    const SERVER: &str = concat!(
+        "const BATCH_MAX_OPS: usize = 4096;\n",
+        "const BATCH_OK_PREFIX: &str = \"OK applied=\";\n",
+        "const BATCH_FAIL_PREFIX: &str = \"FAIL \";\n",
+        "fn recompute(&mut self) { self.line_cap = (64 + 32 * self.dim).max(512); }\n",
+    );
     const FORMAT: &str = concat!(
         "pub const MAGIC: [u8; 8] = *b\"PMLSHSNP\";\n",
         "pub const FORMAT_VERSION: u32 = 1;\n",
@@ -574,6 +646,8 @@ mod tests {
             "The frame cap is `max(512, 64 + 8·d)` bytes.\n",
             "The line cap is `max(512, 64 + 32·d)` bytes.\n",
             "Snapshots are detected by magic `PMLSHSNP`.\n",
+            "`BATCH <count>` accepts at most 4096 ops; the reply starts\n",
+            "`OK applied=` and is followed by `FAIL ` lines.\n",
         )
         .to_string()
     }
@@ -599,6 +673,9 @@ mod tests {
         assert_eq!(c.manifest_magic, "PMLSHMAN");
         assert_eq!(c.sections.len(), 8);
         assert_eq!(c.opcodes[0], ("OP_QUERY", 1));
+        assert_eq!(c.batch_max_ops, 4096);
+        assert_eq!(c.batch_ok_prefix, "OK applied=");
+        assert_eq!(c.batch_fail_prefix, "FAIL ");
     }
 
     #[test]
@@ -667,6 +744,47 @@ mod tests {
         check_docs(&c, &good_protocol(), &good_architecture(), &mut findings);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("PING"));
+    }
+
+    #[test]
+    fn missing_batch_citations_are_caught() {
+        // Strip the whole BATCH paragraph from the doc: the cap phrase
+        // and both reply prefixes go missing, one finding each.
+        let doc = good_protocol()
+            .replace(
+                "`BATCH <count>` accepts at most 4096 ops; the reply starts\n",
+                "",
+            )
+            .replace("`OK applied=` and is followed by `FAIL ` lines.\n", "");
+        let mut findings = Vec::new();
+        check_docs(&consts(), &doc, &good_architecture(), &mut findings);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("at most 4096 ops")));
+        assert!(findings.iter().any(|f| f.message.contains("OK applied=")));
+        assert!(findings.iter().any(|f| f.message.contains("FAIL ")));
+    }
+
+    #[test]
+    fn raised_batch_cap_fails_against_stale_docs() {
+        // The source raises the cap; the doc still says 4096.
+        let server = SERVER.replace("BATCH_MAX_OPS: usize = 4096", "BATCH_MAX_OPS: usize = 8192");
+        let mut findings = Vec::new();
+        let c = extract(FRAME, &server, FORMAT, MANIFEST, &mut findings).unwrap();
+        check_docs(&c, &good_protocol(), &good_architecture(), &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("at most 8192 ops"));
+    }
+
+    #[test]
+    fn renamed_batch_constant_is_extraction_drift() {
+        let server = SERVER.replace("BATCH_OK_PREFIX", "BATCH_SUMMARY_PREFIX");
+        let mut findings = Vec::new();
+        assert!(extract(FRAME, &server, FORMAT, MANIFEST, &mut findings).is_none());
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("BATCH_OK_PREFIX")));
     }
 
     #[test]

@@ -118,6 +118,114 @@ proptest! {
     }
 }
 
+/// The batch write path a layer up applies a whole group of mutations
+/// between audits. Model that here: one tree takes random mutation
+/// groups of width 1..=16 with no checks in between, a twin applies the
+/// identical ops one at a time with invariants checked after every op,
+/// and each group boundary is a checkpoint — both trees must satisfy
+/// the structural invariants and answer k-NN bit-identically to each
+/// other and to the linear-scan model. Deferring the audit must not
+/// defer correctness.
+#[test]
+fn grouped_mutations_agree_with_per_op_twin_at_checkpoints() {
+    let dim = 6;
+    let n0 = 50;
+    let mut rng = Rng::new(0xBA7C);
+    let mut ds = Dataset::with_capacity(dim, n0);
+    let mut buf = vec![0.0f32; dim];
+    for _ in 0..n0 {
+        rng.fill_normal(&mut buf);
+        ds.push(&buf);
+    }
+    let cfg = PmTreeConfig {
+        capacity: 6,
+        num_pivots: 3,
+        pivot_sample: 64,
+    };
+    // Identical seeds -> identical pivot choices -> identical trees.
+    let mut grouped = PmTree::build(ds.view(), cfg, &mut Rng::new(0x5EED));
+    let mut twin = PmTree::build(ds.view(), cfg, &mut Rng::new(0x5EED));
+    let mut model: Vec<(PointId, Vec<f32>)> = ds
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as PointId, p.to_vec()))
+        .collect();
+    let mut next_id = n0 as PointId;
+
+    for round in 0..30 {
+        let width = 1 + rng.below(16);
+        // Plan the group against the model so in-group dependencies
+        // (delete an id the model says is gone) never arise — the engine
+        // layer owns per-op failure semantics; the tree contract is that
+        // every op here is valid.
+        let mut inserts: Vec<(PointId, Vec<f32>)> = Vec::new();
+        let mut deletes: Vec<PointId> = Vec::new();
+        let mut ops: Vec<Option<(PointId, Vec<f32>)>> = Vec::with_capacity(width);
+        for _ in 0..width {
+            if model.is_empty() || rng.below(10) < 6 {
+                rng.fill_normal(&mut buf);
+                inserts.push((next_id, buf.clone()));
+                ops.push(Some((next_id, buf.clone())));
+                model.push((next_id, buf.clone()));
+                next_id += 1;
+            } else {
+                let (victim, _) = model.swap_remove(rng.below(model.len()));
+                deletes.push(victim);
+                ops.push(None);
+            }
+        }
+
+        // The grouped tree takes the whole width with no audits between.
+        let (mut ins_it, mut del_it) = (inserts.iter(), deletes.iter());
+        for op in &ops {
+            match op {
+                Some(_) => {
+                    let (id, v) = ins_it.next().unwrap();
+                    grouped.insert(v, *id);
+                }
+                None => {
+                    let victim = del_it.next().unwrap();
+                    assert!(grouped.delete(*victim), "grouped delete refused");
+                }
+            }
+        }
+        // The twin replays identically, audited after every single op.
+        let (mut ins_it, mut del_it) = (inserts.iter(), deletes.iter());
+        for op in &ops {
+            match op {
+                Some(_) => {
+                    let (id, v) = ins_it.next().unwrap();
+                    twin.insert(v, *id);
+                }
+                None => {
+                    let victim = del_it.next().unwrap();
+                    assert!(twin.delete(*victim), "twin delete refused");
+                }
+            }
+            twin.check_invariants();
+        }
+
+        // Checkpoint: the deferred-audit tree has nothing to hide.
+        grouped.check_invariants();
+        assert_eq!(grouped.len(), model.len(), "round {round}: live count");
+        assert_eq!(grouped.len(), twin.len());
+        rng.fill_normal(&mut buf);
+        let k = 1 + round % 7;
+        assert_eq!(
+            normalized(grouped.knn(&buf, k)),
+            normalized(twin.knn(&buf, k)),
+            "round {round}: grouped tree diverged from per-op twin"
+        );
+        assert_tree_matches_model(
+            &grouped,
+            &model,
+            &buf,
+            k,
+            &format!("at group boundary {round}"),
+        );
+    }
+}
+
 #[test]
 fn delete_unknown_and_already_deleted_ids_are_rejected() {
     let mut rng = Rng::new(7);

@@ -127,6 +127,50 @@ case "$GONE" in
   *) echo "FAIL: post-delete QUERY -> '$GONE'" >&2; exit 1 ;;
 esac
 expect "DELETE $NEW_ID" "ERR unknown point id $NEW_ID"
+
+echo "== BATCH: amortized write path (one epoch bump per batch)"
+# Three ops — two inserts and a delete of the id the first insert is
+# about to receive (ids are assigned sequentially and never reused, so
+# that's NEW_ID+1; ops apply in order against the evolving clone) — must
+# land as ONE publication: epoch 3 -> 4, not 3 -> 6.
+BATCH_INSERT=$(awk -v d="$DIM" 'BEGIN{printf "INSERT"; for(i=0;i<d;i++) printf " 0.375"; print ""}')
+POINTS_BEFORE=$(req "INDEXINFO" | sed -n 's/.* points=\([0-9]*\).*/\1/p')
+[ -n "$POINTS_BEFORE" ] || { echo "FAIL: could not parse points for BATCH" >&2; exit 1; }
+printf 'BATCH 3\n%s\n%s\nDELETE %d\n' "$BATCH_INSERT" "$BATCH_INSERT" "$((NEW_ID + 1))" >&3
+IFS= read -r REPLY <&3; REPLY=${REPLY%$'\r'}
+case "$REPLY" in
+  "OK applied=3 failed=0 epoch=4 points=$((POINTS_BEFORE + 1))")
+    printf 'ok: %-18s -> %s\n' "BATCH" "$REPLY" ;;
+  *) echo "FAIL: BATCH -> '$REPLY'" >&2; exit 1 ;;
+esac
+expect "INDEXINFO" "INDEXINFO name=audio *epoch=4 *"
+
+# Semantic failures poison only their own op: the unknown delete becomes
+# a FAIL line after the summary, the insert in the same batch applies.
+printf 'BATCH 2\nDELETE 999999\n%s\n' "$BATCH_INSERT" >&3
+IFS= read -r REPLY <&3; REPLY=${REPLY%$'\r'}
+case "$REPLY" in
+  "OK applied=1 failed=1 epoch=5 "*) printf 'ok: %-18s -> %s\n' "BATCH" "$REPLY" ;;
+  *) echo "FAIL: partial BATCH -> '$REPLY'" >&2; exit 1 ;;
+esac
+IFS= read -r FAIL_LINE <&3; FAIL_LINE=${FAIL_LINE%$'\r'}
+if [ "$FAIL_LINE" = "FAIL 0 unknown point id 999999" ]; then
+  printf 'ok: %-18s -> %s\n' "BATCH" "$FAIL_LINE"
+else
+  echo "FAIL: BATCH fail line -> '$FAIL_LINE'" >&2; exit 1
+fi
+
+# Syntactic errors reject the whole batch unapplied: nothing publishes,
+# the epoch stays put.
+printf 'BATCH 2\nINSERT 1 2 nan\nDELETE 1\n' >&3
+IFS= read -r REPLY <&3; REPLY=${REPLY%$'\r'}
+case "$REPLY" in
+  "ERR batch line 0: bad vector component 'nan'")
+    printf 'ok: %-18s -> %s\n' "BATCH" "$REPLY" ;;
+  *) echo "FAIL: malformed BATCH -> '$REPLY'" >&2; exit 1 ;;
+esac
+expect "BATCH 0" "ERR BATCH needs a positive op count"
+expect "INDEXINFO" "INDEXINFO name=audio *epoch=5 *"
 expect "QUIT" "BYE"
 exec 3<&- 3>&-
 
@@ -149,6 +193,21 @@ fi
 echo "== pmlsh reindex client against the running server"
 "$BIN" reindex --addr "127.0.0.1:$PORT" --data "$TMP/audio.fvecs" \
   --index audio --auth-token "$TOKEN"
+
+echo "== pmlsh batch-mutate client (ops file -> BATCH verb)"
+{
+  echo "# smoke ops: one insert, one unknown delete (reported, not fatal)"
+  echo ""
+  awk -v d="$DIM" 'BEGIN{printf "INSERT"; for(i=0;i<d;i++) printf " 0.625"; print ""}'
+  echo "DELETE 999999"
+} > "$TMP/ops.txt"
+"$BIN" batch-mutate --addr "127.0.0.1:$PORT" --ops "$TMP/ops.txt" \
+  --index audio --auth-token "$TOKEN" > "$TMP/batch.out"
+grep -q "applied=1 failed=1" "$TMP/batch.out" \
+  || { echo "FAIL: batch-mutate summary:" >&2; cat "$TMP/batch.out" >&2; exit 1; }
+grep -q "FAIL 1 unknown point id 999999" "$TMP/batch.out" \
+  || { echo "FAIL: batch-mutate fail line:" >&2; cat "$TMP/batch.out" >&2; exit 1; }
+printf 'ok: %-18s -> applied=1 failed=1, FAIL line surfaced\n' "batch-mutate"
 
 echo "== snapshot save (pmlsh save client -> wire SAVE verb)"
 "$BIN" save --addr "127.0.0.1:$PORT" --out "$TMP/audio.pmlsh" \

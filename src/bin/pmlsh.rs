@@ -15,6 +15,7 @@
 //! pmlsh reindex     --addr 127.0.0.1:7878 --data new.fvecs [--index deep] [--auth-token t]
 //! pmlsh insert      --addr 127.0.0.1:7878 --vector 0.1,0.2,... [--index deep] [--auth-token t]
 //! pmlsh delete      --addr 127.0.0.1:7878 --id 42 [--index deep] [--auth-token t]
+//! pmlsh batch-mutate --addr 127.0.0.1:7878 --ops ops.txt [--index deep] [--auth-token t]
 //! ```
 //!
 //! `--data` takes either one bare path (index name `default`) or a
@@ -114,6 +115,8 @@ fn main() -> ExitCode {
             .and_then(|()| cmd_insert(&opts)),
         "delete" => known_opts(&opts, &["addr", "id", "index", "auth-token"])
             .and_then(|()| cmd_delete(&opts)),
+        "batch-mutate" => known_opts(&opts, &["addr", "ops", "index", "auth-token"])
+            .and_then(|()| cmd_batch_mutate(&opts)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -157,6 +160,8 @@ USAGE:
                [--index <name>] [--auth-token <t>]
   pmlsh delete --addr <host:port> --id <point id>
                [--index <name>] [--auth-token <t>]
+  pmlsh batch-mutate --addr <host:port> --ops <file>
+               [--index <name>] [--auth-token <t>]
 
 `--data <specs>` is one bare path (served as index 'default') or a
 comma-separated list of name=path pairs; `serve` attaches every entry,
@@ -173,14 +178,20 @@ connection to a length-prefixed binary framing for QUERY/PING;
 `batch-query --addr` runs a query file against a running server over
 either framing and prints one `query <i>: id:dist,...` line per query,
 so text and binary runs can be diffed. With --auth-token set, the
-mutating verbs (ATTACH/DETACH/REINDEX/INSERT/DELETE) and SAVE require a
-prior AUTH on the connection. `save` snapshots an index to a `.pmlsh`
+mutating verbs (ATTACH/DETACH/REINDEX/INSERT/DELETE/BATCH) and SAVE
+require a prior AUTH on the connection. `save` snapshots an index to a `.pmlsh`
 file: with --data it builds locally and writes --out; with --addr it
 asks a running server to save its current index to a path writable by
 the *server*. `reindex` asks a running server to rebuild onto a dataset
 file readable by the *server* and swap it in without dropping queries;
 `insert`/`delete` apply single-point mutations between rebuilds (each
 publishes a fresh snapshot and bumps the INDEXINFO epoch).
+`batch-mutate` streams a whole ops file — one `INSERT <v1> ... <vd>` or
+`DELETE <id>` per line, blank lines and `#` comments skipped — through
+the server's BATCH verb, which applies every op against one snapshot
+clone and publishes once (one epoch bump per batch instead of one per
+op); semantic per-op failures are reported as FAIL lines, syntactic
+errors reject the whole batch unapplied.
 `--threads 0` (the default) uses all available cores per index;
 `--build-threads` parallelizes index construction (0 = all cores,
 omitted = the single-threaded paper-faithful build). `--shards <n>`
@@ -698,7 +709,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         "serving {} index(es) [{}] on {} ({} worker thread(s) each, max {max_connections} \
          connections, mutating verbs {}); protocol: QUERY <k> <v1..vd> | PING | STATS | \
          INDEXINFO | LISTINDEXES | USE | AUTH | ATTACH | DETACH | REINDEX | INSERT | \
-         DELETE | SAVE | QUIT",
+         DELETE | BATCH | SAVE | QUIT",
         router.len(),
         router.names().join(","),
         handle.addr(),
@@ -888,10 +899,17 @@ impl WireClient {
     }
 
     fn exchange(&mut self, request: String) -> Result<String, String> {
-        use std::io::{BufRead, Write};
+        use std::io::Write;
         self.writer
             .write_all(request.as_bytes())
             .map_err(|e| format!("sending to {}: {e}", self.addr))?;
+        self.recv_line()
+    }
+
+    /// Reads one reply line without sending anything. `BATCH` replies span
+    /// `1 + failed` lines, so the FAIL lines are drained with extra reads.
+    fn recv_line(&mut self) -> Result<String, String> {
+        use std::io::BufRead;
         let mut reply = String::new();
         let n = self
             .reader
@@ -1041,6 +1059,85 @@ fn cmd_delete(opts: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("server refused: {err}"));
     }
     println!("{reply}");
+    println!("{}", client.exchange("INDEXINFO\n".to_string())?);
+    Ok(())
+}
+
+fn cmd_batch_mutate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .ok_or("batch-mutate needs --addr <host:port>")?;
+    let path = opts.get("ops").ok_or("batch-mutate needs --ops <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+
+    // Validate locally first, like `insert` does for --vector: a malformed
+    // op line should fail before any network traffic, with a message naming
+    // the file line — the server would reject the whole batch anyway
+    // (syntactic errors are all-or-nothing).
+    let mut ops: Vec<&str> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("{path}:{}: {msg}", lineno + 1);
+        let mut fields = line.split_ascii_whitespace();
+        match fields.next() {
+            Some("INSERT") => {
+                let mut components = 0usize;
+                for field in fields {
+                    match field.parse::<f32>() {
+                        Ok(v) if v.is_finite() => components += 1,
+                        _ => return Err(at(format!("bad vector component '{field}'"))),
+                    }
+                }
+                if components == 0 {
+                    return Err(at("INSERT needs at least one component".into()));
+                }
+            }
+            Some("DELETE") => match (fields.next().map(str::parse::<u32>), fields.next()) {
+                (Some(Ok(_)), None) => {}
+                _ => return Err(at("DELETE takes exactly one point id".into())),
+            },
+            Some(other) => {
+                return Err(at(format!("unknown batch op '{other}' (INSERT or DELETE)")));
+            }
+            None => unreachable!("blank lines are skipped above"),
+        }
+        ops.push(line);
+    }
+    if ops.is_empty() {
+        return Err(format!(
+            "{path} holds no ops (blank lines and '#' comments are skipped)"
+        ));
+    }
+
+    let mut client = WireClient::connect(addr)?;
+    client.setup_session(opts)?;
+
+    // The whole batch is one request: the header line, then every op line.
+    // The server replies once, after the last op line arrives.
+    let mut request = format!("BATCH {}\n", ops.len());
+    for op in &ops {
+        request.push_str(op);
+        request.push('\n');
+    }
+    println!("sending {} ops to {addr} as one batch ...", ops.len());
+    let reply = client.exchange(request)?;
+    if let Some(err) = reply.strip_prefix("ERR ") {
+        return Err(format!("server refused: {err}"));
+    }
+    println!("{reply}");
+    // `OK applied=<a> failed=<f> epoch=<e> points=<n>`: <f> FAIL lines
+    // follow the summary, one per op the server rejected semantically.
+    let failed: usize = reply
+        .split_ascii_whitespace()
+        .find_map(|field| field.strip_prefix("failed="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("unparseable batch reply '{reply}'"))?;
+    for _ in 0..failed {
+        println!("{}", client.recv_line()?);
+    }
     println!("{}", client.exchange("INDEXINFO\n".to_string())?);
     Ok(())
 }
